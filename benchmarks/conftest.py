@@ -1,0 +1,53 @@
+"""Benchmark fixtures.
+
+The bench study runs at a larger scale than the test suite (60 simulated
+days, deterministic seed).  Every table/figure bench renders the same rows
+the paper reports, asserts the reproduction's *shape*, and persists the
+rendered artefact under ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import OuluStudy, StudyConfig
+from repro.roadnet import build_synthetic_oulu
+from repro.traces import FleetSpec
+
+#: Scale of the bench study; the paper's corpus is a full year (365).
+BENCH_DAYS = 60
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def bench_city():
+    return build_synthetic_oulu()
+
+
+@pytest.fixture(scope="session")
+def bench_study():
+    config = StudyConfig(fleet=FleetSpec(n_days=BENCH_DAYS, seed=2012))
+    return OuluStudy(config).run()
+
+
+@pytest.fixture(scope="session")
+def year_study():
+    """A study over the full paper period (used by the seasonal benches)."""
+    config = StudyConfig(fleet=FleetSpec(n_days=365, seed=2012))
+    return OuluStudy(config).run()
+
+
+@pytest.fixture(scope="session")
+def save_artifact():
+    """Callable fixture: persist a rendered table/series and echo it."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def save(name: str, text: str) -> None:
+        (OUT_DIR / name).write_text(text + "\n")
+        print(f"\n=== {name} (bench scale: {BENCH_DAYS} days vs paper's 365) ===")
+        print(text)
+
+    return save

@@ -1,0 +1,51 @@
+"""Ablation: analysis grid cell size (paper Sec. V).
+
+The paper chose 200 m cells "to have enough measure points on the
+individual cells, as well as to be meaningful to capture effects of
+multiple map features".  This bench sweeps 100/200/400 m and reports the
+trade-off: smaller cells -> more cells with fewer points each (more
+shrinkage), larger cells -> geography blurred.
+"""
+
+from repro.experiments import format_table
+from repro.features import GridAccumulator, GridSpec
+from repro.stats import RandomInterceptModel
+
+
+def _fit_for_cell_size(bench_study, cell_size):
+    grid = GridAccumulator(GridSpec(cell_size))
+    speeds, cells = [], []
+    for __, route in bench_study.kept():
+        for m in route.matched:
+            key = grid.add_point(m.snapped_xy, m.point.speed_kmh)
+            speeds.append(m.point.speed_kmh)
+            cells.append(key)
+    model = RandomInterceptModel().fit(speeds, cells)
+    mean_n = grid.point_count / len(grid)
+    return len(grid), mean_n, model.sigma2_u, model.sigma2
+
+
+def test_ablation_grid_size(benchmark, bench_study, save_artifact):
+    sizes = (100.0, 200.0, 400.0)
+
+    def run():
+        return {s: _fit_for_cell_size(bench_study, s) for s in sizes}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [int(s), results[s][0], round(results[s][1], 1),
+         round(results[s][2], 1), round(results[s][3], 1)]
+        for s in sizes
+    ]
+    text = format_table(
+        ["Cell (m)", "Cells", "Points/cell", "sigma_u^2", "sigma^2"], rows
+    )
+    save_artifact("ablation_gridsize.txt", text)
+
+    # Smaller cells -> more cells, fewer points per cell.
+    assert results[100.0][0] > results[200.0][0] > results[400.0][0]
+    assert results[100.0][1] < results[200.0][1] < results[400.0][1]
+    # Geography explains variance at every scale.
+    for s in sizes:
+        assert results[s][2] > 0.0

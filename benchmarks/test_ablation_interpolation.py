@@ -1,0 +1,68 @@
+"""Ablation: gap interpolation under transmission dropout.
+
+Related work (Jiang et al. [17]) restores lost sensor data with linear
+interpolation.  This bench drops 45 % of fixes in transmission, then
+matches segments raw vs gap-interpolated, showing interpolation keeps
+matching quality and point density up when the device loses data.
+"""
+
+from repro.cleaning import CleaningPipeline, InterpolationConfig, interpolate_gaps
+from repro.cleaning.segmentation import TripSegment
+from repro.experiments import format_table
+from repro.matching import IncrementalMatcher, evaluate_matcher
+from repro.traces import FleetSpec, TaxiFleetSimulator
+from repro.traces.noise import NoiseSpec
+
+
+def test_ablation_interpolation_under_dropout(benchmark, bench_city, save_artifact):
+    spec = FleetSpec(
+        n_days=4, seed=12,
+        noise=NoiseSpec(gps_sigma_m=4.0, reorder_prob=0.0, glitch_prob=0.0,
+                        duplicate_prob=0.0, dropout_prob=0.45),
+    )
+    fleet, runs = TaxiFleetSimulator(bench_city, spec).simulate()
+    segments = CleaningPipeline().run(fleet).segments[:80]
+
+    def to_xy(p):
+        return bench_city.projector.to_xy(p.lat, p.lon)
+
+    config = InterpolationConfig(max_gap_s=50.0, target_spacing_s=25.0)
+
+    def run():
+        matcher = IncrementalMatcher(bench_city.graph)
+        raw = evaluate_matcher(matcher, segments, runs, bench_city.graph, to_xy)
+        filled_segments = []
+        total_added = 0
+        for seg in segments:
+            points, added = interpolate_gaps(seg.points, config)
+            total_added += added
+            filled_segments.append(
+                TripSegment(segment_id=seg.segment_id, trip_id=seg.trip_id,
+                            car_id=seg.car_id, index=seg.index, points=points)
+            )
+        filled = evaluate_matcher(
+            matcher, filled_segments, runs, bench_city.graph, to_xy
+        )
+        return raw, filled, total_added
+
+    raw, filled, added = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    save_artifact("ablation_interpolation.txt", format_table(
+        ["Variant", "Jaccard", "Length error", "Match dist (m)"],
+        [["45% dropout, raw", round(raw.mean_jaccard, 3),
+          round(raw.mean_length_error, 3), round(raw.mean_match_distance_m, 1)],
+         ["45% dropout + interpolation", round(filled.mean_jaccard, 3),
+          round(filled.mean_length_error, 3),
+          round(filled.mean_match_distance_m, 1)],
+         [f"(synthetic fixes added: {added})", "", "", ""]],
+    ))
+
+    # Interpolation restores point density across dropout gaps...
+    assert added > 50
+    # ...at a bounded accuracy cost: straight-line fills can cut corners
+    # near turns, so matching may move a few points to parallel edges, but
+    # never collapses.  The honest finding is "density up, accuracy
+    # roughly unchanged", and both evaluations stay strong.
+    assert filled.mean_jaccard >= raw.mean_jaccard - 0.05
+    assert filled.mean_jaccard > 0.8 and raw.mean_jaccard > 0.8
+    assert filled.mean_length_error < 0.2

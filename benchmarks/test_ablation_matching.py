@@ -1,0 +1,74 @@
+"""Ablation: incremental matcher look-ahead depth and direction data.
+
+The paper uses the incremental algorithm "enhanced with information
+retrieved from the digital map (like road directions)".  This bench
+quantifies both enhancements against simulator ground truth.
+"""
+
+from repro.experiments import format_table
+from repro.matching import IncrementalMatcher
+from repro.matching.candidates import CandidateConfig
+from repro.matching.incremental import IncrementalConfig
+
+
+def _truth_for(runs, seg):
+    best, overlap = None, 0.0
+    for run in runs:
+        if run.car_id != seg.car_id:
+            continue
+        lo = max(run.start_time_s, seg.start_time_s)
+        hi = min(run.end_time_s, seg.end_time_s)
+        if hi - lo > overlap:
+            overlap = hi - lo
+            best = run
+    return best
+
+
+def _accuracy(bench_study, config):
+    city = bench_study.city
+    matcher = IncrementalMatcher(city.graph, config)
+
+    def to_xy(p):
+        return city.projector.to_xy(p.lat, p.lon)
+
+    jaccards = []
+    for seg in bench_study.clean.segments[:80]:
+        run = _truth_for(bench_study.runs, seg)
+        if run is None:
+            continue
+        route = matcher.match(seg.points, to_xy, seg.segment_id, seg.car_id)
+        if route is None or not route.edge_sequence:
+            jaccards.append(0.0)
+            continue
+        got = set(route.edge_ids)
+        truth = set(run.edge_ids)
+        jaccards.append(len(got & truth) / len(got | truth))
+    return sum(jaccards) / len(jaccards)
+
+
+def test_ablation_matching(benchmark, bench_study, save_artifact):
+    configs = {
+        "look-ahead 2 + directions (paper)": IncrementalConfig(look_ahead=2),
+        "look-ahead 0": IncrementalConfig(look_ahead=0),
+        "no direction penalty": IncrementalConfig(
+            look_ahead=2,
+            candidates=CandidateConfig(oneway_penalty=0.0, mu_orientation=0.0),
+        ),
+    }
+
+    def run():
+        return {name: _accuracy(bench_study, cfg) for name, cfg in configs.items()}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    text = format_table(
+        ["Matcher variant", "Mean edge Jaccard vs ground truth"],
+        [[name, round(acc, 3)] for name, acc in results.items()],
+    )
+    save_artifact("ablation_matching.txt", text)
+
+    full = results["look-ahead 2 + directions (paper)"]
+    assert full > 0.6
+    # The full configuration is at least as accurate as each ablation.
+    assert full >= results["look-ahead 0"] - 0.02
+    assert full >= results["no direction penalty"] - 0.02

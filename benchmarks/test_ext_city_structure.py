@@ -1,0 +1,52 @@
+"""Extensions: OD flows and functionally critical network locations.
+
+Related work the paper builds on: taxi OD flows reveal city structure
+(Liu et al. [12], Zhu et al. [2]); functionally critical locations fall
+out of trajectory usage (Zhou et al. [3]).
+"""
+
+from repro.analysis import build_od_matrix, critical_edges, flow_table
+from repro.experiments import format_table
+from repro.traces.simulator import Region
+
+
+def test_ext_od_flows(benchmark, bench_study, save_artifact):
+    matrix = benchmark.pedantic(build_od_matrix, args=(bench_study.runs,),
+                                rounds=1, iterations=1)
+
+    headers = ["origin \\ dest"] + [r.value for r in Region]
+    save_artifact("ext_od_flows.txt", format_table(headers, flow_table(matrix))
+                  + f"\n\npeak hour: {matrix.peak_hour()}:00, "
+                  f"core share: {matrix.core_share():.0%}")
+
+    # City structure: the core dominates, flows are roughly balanced.
+    assert matrix.core_share() > 0.7
+    assert matrix.flow(Region.CORE, Region.CORE) > 0
+    for region in (Region.NORTH, Region.SOUTH_S, Region.SOUTH_L):
+        assert matrix.symmetry(Region.CORE, region) > 0.3
+
+
+def test_ext_critical_locations(benchmark, bench_study, save_artifact):
+    routes = [route for __, route in bench_study.kept()]
+
+    scored = benchmark.pedantic(
+        critical_edges, args=(bench_study.city.graph, routes),
+        kwargs={"top_k": 8, "n_pairs": 30}, rounds=1, iterations=1,
+    )
+
+    rows = []
+    for c in scored:
+        edge = bench_study.city.graph.edge(c.edge_id)
+        mid = edge.geometry.interpolate(edge.length / 2.0)
+        rows.append([c.edge_id, round(mid[0]), round(mid[1]), c.usage,
+                     round(c.detour_factor, 3), c.disconnects])
+    save_artifact("ext_critical_locations.txt", format_table(
+        ["Edge", "x", "y", "Traversals", "Detour factor", "Disconnects"], rows,
+    ))
+
+    assert len(scored) == 8
+    # Removing a heavily used edge never shortens the network.
+    assert all(c.detour_factor >= 1.0 - 1e-9 for c in scored)
+    # At least one observed edge is structurally critical (gate arterials
+    # are the only ways in and out of the study area).
+    assert any(c.is_critical for c in scored)

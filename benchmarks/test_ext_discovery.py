@@ -1,0 +1,123 @@
+"""Extensions: hotspots, pedestrian fusion, traffic state, eco-routing.
+
+The paper's conclusions point at these follow-on analyses; each bench
+runs one on the study output and asserts its headline finding.
+"""
+
+from repro.analysis import (
+    DrivingCoach,
+    PedestrianModel,
+    TrafficStateEstimator,
+    detect_hotspots,
+    eco_route_comparison,
+    extract_dwells,
+)
+from repro.experiments import format_table
+from repro.experiments.extensions import pedestrian_fusion
+
+
+def test_ext_hotspot_detection(benchmark, bench_study, save_artifact):
+    city = bench_study.city
+
+    def to_xy(p):
+        return city.projector.to_xy(p.lat, p.lon)
+
+    dwells = extract_dwells(bench_study.fleet, to_xy)
+    hotspots = benchmark.pedantic(
+        detect_hotspots, args=(dwells,), kwargs={"eps": 180.0, "min_pts": 6},
+        rounds=1, iterations=1,
+    )
+
+    rows = [[i + 1, round(h.centroid[0]), round(h.centroid[1]), h.n_events,
+             h.n_cars, round(h.total_dwell_s / 3600.0, 1)]
+            for i, h in enumerate(hotspots[:8])]
+    save_artifact("ext_hotspots.txt", format_table(
+        ["Rank", "x (m)", "y (m)", "Events", "Cars", "Dwell (h)"], rows
+    ))
+
+    assert len(dwells) > 500
+    assert hotspots
+    # The busiest hotspot engages the whole fleet and sits downtown.
+    top = hotspots[0]
+    assert top.n_cars >= 5
+    assert city.central_area.contains(top.centroid)
+
+
+def test_ext_pedestrian_fusion(benchmark, bench_study, save_artifact):
+    fit = benchmark.pedantic(pedestrian_fusion, args=(bench_study,),
+                             rounds=1, iterations=1)
+
+    rows = [[name, round(coef, 4)] for name, coef
+            in zip(fit.names, fit.coefficients)]
+    save_artifact("ext_pedestrian_fusion.txt",
+                  format_table(["Term", "Coefficient"], rows))
+
+    # Crowds slow traffic beyond the static map features (area B).
+    assert fit.coefficient("pedestrians") < 0.0
+
+
+def test_ext_traffic_state(benchmark, bench_study, save_artifact):
+    estimator = TrafficStateEstimator(bench_study.city.graph)
+
+    def ingest():
+        est = TrafficStateEstimator(bench_study.city.graph)
+        for __, route in bench_study.kept():
+            est.add_route(route)
+        return est
+
+    estimator = benchmark(ingest)
+
+    congested = estimator.congested_edges(threshold=0.75, min_observations=5)
+    rows = [[s.edge_id, s.n_observations, round(s.mean_speed_kmh, 1),
+             round(s.free_flow_kmh, 1), round(s.congestion_ratio, 2)]
+            for s in congested[:10]]
+    header = f"coverage: {estimator.coverage():.1%} of edges observed"
+    save_artifact("ext_traffic_state.txt", header + "\n" + format_table(
+        ["Edge", "Obs", "Mean km/h", "Free flow", "Ratio"], rows
+    ))
+
+    assert estimator.coverage() > 0.1
+    assert congested, "the lit core must show congested edges"
+
+
+def test_ext_eco_routing(benchmark, bench_study, save_artifact):
+    city = bench_study.city
+    n1 = city.graph.nearest_node((0.0, 2000.0))
+    n2 = city.graph.nearest_node((-600.0, -1800.0))  # T -> L
+
+    estimates = benchmark.pedantic(
+        eco_route_comparison,
+        args=(city.graph, city.map_db, n1.node_id, n2.node_id),
+        kwargs={"k": 3}, rounds=1, iterations=1,
+    )
+
+    rows = [[e.label, round(e.distance_m), round(e.expected_time_s),
+             round(e.expected_stops, 1), round(e.expected_fuel_ml),
+             round(e.fuel_per_km, 1)] for e in estimates]
+    save_artifact("ext_eco_routing.txt", format_table(
+        ["Route", "Dist (m)", "Time (s)", "Stops", "Fuel (ml)", "ml/km"], rows
+    ))
+
+    assert len(estimates) >= 2
+    # The eco-best route stops less than the worst alternative.
+    assert estimates[0].expected_stops <= estimates[-1].expected_stops
+
+
+def test_ext_driving_coach(benchmark, bench_study, save_artifact):
+    coach = DrivingCoach(bench_study.route_stats)
+    reports = benchmark.pedantic(coach.fleet_reports, rounds=1, iterations=1)
+
+    rows = [[r.car_id, r.n_transitions, round(r.fuel_per_km_ml, 1),
+             round(r.low_speed_pct, 1), round(r.fuel_percentile),
+             round(r.low_speed_percentile)] for r in reports]
+    save_artifact("ext_driving_coach.txt", format_table(
+        ["Car", "Transitions", "Fuel ml/km", "Low speed %",
+         "Fuel pctile", "Low-speed pctile"], rows
+    ))
+
+    assert len(reports) >= 5
+    # Fuel economy and low-speed exposure correlate across drivers
+    # (Spearman-ish check: best-fuel driver is not the worst idler).
+    best = reports[0]
+    worst = reports[-1]
+    assert best.fuel_per_km_ml < worst.fuel_per_km_ml

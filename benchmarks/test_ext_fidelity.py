@@ -1,0 +1,36 @@
+"""Extension: pipeline fidelity against ground truth.
+
+The reproduction's advantage over the paper: the simulator knows the true
+customer runs and gate crossings, so the pipeline's recall/precision are
+measurable — numbers the original authors could not compute.
+"""
+
+from repro.experiments import format_table
+from repro.experiments.fidelity import segmentation_fidelity, transition_fidelity
+
+
+def test_ext_pipeline_fidelity(benchmark, bench_study, save_artifact):
+    def run():
+        seg = segmentation_fidelity(bench_study.clean.segments, bench_study.runs)
+        trans = transition_fidelity(bench_study)
+        return seg, trans
+
+    seg, trans = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    save_artifact("ext_fidelity.txt", format_table(
+        ["Stage", "Metric", "Value"],
+        [
+            ["segmentation", "true runs", seg.n_runs],
+            ["segmentation", "recall", round(seg.recall, 3)],
+            ["segmentation", "boundary MAE (s)", round(seg.boundary_mae_s, 1)],
+            ["transitions", "true gate-pair runs", trans.n_true],
+            ["transitions", "detected (within centre)", trans.n_detected],
+            ["transitions", "precision", round(trans.precision, 3)],
+            ["transitions", "recall (incl. centre filter)", round(trans.recall, 3)],
+        ],
+    ))
+
+    assert seg.recall > 0.9
+    assert seg.boundary_mae_s < 60.0
+    assert trans.precision > 0.85
+    assert trans.recall > 0.3

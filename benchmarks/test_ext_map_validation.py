@@ -1,0 +1,47 @@
+"""Extension: digital-map quality validation.
+
+The paper: "in data analysis, accuracy and correctness of the digital map
+information is important".  The bench validates the clean synthetic
+extract (no defects) and a deliberately corrupted copy (all defect
+classes detected).
+"""
+
+from repro.experiments import format_table
+from repro.geo.geometry import LineString
+from repro.roadnet import validate_map
+from repro.roadnet.digiroad import MapDatabase
+from repro.roadnet.elements import PointObject, PointObjectKind, TrafficElement
+from repro.roadnet.graphbuild import build_road_graph
+
+
+def test_ext_map_validation(benchmark, bench_city, save_artifact):
+    report = benchmark(validate_map, bench_city.map_db, bench_city.graph)
+    assert report.ok, f"synthetic extract has defects: {report.counts()}"
+
+    # Corrupt a copy: add an island, a sliver, a mad limit, a lost stop.
+    db = MapDatabase()
+    db.add_elements(bench_city.map_db.elements())
+    db.add_element(TrafficElement(
+        element_id=990_001, geometry=LineString([(50_000, 0), (50_100, 0)])))
+    db.add_element(TrafficElement(
+        element_id=990_002, geometry=LineString([(50_000, 0), (50_000, 100)])))
+    db.add_element(TrafficElement(
+        element_id=990_003, geometry=LineString([(0, 0), (0.1, 0)])))
+    db.add_element(TrafficElement(
+        element_id=990_004, geometry=LineString([(30_000, 0), (30_100, 0)]),
+        speed_limit_kmh=300.0))
+    db.add_point_object(PointObject(
+        990_005, PointObjectKind.BUS_STOP, (99_999.0, 99_999.0)))
+    graph, __ = build_road_graph(db.elements())
+    bad = validate_map(db, graph)
+
+    rows = [[kind, count] for kind, count in sorted(bad.counts().items())]
+    save_artifact("ext_map_validation.txt", format_table(
+        ["Defect class", "Count"], rows,
+    ))
+
+    counts = bad.counts()
+    assert counts.get("degenerate_element", 0) >= 1
+    assert counts.get("implausible_speed_limit", 0) >= 1
+    assert counts.get("detached_object", 0) >= 1
+    assert counts.get("disconnected_component", 0) >= 1

@@ -1,0 +1,41 @@
+"""Extension: route-frequency analysis per OD direction.
+
+The paper's premise is that taxi drivers freely select routes; this bench
+quantifies it — route variants per direction, their shares, and the
+fastest-variant recommendation — following the hierarchical route mining
+of the related work (Li et al. [18]).
+"""
+
+from repro.analysis.routefreq import build_direction_profiles
+from repro.experiments import format_table
+
+
+def test_ext_route_frequency(benchmark, bench_study, save_artifact):
+    profiles = benchmark.pedantic(
+        build_direction_profiles, args=(bench_study.kept(),),
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    for direction in sorted(profiles):
+        profile = profiles[direction]
+        best = profile.fastest()
+        rows.append([
+            direction, profile.n_trips, profile.n_variants,
+            round(profile.diversity, 2),
+            round(profile.most_frequent().share, 2),
+            round(best.mean_time_s), len(best.signature),
+        ])
+    save_artifact("ext_route_frequency.txt", format_table(
+        ["Direction", "Trips", "Variants", "Eff. routes",
+         "Top share", "Fastest mean (s)", "Fastest hops"], rows,
+    ))
+
+    assert profiles
+    # Free route choice: at least one direction has multiple variants.
+    assert any(p.n_variants > 1 for p in profiles.values())
+    for profile in profiles.values():
+        assert profile.diversity >= 1.0
+        # The recommended (fastest) variant is never slower than the most
+        # frequent one on mean observed time.
+        assert profile.fastest().mean_time_s <= profile.most_frequent().mean_time_s

@@ -1,0 +1,44 @@
+"""Fig. 10 — low-speed share by temperature class and traffic-light count.
+
+The paper's finding: when the number of traffic lights on a route is at
+least nine (an experimentally chosen boundary) the low-speed share grows,
+*independent of the weather conditions*.  We run the full year so all
+temperature classes are populated and assert the many-lights group
+dominates inside every populated class.
+"""
+
+from repro.experiments import format_table
+from repro.experiments.figures import fig10_weather_low_speed
+from repro.weather.roadweather import TEMPERATURE_CLASSES
+
+
+def test_fig10_weather_low_speed(benchmark, year_study, save_artifact):
+    threshold = 5  # the synthetic city's bypass/core split sits lower
+    data = benchmark(fig10_weather_low_speed, year_study, threshold)
+
+    rows = []
+    for cls in TEMPERATURE_CLASSES:
+        few = data[cls][f"lights<{threshold}"]
+        many = data[cls][f"lights>={threshold}"]
+        rows.append([
+            cls,
+            "-" if few is None else round(few, 1),
+            "-" if many is None else round(many, 1),
+        ])
+    text = format_table(
+        ["Temp class (C)", f"low-speed % (<{threshold} lights)",
+         f"low-speed % (>={threshold} lights)"],
+        rows,
+    )
+    save_artifact("fig10_weather.txt", text)
+
+    populated = [
+        (data[cls][f"lights<{threshold}"], data[cls][f"lights>={threshold}"])
+        for cls in TEMPERATURE_CLASSES
+        if data[cls][f"lights<{threshold}"] is not None
+        and data[cls][f"lights>={threshold}"] is not None
+    ]
+    # A full year in Oulu populates at least three temperature classes.
+    assert len(populated) >= 3
+    # Many-lights routes show more low speed in every populated class.
+    assert all(many > few for few, many in populated)

@@ -1,0 +1,40 @@
+"""Fig. 3 — cleaned and preprocessed speed data for taxi 1.
+
+The paper's figure is a map of matched point speeds for one taxi.  The
+reproduction emits the same scatter data (x, y, speed) and summarises it;
+the shape targets are coverage (points all over the study area) and a
+speed distribution spanning stop-and-go to arterial cruise.
+"""
+
+from repro.experiments import format_table
+from repro.experiments.figures import fig3_speed_points
+from repro.stats import six_number_summary
+
+
+def test_fig3_speed_points(benchmark, bench_study, save_artifact):
+    cars = sorted({t.segment.car_id for t, __ in bench_study.kept()})
+    car = cars[0]
+
+    points = benchmark(fig3_speed_points, bench_study, car)
+
+    speeds = [v for __, __, v in points]
+    summary = six_number_summary(speeds)
+    text = format_table(
+        ["Points", "Min", "1st Q", "Med", "Mean", "3rd Q", "Max"],
+        [[len(points), *summary.as_row()]],
+        digits=1,
+    )
+    sample = format_table(
+        ["x (m)", "y (m)", "speed (km/h)"],
+        [[round(x, 1), round(y, 1), round(v, 1)] for x, y, v in points[:10]],
+        digits=1,
+    )
+    save_artifact("fig3_speed_map.txt", text + "\n\nFirst points:\n" + sample)
+
+    # Shape: hundreds of matched point speeds for one car (paper: 4186
+    # for taxi 1 over a full year), spanning the city north-south.
+    assert len(points) > 50
+    ys = [y for __, y, __ in points]
+    assert max(ys) - min(ys) > 2000.0
+    assert summary.minimum < 12.0    # stop-and-go present
+    assert summary.maximum > 35.0    # arterial cruise present

@@ -1,0 +1,37 @@
+"""Fig. 4 — taxi 1 data categorised according to the direction.
+
+Reproduces the per-direction speed series and checks the directional
+effect the paper reads off the figure: through-core directions carry more
+slow traffic than the bypass directions.
+"""
+
+from repro.experiments import format_table
+from repro.experiments.figures import fig4_direction_speeds
+from repro.stats.descriptive import mean
+
+
+def test_fig4_direction_speeds(benchmark, bench_study, save_artifact):
+    # Aggregate over all cars for a robust directional comparison; also
+    # emit the single-car view the paper shows.
+    per_dir_all: dict[str, list[float]] = {}
+    for car in sorted({t.segment.car_id for t, __ in bench_study.kept()}):
+        for direction, speeds in fig4_direction_speeds(bench_study, car).items():
+            per_dir_all.setdefault(direction, []).extend(speeds)
+
+    car1 = sorted({t.segment.car_id for t, __ in bench_study.kept()})[0]
+    benchmark(fig4_direction_speeds, bench_study, car1)
+
+    rows = [
+        [d, len(v), round(mean(v), 2), round(min(v), 1), round(max(v), 1)]
+        for d, v in sorted(per_dir_all.items())
+    ]
+    text = format_table(["Direction", "Points", "Mean km/h", "Min", "Max"], rows)
+    save_artifact("fig4_direction_speeds.txt", text)
+
+    core = per_dir_all.get("T-S", []) + per_dir_all.get("S-T", [])
+    bypass = per_dir_all.get("T-L", []) + per_dir_all.get("L-T", [])
+    assert core and bypass
+    # Core directions include more low-speed points.
+    core_low = sum(1 for v in core if v < 10.0) / len(core)
+    bypass_low = sum(1 for v in bypass if v < 10.0) / len(bypass)
+    assert core_low > bypass_low

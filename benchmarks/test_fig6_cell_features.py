@@ -1,0 +1,51 @@
+"""Fig. 6 — average speed and map properties per cell for the L-T direction.
+
+Reproduces the per-cell fusion the paper plots: average point speed plus
+the counts of the four studied features.  Shape targets: the L-T corridor
+passes through cells with fewer features than the study-area average
+(the paper's region "below line D"), and feature-rich cells are slower.
+"""
+
+from repro.experiments import format_table
+from repro.experiments.figures import fig6_cell_features
+
+
+def test_fig6_cell_features(benchmark, bench_study, save_artifact):
+    directions = {t.direction for t, __ in bench_study.kept()}
+    direction = "L-T" if "L-T" in directions else sorted(directions)[0]
+
+    cells = benchmark(fig6_cell_features, bench_study, direction)
+
+    rows = []
+    for key, info in sorted(cells.items()):
+        rows.append([
+            str(key), round(info["avg_speed"], 1), info["n"],
+            info["traffic_lights"], info["bus_stops"],
+            info["pedestrian_crossings"], info["junctions"],
+        ])
+    text = format_table(
+        ["Cell", "Avg km/h", "Points", "Lights", "Bus", "Ped.cross", "Junctions"],
+        rows[:25],
+    )
+    census = bench_study.city.feature_census()
+    header = (
+        f"Direction {direction}; study-area census: "
+        f"{{{census['traffic_light']},{census['bus_stop']},"
+        f"{census['pedestrian_crossing']},{census['junctions']}}} "
+        "(lights, bus stops, pedestrian crossings, crossings) — paper: {67,48,293,271}"
+    )
+    save_artifact("fig6_cell_features.txt", header + "\n" + text)
+
+    assert cells
+    # Feature-rich cells are slower than feature-free cells on this route.
+    rich = [c["avg_speed"] for c in cells.values() if c["traffic_lights"] > 0]
+    free = [c["avg_speed"] for c in cells.values()
+            if c["traffic_lights"] == 0 and c["bus_stops"] == 0]
+    if rich and free:
+        assert sum(rich) / len(rich) < sum(free) / len(free)
+    # The corridor includes low-feature cells (below "line D").
+    low_feature = [
+        c for c in cells.values()
+        if c["traffic_lights"] == 0 and c["pedestrian_crossings"] <= 2
+    ]
+    assert len(low_feature) >= 3

@@ -1,0 +1,28 @@
+"""Fig. 7 — QQ plot of the BLUP cell intercepts.
+
+The paper reads the plot as "with the exception of only the far edges,
+the Gaussian regularization indeed seems justified".  The quantitative
+shape target is a high QQ correlation with possible edge deviations.
+"""
+
+from repro.experiments import render_series
+from repro.experiments.figures import fig7_qq
+from repro.stats.qq import qq_correlation
+
+
+def test_fig7_qq_plot(benchmark, bench_study, save_artifact):
+    pairs = benchmark(fig7_qq, bench_study)
+
+    text = render_series(
+        "theoretical quantile -> cell intercept (km/h)", pairs[:: max(1, len(pairs) // 30)]
+    )
+    corr = qq_correlation(list(bench_study.mixed.blup.values()))
+    save_artifact("fig7_qq.txt", f"QQ correlation: {corr:.4f}\n" + text)
+
+    assert len(pairs) == len(bench_study.mixed.groups)
+    # Gaussianity holds for the bulk of the cells.
+    assert corr > 0.93
+    # Theoretical quantiles are symmetric and increasing.
+    theo = [t for t, __ in pairs]
+    assert theo == sorted(theo)
+    assert abs(theo[0] + theo[-1]) < 1e-9

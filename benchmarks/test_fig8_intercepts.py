@@ -1,0 +1,33 @@
+"""Fig. 8 — cell intercepts with confidence limits.
+
+Shape targets from the paper's caterpillar plot: "while the variation is
+large for some cells, for most cells the result is solid" — most
+intervals exclude zero at the extremes, and interval width shrinks with
+the number of measurements in the cell.
+"""
+
+from repro.experiments import format_table
+from repro.experiments.figures import fig8_intercepts
+
+
+def test_fig8_intercepts(benchmark, bench_study, save_artifact):
+    rows = benchmark(fig8_intercepts, bench_study)
+
+    text = format_table(
+        ["Cell", "Intercept", "Lower", "Upper", "n"],
+        [[str(r["cell"]), round(r["intercept"], 2), round(r["lower"], 2),
+          round(r["upper"], 2), r["n"]] for r in rows[:: max(1, len(rows) // 30)]],
+    )
+    save_artifact("fig8_intercepts.txt", text)
+
+    assert rows
+    values = [r["intercept"] for r in rows]
+    assert values == sorted(values)
+    # The most extreme cells are confidently non-zero.
+    assert rows[0]["upper"] < 0.0 or rows[-1]["lower"] > 0.0
+    # Well-measured cells have tighter limits than sparse cells.
+    widths_big = [r["upper"] - r["lower"] for r in rows if r["n"] >= 30]
+    widths_small = [r["upper"] - r["lower"] for r in rows if r["n"] <= 5]
+    if widths_big and widths_small:
+        assert (sum(widths_big) / len(widths_big)
+                < sum(widths_small) / len(widths_small))

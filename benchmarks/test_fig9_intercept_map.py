@@ -1,0 +1,40 @@
+"""Fig. 9 — cell intercept predictions on the map.
+
+Paper reading: intercepts range roughly -15..+20 km/h; the most
+interesting negative effects sit at the very centre (hotspot, lights) with
+reductions up to -8 km/h, and dead-end areas also reduce speeds.
+"""
+
+from repro.experiments import format_table
+from repro.experiments.figures import fig9_intercept_map
+
+
+def test_fig9_intercept_map(benchmark, bench_study, save_artifact):
+    cells = benchmark(fig9_intercept_map, bench_study)
+
+    ranked = sorted(cells.items(), key=lambda kv: kv[1]["intercept"])
+    rows = [
+        [str(k), round(v["centre"][0]), round(v["centre"][1]),
+         round(v["intercept"], 2), v["n"]]
+        for k, v in ranked[:10] + ranked[-10:]
+    ]
+    text = format_table(["Cell", "x (m)", "y (m)", "Intercept", "n"], rows)
+    save_artifact("fig9_intercept_map.txt", text)
+
+    values = [v["intercept"] for v in cells.values()]
+    # Range target: strong negative and positive effects, tens of km/h.
+    assert min(values) < -5.0
+    assert max(values) > 5.0
+    assert min(values) > -40.0 and max(values) < 40.0
+    # The slowest cells are inside the city (centre/hotspot region), not
+    # out on the fast arterials.
+    slowest = [v for __, v in ranked[:5]]
+    for info in slowest:
+        x, y = info["centre"]
+        assert max(abs(x), abs(y)) < 1500.0
+    # Centre-of-town cells show a clear reduction (paper: up to -8 km/h).
+    central = [
+        v["intercept"] for v in cells.values()
+        if abs(v["centre"][0]) <= 400.0 and abs(v["centre"][1]) <= 400.0
+    ]
+    assert central and min(central) < -4.0

@@ -1,0 +1,39 @@
+"""Engineering bench: bidirectional vs plain Dijkstra on the city graph."""
+
+import random
+
+from repro.roadnet.routing import bidirectional_dijkstra, shortest_path
+
+
+def _pairs(city, n=50, seed=6):
+    rng = random.Random(seed)
+    nodes = [node.node_id for node in city.graph.nodes()]
+    return [(rng.choice(nodes), rng.choice(nodes)) for __ in range(n)]
+
+
+def test_perf_bidirectional_dijkstra(benchmark, bench_city):
+    pairs = _pairs(bench_city)
+
+    def run():
+        return sum(
+            1 for s, t in pairs
+            if bidirectional_dijkstra(bench_city.graph, s, t).found
+        )
+
+    found = benchmark(run)
+    assert found >= len(pairs) * 0.9
+
+
+def test_bidirectional_costs_match_plain(bench_city, benchmark):
+    pairs = _pairs(bench_city, n=25, seed=8)
+
+    def run():
+        worst = 0.0
+        for s, t in pairs:
+            a = shortest_path(bench_city.graph, s, t)
+            b = bidirectional_dijkstra(bench_city.graph, s, t)
+            if a.found:
+                worst = max(worst, abs(a.cost - b.cost))
+        return worst
+
+    assert benchmark(run) < 1e-6

@@ -1,0 +1,49 @@
+"""Engineering benches: map-matching throughput, incremental vs HMM."""
+
+from repro.matching import HmmMatcher, IncrementalMatcher
+
+
+def _segments(bench_study, n):
+    return bench_study.clean.segments[:n]
+
+
+def test_perf_incremental_matcher(benchmark, bench_study, save_artifact):
+    city = bench_study.city
+    segments = _segments(bench_study, 40)
+    matcher = IncrementalMatcher(city.graph)
+
+    def to_xy(p):
+        return city.projector.to_xy(p.lat, p.lon)
+
+    def run():
+        matched = 0
+        for seg in segments:
+            route = matcher.match(seg.points, to_xy, seg.segment_id, seg.car_id)
+            if route is not None and route.edge_sequence:
+                matched += 1
+        return matched
+
+    matched = benchmark(run)
+    save_artifact(
+        "perf_matching_incremental.txt",
+        f"matched {matched}/{len(segments)} segments per round",
+    )
+    assert matched >= len(segments) * 0.95
+
+
+def test_perf_hmm_matcher(benchmark, bench_study):
+    city = bench_study.city
+    segments = _segments(bench_study, 10)
+    matcher = HmmMatcher(city.graph)
+
+    def to_xy(p):
+        return city.projector.to_xy(p.lat, p.lon)
+
+    def run():
+        return sum(
+            1 for seg in segments
+            if matcher.match(seg.points, to_xy) is not None
+        )
+
+    matched = benchmark(run)
+    assert matched == len(segments)

@@ -1,0 +1,68 @@
+"""Engineering benches: simulator, cleaning, grid and REML throughput."""
+
+import random
+
+from repro.features import GridAccumulator, GridSpec
+from repro.roadnet import build_synthetic_oulu
+from repro.stats import RandomInterceptModel
+from repro.traces import FleetSpec, TaxiFleetSimulator
+
+
+def test_perf_city_build(benchmark):
+    city = benchmark(build_synthetic_oulu)
+    assert city.graph.edge_count > 150
+
+
+def test_perf_simulator_day(benchmark, bench_city):
+    spec = FleetSpec(n_days=1, seed=77)
+
+    def run():
+        fleet, runs = TaxiFleetSimulator(bench_city, spec).simulate()
+        return fleet.point_count
+
+    points = benchmark(run)
+    assert points > 500
+
+
+def test_perf_grid_accumulation(benchmark):
+    rng = random.Random(0)
+    points = [
+        ((rng.uniform(-1000, 1000), rng.uniform(-1000, 1000)), rng.uniform(0, 60))
+        for __ in range(20_000)
+    ]
+
+    def run():
+        grid = GridAccumulator(GridSpec(200.0))
+        for xy, v in points:
+            grid.add_point(xy, v)
+        return len(grid)
+
+    cells = benchmark(run)
+    assert cells > 50
+
+
+def test_perf_reml_fit(benchmark):
+    rng = random.Random(1)
+    y = []
+    groups = []
+    for g in range(120):
+        effect = rng.gauss(0.0, 4.0)
+        for __ in range(rng.randint(3, 60)):
+            y.append(25.0 + effect + rng.gauss(0.0, 6.0))
+            groups.append(g)
+
+    result = benchmark(RandomInterceptModel().fit, y, groups)
+    assert result.sigma2_u > 1.0
+
+
+def test_perf_spatial_edge_queries(benchmark, bench_city):
+    rng = random.Random(2)
+    queries = [
+        (rng.uniform(-1000, 1000), rng.uniform(-1000, 1000)) for __ in range(500)
+    ]
+
+    def run():
+        return sum(len(bench_city.graph.edges_near(q, 60.0)) for q in queries)
+
+    hits = benchmark(run)
+    assert hits > 500

@@ -1,0 +1,54 @@
+"""Engineering benches: Dijkstra / A* on the city graph (pgRouting role)."""
+
+import random
+
+from repro.roadnet.routing import astar, shortest_path
+
+
+def _node_pairs(city, n=50, seed=4):
+    rng = random.Random(seed)
+    nodes = [node.node_id for node in city.graph.nodes()]
+    return [(rng.choice(nodes), rng.choice(nodes)) for __ in range(n)]
+
+
+def test_perf_dijkstra(benchmark, bench_city):
+    pairs = _node_pairs(bench_city)
+
+    def run():
+        found = 0
+        for s, t in pairs:
+            if shortest_path(bench_city.graph, s, t, weight="time").found:
+                found += 1
+        return found
+
+    found = benchmark(run)
+    assert found >= len(pairs) * 0.9  # the city is essentially connected
+
+
+def test_perf_astar(benchmark, bench_city):
+    pairs = _node_pairs(bench_city)
+
+    def run():
+        return sum(
+            1 for s, t in pairs
+            if astar(bench_city.graph, s, t, weight="time").found
+        )
+
+    found = benchmark(run)
+    assert found >= len(pairs) * 0.9
+
+
+def test_astar_explores_not_worse_than_dijkstra_cost(bench_city, benchmark):
+    pairs = _node_pairs(bench_city, n=20, seed=9)
+
+    def run():
+        diffs = []
+        for s, t in pairs:
+            d = shortest_path(bench_city.graph, s, t)
+            a = astar(bench_city.graph, s, t)
+            if d.found:
+                diffs.append(abs(a.cost - d.cost))
+        return max(diffs) if diffs else 0.0
+
+    worst = benchmark(run)
+    assert worst < 1e-6

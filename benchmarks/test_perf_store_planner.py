@@ -1,0 +1,47 @@
+"""Engineering bench: index-aware query planning vs full scans."""
+
+import random
+
+from repro.store import Column, HashIndex, Query, SortedIndex, Table, between, eq
+
+
+def build_table(n=20_000, seed=1, indexed=False):
+    rng = random.Random(seed)
+    t = Table("points", [Column("trip", int), Column("t", float)])
+    if indexed:
+        HashIndex(t, "trip")
+        SortedIndex(t, "t")
+    for __ in range(n):
+        t.insert({"trip": rng.randint(0, 499), "t": rng.uniform(0, 1e6)})
+    return t
+
+
+def test_perf_full_scan_queries(benchmark):
+    t = build_table()
+
+    def run():
+        total = 0
+        for trip in range(0, 100, 5):
+            total += Query(t).where(eq("trip", trip)).count()
+        return total
+
+    total = benchmark(run)
+    assert total > 0
+
+
+def test_perf_indexed_queries(benchmark, save_artifact):
+    t = build_table(indexed=True)
+
+    def run():
+        total = 0
+        for trip in range(0, 100, 5):
+            total += Query(t).where(eq("trip", trip)).count()
+        total += Query(t).where(between("t", 0.0, 1e4)).count()
+        return total
+
+    total = benchmark(run)
+    plan = Query(t).where(eq("trip", 1)).plan()
+    save_artifact("perf_store_planner.txt",
+                  f"plan: {plan}\nrows matched per round: {total}")
+    assert "HashIndex" in plan
+    assert total > 0

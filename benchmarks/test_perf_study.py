@@ -1,0 +1,20 @@
+"""Engineering bench: the full end-to-end study at small scale."""
+
+from repro.experiments import OuluStudy, StudyConfig
+from repro.traces import FleetSpec
+
+
+def test_perf_end_to_end_study(benchmark, save_artifact):
+    config = StudyConfig(fleet=FleetSpec(n_days=3, seed=77))
+
+    result = benchmark.pedantic(lambda: OuluStudy(config).run(),
+                                rounds=3, iterations=1)
+
+    save_artifact(
+        "perf_study.txt",
+        f"3-day study: {len(result.fleet)} trips, "
+        f"{result.fleet.point_count} points, "
+        f"{len(result.clean.segments)} segments, "
+        f"{len(result.kept_transitions)} transitions",
+    )
+    assert result.clean.segments

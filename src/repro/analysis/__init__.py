@@ -1,0 +1,74 @@
+"""Information-discovery extensions.
+
+The paper's conclusions and related-work section sketch several follow-on
+analyses; this package implements them on top of the core pipeline:
+
+* :mod:`repro.analysis.hotspots` — pick-up/drop-off hotspot detection
+  from dwell events (Li et al. [5], Liu et al. [11], Wang et al. [13])
+  via a from-scratch DBSCAN;
+* :mod:`repro.analysis.pedestrians` — a WiFi-client crowd model in the
+  spirit of Kostakos et al. [29], fused with cell speed residuals to
+  explain slow areas that map features alone cannot (the paper's
+  "area B");
+* :mod:`repro.analysis.trafficstate` — per-edge traffic-state estimation
+  from matched probe points (Kong et al. [14]);
+* :mod:`repro.analysis.ecodriving` — eco-routing route comparison
+  (Minett et al. [24]) and the per-driver "Driving coach" report of the
+  authors' prior work [31].
+"""
+
+from repro.analysis.anomaly import (
+    AnomalyConfig,
+    AnomalyFlags,
+    anomaly_rate,
+    detect_anomalies,
+)
+from repro.analysis.critical import CriticalEdge, critical_edges, usage_counts
+from repro.analysis.ecodriving import (
+    DriverReport,
+    DrivingCoach,
+    RouteFuelEstimate,
+    eco_route_comparison,
+)
+from repro.analysis.hotspots import DwellEvent, Hotspot, dbscan, detect_hotspots, extract_dwells
+from repro.analysis.odflows import OdMatrix, build_od_matrix, flow_table
+from repro.analysis.pedestrians import PedestrianModel, fuse_with_intercepts
+from repro.analysis.routefreq import (
+    DirectionProfile,
+    RouteVariant,
+    build_direction_profiles,
+    overlap_fraction,
+    route_signature,
+)
+from repro.analysis.trafficstate import EdgeState, TrafficStateEstimator
+
+__all__ = [
+    "AnomalyConfig",
+    "AnomalyFlags",
+    "CriticalEdge",
+    "DirectionProfile",
+    "DriverReport",
+    "DrivingCoach",
+    "DwellEvent",
+    "EdgeState",
+    "Hotspot",
+    "OdMatrix",
+    "PedestrianModel",
+    "RouteFuelEstimate",
+    "RouteVariant",
+    "TrafficStateEstimator",
+    "anomaly_rate",
+    "build_direction_profiles",
+    "build_od_matrix",
+    "critical_edges",
+    "dbscan",
+    "detect_anomalies",
+    "detect_hotspots",
+    "eco_route_comparison",
+    "extract_dwells",
+    "flow_table",
+    "fuse_with_intercepts",
+    "overlap_fraction",
+    "route_signature",
+    "usage_counts",
+]

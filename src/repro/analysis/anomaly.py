@@ -1,0 +1,118 @@
+"""Trajectory anomaly detection.
+
+A classic application of cleaned taxi OD data: flag transitions whose
+driven route deviates from every route variant regular traffic uses
+between the same gates (possible detours), or whose duration is far out
+of line with the direction's distribution (possible meter padding or
+severe congestion).  Builds directly on the route-frequency profiles of
+:mod:`repro.analysis.routefreq`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.routefreq import (
+    DirectionProfile,
+    build_direction_profiles,
+    overlap_fraction,
+    route_signature,
+)
+from repro.matching.types import MatchedRoute
+from repro.od.transitions import Transition
+from repro.stats.descriptive import mean, quantile
+
+
+@dataclass(frozen=True)
+class AnomalyFlags:
+    """Why one transition was flagged."""
+
+    segment_id: int
+    car_id: int
+    direction: str
+    route_overlap: float       # best overlap with a *frequent* variant
+    duration_ratio: float      # observed / direction median duration
+    spatial_anomaly: bool
+    temporal_anomaly: bool
+
+    @property
+    def is_anomalous(self) -> bool:
+        return self.spatial_anomaly or self.temporal_anomaly
+
+
+@dataclass(frozen=True)
+class AnomalyConfig:
+    """Flagging thresholds."""
+
+    min_overlap: float = 0.4          # below: route unlike anything frequent
+    frequent_share: float = 0.10      # a variant is "frequent" above this
+    max_duration_ratio: float = 1.8   # above: temporally anomalous
+    min_trips_per_direction: int = 5  # need a baseline to call anomalies
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_overlap <= 1.0:
+            raise ValueError("min_overlap must be a fraction")
+        if self.max_duration_ratio <= 1.0:
+            raise ValueError("max_duration_ratio must exceed 1")
+
+
+def _frequent_signatures(profile: DirectionProfile, config: AnomalyConfig):
+    frequent = [v.signature for v in profile.variants
+                if v.share >= config.frequent_share]
+    # Degenerate case: nothing crosses the share bar (all routes unique);
+    # fall back to the most frequent variant as the baseline.
+    if not frequent and profile.variants:
+        frequent = [profile.most_frequent().signature]
+    return frequent
+
+
+def detect_anomalies(
+    pairs: list[tuple[Transition, MatchedRoute]],
+    config: AnomalyConfig | None = None,
+) -> list[AnomalyFlags]:
+    """Flag anomalous transitions; returns one record per scored trip.
+
+    Directions with fewer than ``min_trips_per_direction`` observed trips
+    are skipped (no meaningful baseline).
+    """
+    config = config or AnomalyConfig()
+    profiles = build_direction_profiles(pairs)
+    durations: dict[str, list[float]] = {}
+    for transition, route in pairs:
+        durations.setdefault(transition.direction, []).append(
+            route.end_time_s - route.start_time_s
+        )
+
+    out: list[AnomalyFlags] = []
+    for transition, route in pairs:
+        direction = transition.direction
+        profile = profiles[direction]
+        if profile.n_trips < config.min_trips_per_direction:
+            continue
+        signature = route_signature(route)
+        frequent = _frequent_signatures(profile, config)
+        best_overlap = max(
+            (overlap_fraction(signature, f) for f in frequent), default=0.0
+        )
+        median = quantile(durations[direction], 0.5)
+        duration = route.end_time_s - route.start_time_s
+        ratio = duration / median if median > 0 else 1.0
+        out.append(
+            AnomalyFlags(
+                segment_id=route.segment_id,
+                car_id=route.car_id,
+                direction=direction,
+                route_overlap=best_overlap,
+                duration_ratio=ratio,
+                spatial_anomaly=best_overlap < config.min_overlap,
+                temporal_anomaly=ratio > config.max_duration_ratio,
+            )
+        )
+    return out
+
+
+def anomaly_rate(flags: list[AnomalyFlags]) -> float:
+    """Share of scored transitions flagged anomalous."""
+    if not flags:
+        return 0.0
+    return sum(1 for f in flags if f.is_anomalous) / len(flags)

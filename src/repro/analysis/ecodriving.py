@@ -1,0 +1,208 @@
+"""Eco-routing and the Driving coach.
+
+Two follow-ons the paper points at:
+
+* *eco-routing* (Minett et al. [24]): compare alternative routes between
+  an origin and destination by expected fuel, using the same fuel model
+  the fleet burns and expected light-stop delays from the map;
+* the *Driving coach* of the authors' prior work [31]: a post-driving
+  per-driver report ranking fuel economy and low-speed exposure against
+  the fleet.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.features.routestats import RouteStats
+from repro.roadnet.digiroad import MapDatabase
+from repro.roadnet.elements import PointObjectKind
+from repro.roadnet.graph import RoadEdge, RoadGraph
+from repro.roadnet.routing import PathResult, dijkstra
+
+#: Fuel model shared with the simulator (ml/s idle, ml per stop).
+IDLE_FUEL_ML_S = 0.35
+ACCELERATION_FUEL_ML = 10.0
+#: Expected share of lights that stop a vehicle, and the mean wait.
+LIGHT_STOP_PROB = 0.4
+LIGHT_MEAN_WAIT_S = 35.0
+
+
+@dataclass(frozen=True)
+class RouteFuelEstimate:
+    """Expected cost of one candidate route."""
+
+    label: str
+    edge_ids: tuple[int, ...]
+    distance_m: float
+    expected_time_s: float
+    expected_stops: float
+    expected_fuel_ml: float
+
+    @property
+    def fuel_per_km(self) -> float:
+        return self.expected_fuel_ml / max(self.distance_m / 1000.0, 1e-9)
+
+
+def _edge_lights(edge: RoadEdge, map_db: MapDatabase) -> int:
+    coords = edge.geometry.coords
+    centre = (
+        float(coords[:, 0].mean()),
+        float(coords[:, 1].mean()),
+    )
+    radius = edge.length / 2.0 + 25.0
+    count = 0
+    for obj in map_db.objects_near(centre, radius, PointObjectKind.TRAFFIC_LIGHT):
+        if edge.geometry.distance_to(obj.position) <= 20.0:
+            count += 1
+    return count
+
+
+def estimate_route_fuel(
+    graph: RoadGraph, map_db: MapDatabase, edge_ids: tuple[int, ...], label: str
+) -> RouteFuelEstimate:
+    """Expected fuel of a route from the shared consumption model."""
+    distance = 0.0
+    time_s = 0.0
+    stops = 0.0
+    fuel = 0.0
+    for edge_id in edge_ids:
+        edge = graph.edge(edge_id)
+        distance += edge.length
+        v_mps = max(edge.speed_limit_kmh, 5.0) / 3.6
+        dt = edge.length / v_mps
+        time_s += dt
+        fuel += dt * (IDLE_FUEL_ML_S + v_mps * (0.055 + 0.0012 * v_mps))
+        n_lights = _edge_lights(edge, map_db)
+        edge_stops = n_lights * LIGHT_STOP_PROB
+        stops += edge_stops
+        wait = edge_stops * LIGHT_MEAN_WAIT_S
+        time_s += wait
+        fuel += wait * IDLE_FUEL_ML_S + edge_stops * ACCELERATION_FUEL_ML
+    return RouteFuelEstimate(
+        label=label,
+        edge_ids=tuple(edge_ids),
+        distance_m=distance,
+        expected_time_s=time_s,
+        expected_stops=stops,
+        expected_fuel_ml=fuel,
+    )
+
+
+def _k_alternatives(
+    graph: RoadGraph, source: int, target: int, k: int
+) -> list[tuple[int, ...]]:
+    """Up to ``k`` distinct routes via iterative edge penalisation.
+
+    The shortest path is computed, its edges are penalised, and routing
+    repeats — a simple, deterministic alternative generator good enough
+    for eco-route comparison.
+    """
+    penalties: dict[int, float] = {}
+    seen: set[tuple[int, ...]] = set()
+    routes: list[tuple[int, ...]] = []
+    for __ in range(k * 3):
+        def weight(edge: RoadEdge) -> float:
+            return edge.travel_time_s * penalties.get(edge.edge_id, 1.0)
+
+        dist = dijkstra(graph, source, target, weight_fn=weight)
+        if target not in dist:
+            break
+        edges: list[int] = []
+        node = target
+        while True:
+            __cost, prev_node, prev_edge = dist[node]
+            if prev_node is None:
+                break
+            edges.append(prev_edge)
+            node = prev_node
+        edges.reverse()
+        key = tuple(edges)
+        if key and key not in seen:
+            seen.add(key)
+            routes.append(key)
+            if len(routes) >= k:
+                break
+        for edge_id in key:
+            penalties[edge_id] = penalties.get(edge_id, 1.0) * 1.6
+    return routes
+
+
+def eco_route_comparison(
+    graph: RoadGraph,
+    map_db: MapDatabase,
+    source: int,
+    target: int,
+    k: int = 3,
+) -> list[RouteFuelEstimate]:
+    """Compare up to ``k`` alternative routes by expected fuel, best first."""
+    routes = _k_alternatives(graph, source, target, k)
+    estimates = [
+        estimate_route_fuel(graph, map_db, route, label=f"alternative {i + 1}")
+        for i, route in enumerate(routes)
+    ]
+    estimates.sort(key=lambda e: e.expected_fuel_ml)
+    return estimates
+
+
+@dataclass(frozen=True)
+class DriverReport:
+    """One taxi's post-driving report."""
+
+    car_id: int
+    n_transitions: int
+    fuel_per_km_ml: float
+    low_speed_pct: float
+    fuel_percentile: float       # share of fleet with lower fuel/km
+    low_speed_percentile: float
+
+
+class DrivingCoach:
+    """Fleet-relative per-driver analysis (prior-work [31] style)."""
+
+    def __init__(self, route_stats: list[RouteStats]) -> None:
+        if not route_stats:
+            raise ValueError("driving coach needs at least one route stat")
+        self.route_stats = route_stats
+
+    def _per_car(self) -> dict[int, tuple[float, float, int]]:
+        by_car: dict[int, list[RouteStats]] = {}
+        for s in self.route_stats:
+            by_car.setdefault(s.car_id, []).append(s)
+        out = {}
+        for car, stats in by_car.items():
+            fuel_per_km = sum(s.fuel_ml for s in stats) / max(
+                sum(s.route_distance_km for s in stats), 1e-9
+            )
+            low = sum(s.low_speed_pct for s in stats) / len(stats)
+            out[car] = (fuel_per_km, low, len(stats))
+        return out
+
+    def report(self, car_id: int) -> DriverReport:
+        """The report for one driver (KeyError when the car has no data)."""
+        per_car = self._per_car()
+        if car_id not in per_car:
+            raise KeyError(f"no transitions for car {car_id}")
+        fuel, low, n = per_car[car_id]
+        fuels = sorted(v[0] for v in per_car.values())
+        lows = sorted(v[1] for v in per_car.values())
+        return DriverReport(
+            car_id=car_id,
+            n_transitions=n,
+            fuel_per_km_ml=fuel,
+            low_speed_pct=low,
+            fuel_percentile=_percentile_of(fuels, fuel),
+            low_speed_percentile=_percentile_of(lows, low),
+        )
+
+    def fleet_reports(self) -> list[DriverReport]:
+        """Reports for every car, most fuel-efficient first."""
+        reports = [self.report(car) for car in self._per_car()]
+        reports.sort(key=lambda r: r.fuel_per_km_ml)
+        return reports
+
+
+def _percentile_of(sorted_values: list[float], value: float) -> float:
+    below = sum(1 for v in sorted_values if v < value)
+    return 100.0 * below / len(sorted_values)

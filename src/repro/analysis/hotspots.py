@@ -1,0 +1,156 @@
+"""Pick-up/drop-off hotspot detection.
+
+Taxis dwell where customers appear; clustering the dwell locations
+reveals the hotspots the related work mines taxi traces for.  The
+detector extracts dwell events from cleaned raw trips (stationary gaps
+between trip segments) and clusters them with DBSCAN, implemented from
+scratch on the grid spatial index.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geo.geometry import Point
+from repro.geo.index import GridIndex
+from repro.traces.model import FleetData
+
+#: A gap counts as a dwell when the vehicle moved less than this ...
+DWELL_MAX_MOVE_M = 40.0
+#: ... over at least this long.
+DWELL_MIN_DURATION_S = 150.0
+
+
+@dataclass(frozen=True)
+class DwellEvent:
+    """One stationary period of one taxi (a likely customer event)."""
+
+    car_id: int
+    trip_id: int
+    position: Point          # local metric plane
+    start_s: float
+    duration_s: float
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """A cluster of dwell events."""
+
+    centroid: Point
+    n_events: int
+    n_cars: int
+    total_dwell_s: float
+    member_indices: tuple[int, ...]
+
+
+def extract_dwells(fleet: FleetData, to_xy) -> list[DwellEvent]:
+    """Find stationary gaps in raw trips.
+
+    ``to_xy`` converts a route point to plane coordinates.  Consecutive
+    points closer than :data:`DWELL_MAX_MOVE_M` over at least
+    :data:`DWELL_MIN_DURATION_S` form one dwell (merged while it lasts).
+    """
+    dwells: list[DwellEvent] = []
+    for trip in fleet.trips:
+        points = sorted(trip.points, key=lambda p: p.time_s)
+        i = 0
+        while i < len(points) - 1:
+            x0, y0 = to_xy(points[i])
+            j = i + 1
+            while j < len(points):
+                xj, yj = to_xy(points[j])
+                if math.hypot(xj - x0, yj - y0) > DWELL_MAX_MOVE_M:
+                    break
+                j += 1
+            duration = points[j - 1].time_s - points[i].time_s
+            if duration >= DWELL_MIN_DURATION_S:
+                dwells.append(
+                    DwellEvent(
+                        car_id=trip.car_id,
+                        trip_id=trip.trip_id,
+                        position=(x0, y0),
+                        start_s=points[i].time_s,
+                        duration_s=duration,
+                    )
+                )
+                i = j
+            else:
+                i += 1
+    return dwells
+
+
+def dbscan(
+    points: list[Point], eps: float, min_pts: int
+) -> list[int]:
+    """Density-based clustering; returns a label per point (-1 = noise).
+
+    Classic DBSCAN with neighbourhood queries served by the grid index,
+    so the overall cost is near-linear for city-scale inputs.
+    """
+    if eps <= 0 or min_pts < 1:
+        raise ValueError("eps must be positive and min_pts at least 1")
+    index: GridIndex[int] = GridIndex(cell_size=max(eps, 1.0))
+    for i, p in enumerate(points):
+        index.insert(i, p[0], p[1], p[0], p[1])
+
+    def neighbours(i: int) -> list[int]:
+        px, py = points[i]
+        out = []
+        for j in index.query_radius((px, py), eps):
+            qx, qy = points[j]
+            if math.hypot(px - qx, py - qy) <= eps:
+                out.append(j)
+        return out
+
+    labels = [None] * len(points)
+    cluster = -1
+    for i in range(len(points)):
+        if labels[i] is not None:
+            continue
+        seeds = neighbours(i)
+        if len(seeds) < min_pts:
+            labels[i] = -1
+            continue
+        cluster += 1
+        labels[i] = cluster
+        queue = [j for j in seeds if j != i]
+        while queue:
+            j = queue.pop()
+            if labels[j] == -1:
+                labels[j] = cluster       # border point, was noise
+            if labels[j] is not None:
+                continue
+            labels[j] = cluster
+            j_neigh = neighbours(j)
+            if len(j_neigh) >= min_pts:
+                queue.extend(k for k in j_neigh if labels[k] is None or labels[k] == -1)
+    return [lab if lab is not None else -1 for lab in labels]
+
+
+def detect_hotspots(
+    dwells: list[DwellEvent], eps: float = 150.0, min_pts: int = 5
+) -> list[Hotspot]:
+    """Cluster dwell events into hotspots, largest first."""
+    if not dwells:
+        return []
+    labels = dbscan([d.position for d in dwells], eps, min_pts)
+    groups: dict[int, list[int]] = {}
+    for i, label in enumerate(labels):
+        if label >= 0:
+            groups.setdefault(label, []).append(i)
+    hotspots = []
+    for members in groups.values():
+        xs = [dwells[i].position[0] for i in members]
+        ys = [dwells[i].position[1] for i in members]
+        hotspots.append(
+            Hotspot(
+                centroid=(sum(xs) / len(xs), sum(ys) / len(ys)),
+                n_events=len(members),
+                n_cars=len({dwells[i].car_id for i in members}),
+                total_dwell_s=sum(dwells[i].duration_s for i in members),
+                member_indices=tuple(members),
+            )
+        )
+    hotspots.sort(key=lambda h: -h.n_events)
+    return hotspots

@@ -1,0 +1,79 @@
+"""Spatio-temporal OD flow analysis.
+
+The related work (Zhu et al. [2], Liu et al. [12]) reads city structure
+out of taxi OD flows.  This module aggregates the simulator's ground
+truth (or any run list) into a region-to-region flow matrix with
+hour-of-day profiles, plus the summary indices urban studies use:
+flow symmetry and core dominance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timezone
+
+from repro.traces.simulator import CustomerRun, Region
+
+
+@dataclass(frozen=True)
+class OdMatrix:
+    """Region-to-region trip counts with hourly profiles."""
+
+    counts: dict[tuple[Region, Region], int]
+    hourly: dict[int, int]
+    n_trips: int
+
+    def flow(self, origin: Region, destination: Region) -> int:
+        return self.counts.get((origin, destination), 0)
+
+    def outflow(self, region: Region) -> int:
+        return sum(c for (o, __), c in self.counts.items() if o is region)
+
+    def inflow(self, region: Region) -> int:
+        return sum(c for (__, d), c in self.counts.items() if d is region)
+
+    def symmetry(self, a: Region, b: Region) -> float:
+        """min/max balance of the two directed flows (1 = symmetric)."""
+        ab = self.flow(a, b)
+        ba = self.flow(b, a)
+        if ab == 0 and ba == 0:
+            return 1.0
+        return min(ab, ba) / max(ab, ba)
+
+    def core_share(self) -> float:
+        """Share of trips touching the core (origin or destination)."""
+        touching = sum(
+            c for (o, d), c in self.counts.items()
+            if o is Region.CORE or d is Region.CORE
+        )
+        return touching / self.n_trips if self.n_trips else 0.0
+
+    def peak_hour(self) -> int:
+        """Hour of day with the most trip starts."""
+        if not self.hourly:
+            return 0
+        return max(self.hourly, key=lambda h: (self.hourly[h], -h))
+
+
+def build_od_matrix(runs: list[CustomerRun]) -> OdMatrix:
+    """Aggregate customer runs into an OD matrix."""
+    counts: dict[tuple[Region, Region], int] = {}
+    hourly: dict[int, int] = {}
+    for run in runs:
+        key = (run.origin_region, run.dest_region)
+        counts[key] = counts.get(key, 0) + 1
+        hour = datetime.fromtimestamp(run.start_time_s, tz=timezone.utc).hour
+        hourly[hour] = hourly.get(hour, 0) + 1
+    return OdMatrix(counts=counts, hourly=hourly, n_trips=len(runs))
+
+
+def flow_table(matrix: OdMatrix) -> list[list]:
+    """The OD matrix as printable rows (origin x destination)."""
+    regions = list(Region)
+    rows = []
+    for origin in regions:
+        row: list = [origin.value]
+        for destination in regions:
+            row.append(matrix.flow(origin, destination))
+        rows.append(row)
+    return rows

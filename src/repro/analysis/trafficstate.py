@@ -1,0 +1,110 @@
+"""Traffic-state estimation from probe vehicles.
+
+GPS-equipped taxis are floating probes; pooling their matched point
+speeds per road edge and hour-of-day estimates the network traffic state
+(Kong et al. [14]).  The estimator is incremental: feed it matched
+routes, then query per-edge states, coverage, and congestion ratios
+against the free-flow speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timezone
+
+from repro.features.grid import CellStats
+from repro.matching.types import MatchedRoute
+from repro.roadnet.graph import RoadGraph
+
+
+@dataclass(frozen=True)
+class EdgeState:
+    """Estimated traffic state of one edge in one time bin."""
+
+    edge_id: int
+    hour_bin: int
+    n_observations: int
+    mean_speed_kmh: float
+    speed_variance: float
+    free_flow_kmh: float
+
+    @property
+    def congestion_ratio(self) -> float:
+        """Observed over free-flow speed; below 1 means slower than limit."""
+        if self.free_flow_kmh <= 0:
+            return 1.0
+        return self.mean_speed_kmh / self.free_flow_kmh
+
+
+def _hour_of(time_s: float) -> int:
+    return datetime.fromtimestamp(time_s, tz=timezone.utc).hour
+
+
+class TrafficStateEstimator:
+    """Pools matched point speeds per (edge, hour bin)."""
+
+    def __init__(self, graph: RoadGraph, bin_hours: int = 24) -> None:
+        if not 1 <= bin_hours <= 24 or 24 % bin_hours != 0:
+            raise ValueError("bin_hours must divide 24")
+        self.graph = graph
+        self.bin_hours = bin_hours
+        self._stats: dict[tuple[int, int], CellStats] = {}
+
+    def _bin(self, time_s: float) -> int:
+        return _hour_of(time_s) // self.bin_hours
+
+    def add_route(self, route: MatchedRoute) -> int:
+        """Ingest one matched route; returns observations added."""
+        added = 0
+        for m in route.matched:
+            key = (m.edge_id, self._bin(m.point.time_s))
+            stats = self._stats.get(key)
+            if stats is None:
+                stats = CellStats()
+                self._stats[key] = stats
+            stats.add(m.point.speed_kmh)
+            added += 1
+        return added
+
+    def edge_state(self, edge_id: int, hour_bin: int = 0) -> EdgeState | None:
+        """The estimated state of one edge/bin (None when unobserved)."""
+        stats = self._stats.get((edge_id, hour_bin))
+        if stats is None:
+            return None
+        edge = self.graph.edge(edge_id)
+        return EdgeState(
+            edge_id=edge_id,
+            hour_bin=hour_bin,
+            n_observations=stats.n,
+            mean_speed_kmh=stats.mean,
+            speed_variance=stats.variance,
+            free_flow_kmh=edge.speed_limit_kmh,
+        )
+
+    def states(self, min_observations: int = 3) -> list[EdgeState]:
+        """All sufficiently observed edge states."""
+        out = []
+        for (edge_id, hour_bin), stats in self._stats.items():
+            if stats.n >= min_observations:
+                state = self.edge_state(edge_id, hour_bin)
+                if state is not None:
+                    out.append(state)
+        return out
+
+    def coverage(self) -> float:
+        """Fraction of graph edges with at least one observation."""
+        observed = {edge_id for edge_id, __ in self._stats}
+        total = self.graph.edge_count
+        return len(observed) / total if total else 0.0
+
+    def congested_edges(
+        self, threshold: float = 0.6, min_observations: int = 5
+    ) -> list[EdgeState]:
+        """Edges whose observed speed falls below ``threshold`` x free flow."""
+        return sorted(
+            (
+                s for s in self.states(min_observations)
+                if s.congestion_ratio < threshold
+            ),
+            key=lambda s: s.congestion_ratio,
+        )

@@ -1,0 +1,60 @@
+"""Data cleaning pipeline (paper Sec. IV.B-C).
+
+Raw taxi data arrives with transmission reordering, GPS glitches and
+duplicates, and raw trips span whole engine-on shifts.  The stages here
+restore analysable trip segments:
+
+* :mod:`repro.cleaning.ordering` — the paper's ordering repair: sort route
+  points by id and by timestamp, keep whichever sequence yields the
+  shorter trip, then re-align properties monotonically;
+* :mod:`repro.cleaning.filters` — duplicate removal, coordinate-glitch
+  (implied-speed) filtering, bounding-box sanity checks, and the trip
+  segment level minimum-points / maximum-length filters;
+* :mod:`repro.cleaning.segmentation` — the five time-based segmentation
+  rules of Table 2 splitting shifts into customer-run segments;
+* :mod:`repro.cleaning.pipeline` — the orchestrated pipeline with a
+  per-stage report.
+"""
+
+from repro.cleaning.filters import (
+    FilterConfig,
+    drop_duplicates,
+    filter_segments,
+    remove_position_outliers,
+    within_bounds,
+)
+from repro.cleaning.interpolation import (
+    InterpolationConfig,
+    interpolate_gaps,
+    is_interpolated,
+    strip_interpolated,
+)
+from repro.cleaning.ordering import OrderingReport, repair_ordering
+from repro.cleaning.pipeline import CleaningPipeline, CleaningReport, CleanResult
+from repro.cleaning.segmentation import (
+    SegmentationConfig,
+    SegmentationReport,
+    TripSegment,
+    segment_trip,
+)
+
+__all__ = [
+    "CleanResult",
+    "CleaningPipeline",
+    "CleaningReport",
+    "FilterConfig",
+    "InterpolationConfig",
+    "OrderingReport",
+    "SegmentationConfig",
+    "SegmentationReport",
+    "TripSegment",
+    "drop_duplicates",
+    "filter_segments",
+    "interpolate_gaps",
+    "is_interpolated",
+    "remove_position_outliers",
+    "repair_ordering",
+    "strip_interpolated",
+    "segment_trip",
+    "within_bounds",
+]

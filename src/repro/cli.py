@@ -1,0 +1,186 @@
+"""Command-line interface.
+
+``python -m repro <command>`` drives the pipeline without writing code:
+
+* ``simulate`` — build the synthetic city, run the fleet simulator and
+  dump raw route points (CSV) and trip headers (JSONL);
+* ``clean`` — run the cleaning pipeline over a route-point CSV and print
+  the per-stage report;
+* ``study`` — run the full end-to-end study and write every table and
+  figure artefact (text, optionally SVG) into an output directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.cleaning import CleaningPipeline
+from repro.experiments import (
+    OuluStudy,
+    StudyConfig,
+    fig10_weather_low_speed,
+    format_table,
+    render_funnel,
+    render_table4,
+    render_table5,
+    seasonal_speed_deltas,
+    table2_rule_hits,
+    table4_route_summaries,
+    table5_cell_speed_strata,
+)
+from repro.roadnet import build_synthetic_oulu
+from repro.traces import FleetSpec, TaxiFleetSimulator
+from repro.traces.io import read_points_csv, write_points_csv, write_trips_jsonl
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Taxi-trace cleaning, map fusion and information discovery",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="simulate the taxi fleet and dump traces")
+    sim.add_argument("--days", type=int, default=14)
+    sim.add_argument("--seed", type=int, default=42)
+    sim.add_argument("--points", type=Path, default=Path("points.csv"))
+    sim.add_argument("--trips", type=Path, default=None,
+                     help="optional trips JSONL output")
+
+    clean = sub.add_parser("clean", help="clean and segment a route-point CSV")
+    clean.add_argument("points", type=Path)
+
+    study = sub.add_parser("study", help="run the full study, write artefacts")
+    study.add_argument("--days", type=int, default=30)
+    study.add_argument("--seed", type=int, default=42)
+    study.add_argument("--out", type=Path, default=Path("study_out"))
+    study.add_argument("--svg", action="store_true",
+                       help="also render Figs. 3/6/9 as SVG")
+    study.add_argument("--geojson", action="store_true",
+                       help="also export roads/gates/routes/cells as GeoJSON")
+
+    report = sub.add_parser("report", help="run a study and write REPORT.md")
+    report.add_argument("--days", type=int, default=30)
+    report.add_argument("--seed", type=int, default=42)
+    report.add_argument("--out", type=Path, default=Path("REPORT.md"))
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    city = build_synthetic_oulu()
+    spec = FleetSpec(n_days=args.days, seed=args.seed)
+    fleet, runs = TaxiFleetSimulator(city, spec).simulate()
+    n = write_points_csv(fleet, args.points)
+    print(f"wrote {n} route points ({len(fleet)} trips) to {args.points}")
+    if args.trips is not None:
+        m = write_trips_jsonl(fleet, args.trips)
+        print(f"wrote {m} trip headers to {args.trips}")
+    return 0
+
+
+def _cmd_clean(args: argparse.Namespace) -> int:
+    fleet = read_points_csv(args.points)
+    if not len(fleet):
+        print(f"no trips in {args.points}", file=sys.stderr)
+        return 1
+    result = CleaningPipeline().run(fleet)
+    r = result.report
+    print(format_table(
+        ["Stage", "Count"],
+        [
+            ["trips in", r.trips_in],
+            ["points in", r.points_in],
+            ["reordered trips repaired", r.reordered_trips],
+            ["duplicates removed", r.duplicates_removed],
+            ["glitches removed", r.outliers_removed],
+            ["segments out", r.segments_out],
+            ["dropped (<5 points)", r.segments_dropped_short],
+            ["dropped (>30 km)", r.segments_dropped_long],
+        ],
+    ))
+    print("rule firings:", dict(r.segmentation.rule_hits))
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    config = StudyConfig(fleet=FleetSpec(n_days=args.days, seed=args.seed))
+    result = OuluStudy(config).run()
+    out: Path = args.out
+    out.mkdir(parents=True, exist_ok=True)
+
+    def save(name: str, text: str) -> None:
+        (out / name).write_text(text + "\n")
+
+    save("table2.txt", format_table(
+        ["Rule", "Description", "Firings"],
+        [[r["rule"], r["description"], r["hits"]]
+         for r in table2_rule_hits(result.clean)],
+    ))
+    save("table3.txt", render_funnel(result))
+    save("table4.txt", render_table4(table4_route_summaries(result)))
+    save("table5.txt", render_table5(table5_cell_speed_strata(result)))
+    deltas = seasonal_speed_deltas(result)
+    save("fig5.txt", format_table(
+        ["Season", "Delta (km/h)"], [[s, round(d, 2)] for s, d in deltas.items()]
+    ))
+    weather = fig10_weather_low_speed(result, lights_threshold=5)
+    save("fig10.txt", format_table(
+        ["Temp class", "few lights", "many lights"],
+        [[cls, *(("-" if v is None else round(v, 1)) for v in groups.values())]
+         for cls, groups in weather.items()],
+    ))
+    if args.svg:
+        from repro.experiments.svgmap import (
+            render_fig3_svg,
+            render_fig6_svg,
+            render_fig9_svg,
+        )
+
+        cars = sorted({t.segment.car_id for t, __ in result.kept()})
+        if cars:
+            save("fig3.svg", render_fig3_svg(result, cars[0]))
+        directions = {t.direction for t, __ in result.kept()}
+        if directions:
+            direction = "L-T" if "L-T" in directions else sorted(directions)[0]
+            save("fig6.svg", render_fig6_svg(result, direction))
+        if result.mixed is not None:
+            save("fig9.svg", render_fig9_svg(result))
+    if args.geojson:
+        import json
+
+        from repro.experiments.geojson import study_geojson
+
+        for name, fc in study_geojson(result).items():
+            save(f"{name}.geojson", json.dumps(fc))
+    print(f"study complete: {len(result.kept_transitions)} transitions; "
+          f"artefacts in {out}/")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import study_report
+
+    config = StudyConfig(fleet=FleetSpec(n_days=args.days, seed=args.seed))
+    result = OuluStudy(config).run()
+    text = study_report(result)
+    args.out.write_text(text)
+    print(f"wrote {args.out} ({len(text.splitlines())} lines)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "simulate": _cmd_simulate,
+        "clean": _cmd_clean,
+        "study": _cmd_study,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

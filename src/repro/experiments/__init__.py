@@ -1,0 +1,61 @@
+"""Experiment reproduction layer.
+
+:class:`~repro.experiments.study.OuluStudy` runs the complete pipeline
+(city -> fleet -> cleaning -> OD selection -> map matching -> feature
+fusion -> statistics); :mod:`repro.experiments.tables` and
+:mod:`repro.experiments.figures` derive every table and figure of the
+paper's evaluation from the study result; :mod:`repro.experiments.rendering`
+prints them in the paper's layout.
+"""
+
+from repro.experiments.figures import (
+    fig3_speed_points,
+    fig4_direction_speeds,
+    fig5_season_speeds,
+    fig6_cell_features,
+    fig7_qq,
+    fig8_intercepts,
+    fig9_intercept_map,
+    fig10_weather_low_speed,
+    seasonal_speed_deltas,
+)
+from repro.experiments.rendering import (
+    format_table,
+    render_funnel,
+    render_series,
+    render_table4,
+    render_table5,
+)
+from repro.experiments.study import OuluStudy, StudyConfig, StudyResult
+from repro.experiments.tables import (
+    table1_junction_pairs,
+    table2_rule_hits,
+    table3_funnel,
+    table4_route_summaries,
+    table5_cell_speed_strata,
+)
+
+__all__ = [
+    "OuluStudy",
+    "StudyConfig",
+    "StudyResult",
+    "fig10_weather_low_speed",
+    "fig3_speed_points",
+    "fig4_direction_speeds",
+    "fig5_season_speeds",
+    "fig6_cell_features",
+    "fig7_qq",
+    "fig8_intercepts",
+    "fig9_intercept_map",
+    "format_table",
+    "render_funnel",
+    "render_series",
+    "render_table4",
+    "render_table5",
+    "seasonal_speed_deltas",
+    "table1_junction_pairs",
+    "table2_rule_hits",
+    "table3_funnel",
+    "table4_route_summaries",
+    "table5_cell_speed_strata",
+]

@@ -1,0 +1,124 @@
+"""Pipeline fidelity against simulator ground truth.
+
+The reproduction's unique advantage over the paper: the simulator knows
+exactly which customer runs happened and which gates each crossed, so the
+pipeline's recall and precision are measurable end to end:
+
+* *segmentation fidelity* — how many true customer runs the Table 2 rules
+  recover, and how accurately their time boundaries land;
+* *transition fidelity* — precision/recall of the thick-geometry OD
+  extraction against the runs that truly crossed a studied gate pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cleaning.segmentation import TripSegment
+from repro.experiments.study import StudyResult
+from repro.od.transitions import STUDIED_PAIRS
+from repro.traces.simulator import CustomerRun
+
+
+@dataclass(frozen=True)
+class SegmentationFidelity:
+    """How well segmentation recovered the true customer runs."""
+
+    n_runs: int
+    n_segments: int
+    n_recovered: int              # runs covered >= 60 % by one segment
+    boundary_mae_s: float         # mean |start/end error| of recovered runs
+
+    @property
+    def recall(self) -> float:
+        return self.n_recovered / self.n_runs if self.n_runs else 0.0
+
+
+def segmentation_fidelity(
+    segments: list[TripSegment], runs: list[CustomerRun]
+) -> SegmentationFidelity:
+    """Score segmentation output against ground-truth runs.
+
+    A run counts as recovered when a same-car segment overlaps at least
+    60 % of its duration; boundary error averages the |start| and |end|
+    offsets of the best-overlapping segment.
+    """
+    by_car: dict[int, list[TripSegment]] = {}
+    for seg in segments:
+        by_car.setdefault(seg.car_id, []).append(seg)
+    recovered = 0
+    boundary_errors: list[float] = []
+    for run in runs:
+        duration = run.end_time_s - run.start_time_s
+        if duration <= 0:
+            continue
+        best: TripSegment | None = None
+        best_overlap = 0.0
+        for seg in by_car.get(run.car_id, ()):
+            lo = max(run.start_time_s, seg.start_time_s)
+            hi = min(run.end_time_s, seg.end_time_s)
+            if hi - lo > best_overlap:
+                best_overlap = hi - lo
+                best = seg
+        if best is not None and best_overlap / duration >= 0.6:
+            recovered += 1
+            boundary_errors.append(abs(best.start_time_s - run.start_time_s))
+            boundary_errors.append(abs(best.end_time_s - run.end_time_s))
+    mae = sum(boundary_errors) / len(boundary_errors) if boundary_errors else 0.0
+    return SegmentationFidelity(
+        n_runs=len(runs),
+        n_segments=len(segments),
+        n_recovered=recovered,
+        boundary_mae_s=mae,
+    )
+
+
+@dataclass(frozen=True)
+class TransitionFidelity:
+    """Precision/recall of OD transition extraction."""
+
+    n_true: int                  # ground-truth studied-pair runs
+    n_detected: int              # transitions the extractor reported
+    n_matched: int               # detected transitions paired with a true run
+
+    @property
+    def precision(self) -> float:
+        return self.n_matched / self.n_detected if self.n_detected else 1.0
+
+    @property
+    def recall(self) -> float:
+        return self.n_matched / self.n_true if self.n_true else 1.0
+
+
+def transition_fidelity(result: StudyResult) -> TransitionFidelity:
+    """Score the extractor's transitions against ground-truth crossings.
+
+    Ground truth: customer runs whose ordered gate crossings form a
+    studied pair.  A detected transition matches a true run when it is the
+    same car, the same direction, and their time windows overlap.
+    """
+    true_runs = [
+        run for run in result.runs
+        if run.gates_crossed in STUDIED_PAIRS
+    ]
+    detected = result.extraction.transitions
+    matched = 0
+    used: set[int] = set()
+    for transition in detected:
+        direction = (transition.origin, transition.destination)
+        t0 = transition.segment.start_time_s
+        t1 = transition.segment.end_time_s
+        for i, run in enumerate(true_runs):
+            if i in used or run.car_id != transition.segment.car_id:
+                continue
+            if run.gates_crossed != direction:
+                continue
+            if min(t1, run.end_time_s) > max(t0, run.start_time_s):
+                matched += 1
+                used.add(i)
+                break
+    return TransitionFidelity(
+        n_true=len(true_runs),
+        n_detected=len(detected),
+        n_matched=matched,
+    )

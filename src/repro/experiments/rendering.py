@@ -1,0 +1,84 @@
+"""Plain-text rendering of tables and figure data.
+
+The benchmarks print the same rows the paper reports; these helpers keep
+the layout consistent and readable in test/bench output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.experiments.study import StudyResult
+from repro.experiments.tables import DIRECTIONS, TABLE4_METRICS
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], digits: int = 3) -> str:
+    """Render a list-of-rows table with aligned columns."""
+    def fmt(v) -> str:
+        if isinstance(v, float):
+            return f"{v:.{digits}f}"
+        return str(v)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_funnel(result: StudyResult) -> str:
+    """Table 3 as text."""
+    headers = [
+        "Car", "Trip segments (total)", "Filtered and cleaned",
+        "Transitions total", "Within city centre", "Post-filtered",
+    ]
+    rows = [
+        [r.car_id, r.total_segments, r.filtered_cleaned,
+         r.transitions_total, r.within_centre, r.post_filtered]
+        for r in result.funnel
+    ]
+    return format_table(headers, rows)
+
+
+def render_table4(summaries: dict) -> str:
+    """Table 4 as text: metrics x directions, six numbers each."""
+    headers = ["Metric", "Route", "Min", "1st Q", "Med", "Mean", "3rd Q", "Max"]
+    rows = []
+    for metric, label in TABLE4_METRICS:
+        for direction in DIRECTIONS:
+            summary = summaries.get(metric, {}).get(direction)
+            if summary is None:
+                continue
+            rows.append([label, direction, *summary.as_row()])
+    return format_table(headers, rows)
+
+
+def render_table5(strata: dict) -> str:
+    """Table 5 as text."""
+    headers = ["Statistic", "lights=0", "lights=0,bus=0", "lights>0,bus>0", "lights>0"]
+    order = ["min", "max", "mean", "var"]
+    rows = []
+    for stat in order:
+        rows.append(
+            [stat]
+            + [strata[col][stat] for col in
+               ("lights=0", "lights=0,bus=0", "lights>0,bus>0", "lights>0")]
+        )
+    return format_table(headers, rows, digits=2)
+
+
+def render_series(title: str, pairs: Sequence[tuple], digits: int = 2) -> str:
+    """A labelled two-column series (used for figure data)."""
+    lines = [title]
+    for a, b in pairs:
+        fa = f"{a:.{digits}f}" if isinstance(a, float) else str(a)
+        fb = f"{b:.{digits}f}" if isinstance(b, float) else str(b)
+        lines.append(f"  {fa:>12}  {fb}")
+    return "\n".join(lines)

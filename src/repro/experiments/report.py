@@ -1,0 +1,159 @@
+"""One-shot Markdown study report.
+
+Bundles every table, figure summary and extension analysis of a study run
+into a single self-contained Markdown document — the written artefact a
+city analyst would hand over.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    DrivingCoach,
+    build_direction_profiles,
+    build_od_matrix,
+    detect_hotspots,
+    extract_dwells,
+    flow_table,
+)
+from repro.experiments.figures import (
+    fig10_weather_low_speed,
+    seasonal_speed_deltas,
+)
+from repro.experiments.rendering import (
+    format_table,
+    render_funnel,
+    render_table4,
+    render_table5,
+)
+from repro.experiments.study import StudyResult
+from repro.experiments.tables import (
+    table2_rule_hits,
+    table4_route_summaries,
+    table5_cell_speed_strata,
+)
+from repro.stats.qq import qq_correlation
+from repro.traces.simulator import Region
+
+
+def _section(title: str, body: str) -> str:
+    return f"## {title}\n\n```\n{body}\n```\n"
+
+
+def study_report(result: StudyResult) -> str:
+    """Render the full Markdown report for one study run."""
+    fleet = result.fleet
+    clean = result.clean.report
+    parts: list[str] = []
+    parts.append("# Taxi-trace study report\n")
+    parts.append(
+        f"Fleet: {len(fleet.car_ids())} taxis, {len(fleet)} raw trips, "
+        f"{fleet.point_count} route points over "
+        f"{result.config.fleet.n_days} days "
+        f"(seed {result.config.fleet.seed}).\n"
+    )
+
+    parts.append("## Data preparation\n")
+    parts.append(
+        f"- ordering repaired on {clean.reordered_trips} trips "
+        f"({clean.reordering_saved_m / 1000:.1f} km of zigzag removed)\n"
+        f"- {clean.duplicates_removed} duplicates and "
+        f"{clean.outliers_removed} coordinate glitches dropped\n"
+        f"- {clean.segments_out} trip segments kept "
+        f"({clean.segments_dropped_short} too short, "
+        f"{clean.segments_dropped_long} too long)\n"
+    )
+    rules = format_table(
+        ["Rule", "Description", "Firings"],
+        [[r["rule"], r["description"], r["hits"]]
+         for r in table2_rule_hits(result.clean)],
+    )
+    parts.append(_section("Segmentation rules (Table 2)", rules))
+    parts.append(_section("Map-matching funnel (Table 3)", render_funnel(result)))
+    parts.append(_section(
+        "Route statistics per direction (Table 4)",
+        render_table4(table4_route_summaries(result)),
+    ))
+    parts.append(_section(
+        "Lights/bus stops vs cell speed (Table 5)",
+        render_table5(table5_cell_speed_strata(result)),
+    ))
+
+    deltas = seasonal_speed_deltas(result)
+    if deltas:
+        seasonal = format_table(
+            ["Season", "Delta vs annual mean (km/h)"],
+            [[s, round(d, 2)] for s, d in deltas.items()],
+        )
+        parts.append(_section("Seasonal speed deltas (Fig. 5)", seasonal))
+
+    if result.mixed is not None:
+        blups = list(result.mixed.blup.values())
+        parts.append("## Mixed model (Figs. 7-9)\n")
+        parts.append(
+            f"- residual variance {result.mixed.sigma2:.1f}, "
+            f"cell variance {result.mixed.sigma2_u:.1f}\n"
+            f"- cell intercepts in [{min(blups):.1f}, {max(blups):.1f}] km/h "
+            f"over {len(blups)} cells\n"
+            f"- QQ correlation {qq_correlation(blups):.3f} "
+            f"(Gaussian regularisation justified)\n"
+            f"- geography effect LRT p-value "
+            f"{result.mixed.lrt_pvalue:.2g}\n"
+        )
+
+    weather = fig10_weather_low_speed(result, lights_threshold=5)
+    weather_rows = [
+        [cls, *(("-" if v is None else round(v, 1)) for v in groups.values())]
+        for cls, groups in weather.items()
+    ]
+    parts.append(_section(
+        "Low-speed share by temperature class (Fig. 10)",
+        format_table(["Temp class", "few lights", "many lights"], weather_rows),
+    ))
+
+    # Extensions.
+    projector = result.city.projector
+    dwells = extract_dwells(fleet, lambda p: projector.to_xy(p.lat, p.lon))
+    hotspots = detect_hotspots(dwells, eps=180.0, min_pts=6)
+    if hotspots:
+        hot_rows = [
+            [i + 1, round(h.centroid[0]), round(h.centroid[1]), h.n_events, h.n_cars]
+            for i, h in enumerate(hotspots[:5])
+        ]
+        parts.append(_section(
+            "Pick-up/drop-off hotspots",
+            format_table(["Rank", "x (m)", "y (m)", "Events", "Cars"], hot_rows),
+        ))
+
+    matrix = build_od_matrix(result.runs)
+    od = format_table(
+        ["origin \\ dest"] + [r.value for r in Region], flow_table(matrix)
+    )
+    parts.append(_section(
+        f"OD flows (peak hour {matrix.peak_hour()}:00, "
+        f"core share {matrix.core_share():.0%})", od,
+    ))
+
+    profiles = build_direction_profiles(result.kept())
+    if profiles:
+        freq_rows = [
+            [d, p.n_trips, p.n_variants, round(p.diversity, 2)]
+            for d, p in sorted(profiles.items())
+        ]
+        parts.append(_section(
+            "Route variants per direction",
+            format_table(["Direction", "Trips", "Variants", "Eff. routes"],
+                         freq_rows),
+        ))
+
+    if result.route_stats:
+        coach = DrivingCoach(result.route_stats)
+        coach_rows = [
+            [r.car_id, round(r.fuel_per_km_ml, 1), round(r.low_speed_pct, 1)]
+            for r in coach.fleet_reports()
+        ]
+        parts.append(_section(
+            "Driving coach (fleet ranking)",
+            format_table(["Car", "Fuel ml/km", "Low speed %"], coach_rows),
+        ))
+
+    return "\n".join(parts)

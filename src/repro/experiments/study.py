@@ -1,0 +1,179 @@
+"""The end-to-end study orchestrator.
+
+Runs every stage of the paper on the synthetic substrate and keeps all
+intermediate artefacts so the table/figure generators (and the benches)
+can derive the evaluation outputs without re-running stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cleaning import CleaningPipeline, CleanResult
+from repro.features import GridAccumulator, GridSpec, cell_feature_counts
+from repro.features.routestats import RouteStats, transition_route_stats
+from repro.matching import HmmMatcher, IncrementalMatcher, MatchedRoute
+from repro.od import Gate, TransitionExtractor, post_filter_transition
+from repro.od.transitions import ExtractionResult, FunnelRow, Transition, TransitionConfig
+from repro.roadnet import CitySpec, SyntheticCity, build_synthetic_oulu
+from repro.stats import MixedModelResult, RandomInterceptModel
+from repro.traces import CustomerRun, FleetData, FleetSpec, TaxiFleetSimulator
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Everything configurable about a study run."""
+
+    city: CitySpec = field(default_factory=CitySpec)
+    fleet: FleetSpec = field(default_factory=FleetSpec)
+    grid: GridSpec = field(default_factory=GridSpec)
+    transition: TransitionConfig = field(default_factory=TransitionConfig)
+    matcher: str = "incremental"          # or "hmm"
+
+    def __post_init__(self) -> None:
+        if self.matcher not in ("incremental", "hmm"):
+            raise ValueError("matcher must be 'incremental' or 'hmm'")
+
+
+@dataclass
+class StudyResult:
+    """All artefacts of one study run."""
+
+    config: StudyConfig
+    city: SyntheticCity
+    fleet: FleetData
+    runs: list[CustomerRun]
+    clean: CleanResult
+    extraction: ExtractionResult
+    matched: dict[int, MatchedRoute]           # transition index -> route
+    kept_transitions: list[int]                # indices surviving post-filter
+    route_stats: list[RouteStats]
+    grid: GridAccumulator
+    cell_features: dict
+    mixed: MixedModelResult | None
+    funnel: list[FunnelRow]
+
+    def transitions(self) -> list[Transition]:
+        return self.extraction.transitions
+
+    def kept(self) -> list[tuple[Transition, MatchedRoute]]:
+        """Post-filtered transitions with their matched routes."""
+        return [
+            (self.extraction.transitions[i], self.matched[i])
+            for i in self.kept_transitions
+        ]
+
+    def stats_by_direction(self) -> dict[str, list[RouteStats]]:
+        out: dict[str, list[RouteStats]] = {}
+        for s in self.route_stats:
+            out.setdefault(s.direction, []).append(s)
+        return out
+
+
+class OuluStudy:
+    """Reproduces the paper's study end to end."""
+
+    def __init__(self, config: StudyConfig | None = None) -> None:
+        self.config = config or StudyConfig()
+
+    def run(self) -> StudyResult:
+        """Execute all stages and return the artefact bundle."""
+        config = self.config
+        city = build_synthetic_oulu(config.city)
+        simulator = TaxiFleetSimulator(city, config.fleet)
+        fleet, runs = simulator.simulate()
+
+        clean = CleaningPipeline().run(fleet)
+
+        projector = city.projector
+
+        def to_xy(p):
+            return projector.to_xy(p.lat, p.lon)
+
+        gates = [
+            Gate(name=name, road=road, half_width_m=city.spec.gate_half_width_m)
+            for name, road in city.gate_roads.items()
+        ]
+        extractor = TransitionExtractor(gates, city.central_area, config.transition)
+        extraction = extractor.extract(clean.segments, to_xy)
+
+        if config.matcher == "hmm":
+            matcher = HmmMatcher(city.graph)
+        else:
+            matcher = IncrementalMatcher(city.graph)
+
+        matched: dict[int, MatchedRoute] = {}
+        kept: list[int] = []
+        post_per_car: dict[int, int] = {}
+        for i, transition in enumerate(extraction.transitions):
+            route = matcher.match(
+                transition.points(), to_xy, transition.segment.segment_id,
+                transition.segment.car_id,
+            )
+            if route is None or not route.edge_sequence:
+                transition.post_filtered_ok = False
+                continue
+            matched[i] = route
+            ok = post_filter_transition(
+                transition,
+                route.matched[0].snapped_xy,
+                route.matched[-1].snapped_xy,
+                extractor.gates_by_name,
+                config.transition,
+            )
+            if ok:
+                kept.append(i)
+                post_per_car[transition.segment.car_id] = (
+                    post_per_car.get(transition.segment.car_id, 0) + 1
+                )
+        funnel = [
+            FunnelRow(
+                car_id=row.car_id,
+                total_segments=row.total_segments,
+                filtered_cleaned=row.filtered_cleaned,
+                transitions_total=row.transitions_total,
+                within_centre=row.within_centre,
+                post_filtered=post_per_car.get(row.car_id, 0),
+            )
+            for row in extraction.funnel
+        ]
+
+        # Table 4 statistics and the analysis grid over matched point speeds.
+        route_stats: list[RouteStats] = []
+        grid = GridAccumulator(config.grid)
+        speeds: list[float] = []
+        cells: list = []
+        for i in kept:
+            transition = extraction.transitions[i]
+            route = matched[i]
+            route_stats.append(
+                transition_route_stats(transition, route, city.graph, city.map_db)
+            )
+            for m in route.matched:
+                key = grid.add_point(m.snapped_xy, m.point.speed_kmh)
+                speeds.append(m.point.speed_kmh)
+                cells.append(key)
+
+        cell_features = cell_feature_counts(
+            config.grid, city.map_db, city.graph, list(grid.cells())
+        )
+
+        mixed: MixedModelResult | None = None
+        if len(set(cells)) >= 3 and len(speeds) >= 10:
+            mixed = RandomInterceptModel().fit(speeds, cells)
+
+        return StudyResult(
+            config=config,
+            city=city,
+            fleet=fleet,
+            runs=runs,
+            clean=clean,
+            extraction=extraction,
+            matched=matched,
+            kept_transitions=kept,
+            route_stats=route_stats,
+            grid=grid,
+            cell_features=cell_features,
+            mixed=mixed,
+            funnel=funnel,
+        )

@@ -1,0 +1,164 @@
+"""SVG renderings of the map figures.
+
+The paper's Figs. 3, 6 and 9 are QGIS maps; this module renders the same
+content as standalone SVG files with no dependencies: the road network as
+line work, gates highlighted, point speeds as a coloured scatter
+(Fig. 3), and per-cell values as a choropleth (Figs. 6/9).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.experiments.study import StudyResult
+from repro.features.grid import CellKey
+
+
+@dataclass(frozen=True)
+class SvgCanvas:
+    """World-to-SVG transform over a fixed viewport."""
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+    width: int = 800
+
+    @property
+    def scale(self) -> float:
+        return self.width / (self.x_max - self.x_min)
+
+    @property
+    def height(self) -> int:
+        return int(round((self.y_max - self.y_min) * self.scale))
+
+    def to_px(self, x: float, y: float) -> tuple[float, float]:
+        """World metres -> SVG pixels (y axis flipped)."""
+        px = (x - self.x_min) * self.scale
+        py = (self.y_max - y) * self.scale
+        return (round(px, 1), round(py, 1))
+
+
+def speed_colour(v_kmh: float, v_max: float = 60.0) -> str:
+    """Red (slow) -> yellow -> green (fast) colour ramp."""
+    t = max(0.0, min(1.0, v_kmh / max(v_max, 1e-9)))
+    if t < 0.5:
+        r, g = 220, int(40 + (2 * t) * 180)
+    else:
+        r, g = int(220 - (2 * t - 1.0) * 180), 220
+    return f"rgb({r},{g},40)"
+
+
+def diverging_colour(value: float, scale: float = 15.0) -> str:
+    """Blue (negative) -> white -> red (positive) ramp for intercepts."""
+    t = max(-1.0, min(1.0, value / max(scale, 1e-9)))
+    if t < 0:
+        k = int(255 * (1.0 + t))
+        return f"rgb({k},{k},255)"
+    k = int(255 * (1.0 - t))
+    return f"rgb(255,{k},{k})"
+
+
+def _road_layer(result: StudyResult, canvas: SvgCanvas) -> list[str]:
+    parts = ['<g stroke="#999" stroke-width="1" fill="none">']
+    for edge in result.city.graph.edges():
+        coords = edge.geometry.coords
+        points = " ".join(
+            "{},{}".format(*canvas.to_px(float(x), float(y)))
+            for x, y in coords
+        )
+        parts.append(f'<polyline points="{points}"/>')
+    parts.append("</g>")
+    # Gates in a highlight colour.
+    parts.append('<g stroke="#d33" stroke-width="4" fill="none">')
+    for name, road in result.city.gate_roads.items():
+        points = " ".join(
+            "{},{}".format(*canvas.to_px(float(x), float(y)))
+            for x, y in road.coords
+        )
+        parts.append(f'<polyline points="{points}"><title>gate {name}</title></polyline>')
+    parts.append("</g>")
+    return parts
+
+
+def _canvas_for(result: StudyResult, pad: float = 150.0) -> SvgCanvas:
+    x0, y0, x1, y1 = result.city.graph.bounds()
+    return SvgCanvas(x0 - pad, y0 - pad, x1 + pad, y1 + pad)
+
+
+def _document(canvas: SvgCanvas, body: list[str], title: str) -> str:
+    head = (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{canvas.width}" '
+        f'height="{canvas.height}" viewBox="0 0 {canvas.width} {canvas.height}">'
+    )
+    caption = (
+        f'<text x="10" y="20" font-family="sans-serif" font-size="14">{title}</text>'
+    )
+    return "\n".join([head, f'<rect width="100%" height="100%" fill="white"/>',
+                      *body, caption, "</svg>"])
+
+
+def render_fig3_svg(result: StudyResult, car_id: int = 1) -> str:
+    """Fig. 3 as SVG: matched point speeds of one taxi on the map."""
+    from repro.experiments.figures import fig3_speed_points
+
+    canvas = _canvas_for(result)
+    body = _road_layer(result, canvas)
+    body.append("<g>")
+    for x, y, v in fig3_speed_points(result, car_id):
+        px, py = canvas.to_px(x, y)
+        body.append(
+            f'<circle cx="{px}" cy="{py}" r="2.5" fill="{speed_colour(v)}"/>'
+        )
+    body.append("</g>")
+    return _document(
+        canvas, body, f"Fig. 3 - cleaned point speeds, taxi {car_id} (red=slow)"
+    )
+
+
+def render_cells_svg(
+    result: StudyResult,
+    values: dict[CellKey, float],
+    title: str,
+    diverging: bool = False,
+) -> str:
+    """A per-cell choropleth over the road map (Figs. 6 and 9)."""
+    canvas = _canvas_for(result)
+    size = result.config.grid.cell_size_m
+    body = ['<g stroke="#555" stroke-width="0.4" fill-opacity="0.75">']
+    for key, value in values.items():
+        cx, cy = result.config.grid.cell_centre(key)
+        px, py = canvas.to_px(cx - size / 2.0, cy + size / 2.0)
+        side = round(size * canvas.scale, 1)
+        colour = diverging_colour(value) if diverging else speed_colour(value)
+        body.append(
+            f'<rect x="{px}" y="{py}" width="{side}" height="{side}" '
+            f'fill="{colour}"><title>{key}: {value:.1f}</title></rect>'
+        )
+    body.append("</g>")
+    body.extend(_road_layer(result, canvas))
+    return _document(canvas, body, title)
+
+
+def render_fig6_svg(result: StudyResult, direction: str = "L-T") -> str:
+    """Fig. 6 as SVG: average cell speeds along one OD direction."""
+    from repro.experiments.figures import fig6_cell_features
+
+    cells = fig6_cell_features(result, direction)
+    values = {key: info["avg_speed"] for key, info in cells.items()}
+    return render_cells_svg(
+        result, values, f"Fig. 6 - average speed per cell, {direction}"
+    )
+
+
+def render_fig9_svg(result: StudyResult) -> str:
+    """Fig. 9 as SVG: BLUP cell intercepts on the map."""
+    if result.mixed is None:
+        raise ValueError("study has no mixed model")
+    values = dict(result.mixed.blup)
+    return render_cells_svg(
+        result, values,
+        "Fig. 9 - cell intercepts (blue=slower, red=faster)",
+        diverging=True,
+    )

@@ -1,0 +1,120 @@
+"""Table generators — one per table of the paper."""
+
+from __future__ import annotations
+
+from repro.cleaning import CleanResult
+from repro.experiments.study import StudyResult
+from repro.features.grid import stratify_cells_by_features
+from repro.roadnet import SyntheticCity
+from repro.stats import six_number_summary
+from repro.stats.descriptive import SixNumber, mean, variance
+
+#: Table 4 metrics in the paper's row order, mapped to RouteStats fields.
+TABLE4_METRICS = (
+    ("route_time_h", "Route time (h)"),
+    ("route_distance_km", "Route dist. (km)"),
+    ("low_speed_pct", "Low speed %"),
+    ("normal_speed_pct", "Norm. speed %"),
+    ("n_traffic_lights", "Traffic lights"),
+    ("n_junctions", "Junction"),
+    ("n_pedestrian_crossings", "Pedestr. crossings"),
+    ("fuel_ml", "Fuel cons. (ml)"),
+)
+
+#: The paper's direction order in Table 4.
+DIRECTIONS = ("T-S", "S-T", "T-L", "L-T")
+
+
+def table1_junction_pairs(city: SyntheticCity, limit: int | None = None) -> list[dict]:
+    """Table 1: junction pairs with their merged traffic elements.
+
+    Junction coordinates are reported in EPSG:4326 as in the paper.
+    """
+    rows = []
+    for pair in city.junction_pairs[: limit if limit is not None else None]:
+        lat1, lon1 = city.projector.to_latlon(*pair.junction1)
+        lat2, lon2 = city.projector.to_latlon(*pair.junction2)
+        rows.append(
+            {
+                "junction1": f"POINT({lon1:.4f}, {lat1:.4f})",
+                "elements": list(pair.element_ids),
+                "junction2": f"POINT({lon2:.4f}, {lat2:.4f})",
+            }
+        )
+    return rows
+
+
+#: Human-readable statements of the five Table 2 rules.
+TABLE2_RULES = {
+    1: "distance unchanged within three minutes -> stop",
+    2: "distance change < 3 km in more than seven minutes -> stop",
+    3: "movement speed < 0.002 m/s -> stop",
+    4: "< 3 km in more than 15 minutes at speed > 0.002 m/s -> stop",
+    5: "remaining trips > 40 km re-split with rule 1 at 1.5 min",
+}
+
+
+def table2_rule_hits(clean: CleanResult) -> list[dict]:
+    """Table 2 (behavioural): each rule with how often it fired."""
+    hits = clean.report.segmentation.rule_hits
+    return [
+        {"rule": rule, "description": TABLE2_RULES[rule], "hits": hits.get(rule, 0)}
+        for rule in sorted(TABLE2_RULES)
+    ]
+
+
+def table3_funnel(result: StudyResult) -> list[dict]:
+    """Table 3: the per-car map-matching funnel."""
+    return [
+        {
+            "car": row.car_id,
+            "trip_segments_total": row.total_segments,
+            "filtered_and_cleaned": row.filtered_cleaned,
+            "transitions_total": row.transitions_total,
+            "within_city_centre": row.within_centre,
+            "post_filtered": row.post_filtered,
+        }
+        for row in result.funnel
+    ]
+
+
+def table4_route_summaries(result: StudyResult) -> dict[str, dict[str, SixNumber]]:
+    """Table 4: six-number summaries per metric per OD direction.
+
+    Returns ``{metric: {direction: SixNumber}}``; directions with no
+    surviving transitions are omitted from the inner dict.
+    """
+    by_direction = result.stats_by_direction()
+    out: dict[str, dict[str, SixNumber]] = {}
+    for metric, __ in TABLE4_METRICS:
+        per_dir: dict[str, SixNumber] = {}
+        for direction in DIRECTIONS:
+            stats = by_direction.get(direction, [])
+            values = [float(getattr(s, metric)) for s in stats]
+            if values:
+                per_dir[direction] = six_number_summary(values)
+        out[metric] = per_dir
+    return out
+
+
+def table5_cell_speed_strata(result: StudyResult) -> dict[str, dict[str, float]]:
+    """Table 5: cell average speeds stratified by lights/bus stops.
+
+    Returns ``{stratum: {min, max, mean, var, n_cells}}`` over per-cell
+    average point speeds.
+    """
+    groups = stratify_cells_by_features(result.grid.cells(), result.cell_features)
+    out: dict[str, dict[str, float]] = {}
+    for name, values in groups.items():
+        if not values:
+            out[name] = {"min": float("nan"), "max": float("nan"),
+                         "mean": float("nan"), "var": float("nan"), "n_cells": 0}
+            continue
+        out[name] = {
+            "min": min(values),
+            "max": max(values),
+            "mean": mean(values),
+            "var": variance(values),
+            "n_cells": len(values),
+        }
+    return out

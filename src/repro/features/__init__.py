@@ -1,0 +1,35 @@
+"""Feature fusion (paper Sec. IV.F and V).
+
+Fetches digital-map attribute data along matched routes (traffic lights,
+pedestrian crossings, junctions), derives the per-transition statistics of
+Table 4 (time, distance, low-speed share, normal-speed share, fuel), and
+aggregates point speeds and map features on the 200 m x 200 m analysis
+grid of Table 5 / Figs. 6 and 9.
+"""
+
+from repro.features.attributes import (
+    RouteAttributes,
+    directional_bus_stops,
+    fetch_route_attributes,
+)
+from repro.features.grid import (
+    CellStats,
+    GridAccumulator,
+    GridSpec,
+    cell_feature_counts,
+    stratify_cells_by_features,
+)
+from repro.features.routestats import RouteStats, transition_route_stats
+
+__all__ = [
+    "CellStats",
+    "GridAccumulator",
+    "GridSpec",
+    "RouteAttributes",
+    "RouteStats",
+    "cell_feature_counts",
+    "directional_bus_stops",
+    "fetch_route_attributes",
+    "stratify_cells_by_features",
+    "transition_route_stats",
+]

@@ -1,0 +1,89 @@
+"""Per-transition route statistics (paper Table 4).
+
+For each post-filtered transition the paper derives: route time, route
+distance, the share of *low speed* points (< 10 km/h — a major factor in
+fuel consumption and emissions), the share of *normal speed* points
+(at/above the local speed limit), fuel consumption, and the fetched map
+attribute counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.features.attributes import RouteAttributes, fetch_route_attributes
+from repro.matching.types import MatchedRoute
+from repro.od.transitions import Transition
+from repro.roadnet.digiroad import MapDatabase
+from repro.roadnet.graph import RoadGraph
+
+#: The paper's low-speed threshold.
+LOW_SPEED_KMH = 10.0
+
+
+@dataclass(frozen=True)
+class RouteStats:
+    """Everything Table 4 needs for one transition."""
+
+    direction: str
+    car_id: int
+    season: str
+    route_time_h: float
+    route_distance_km: float
+    low_speed_pct: float
+    normal_speed_pct: float
+    fuel_ml: float
+    n_traffic_lights: int
+    n_junctions: int
+    n_pedestrian_crossings: int
+    n_bus_stops: int
+
+
+def transition_route_stats(
+    transition: Transition,
+    route: MatchedRoute,
+    graph: RoadGraph,
+    map_db: MapDatabase,
+    low_speed_kmh: float = LOW_SPEED_KMH,
+) -> RouteStats:
+    """Derive the Table 4 statistics for one matched transition.
+
+    Speed shares are computed over the matched route points: *low* means
+    below ``low_speed_kmh``; *normal* means at or above the speed limit of
+    the matched map position (fetched through the traffic element, so
+    segmented speed restrictions are honoured).
+    """
+    from repro.weather.seasons import season_of
+
+    points = [m.point for m in route.matched]
+    if len(points) < 2:
+        raise ValueError("transition route needs at least two matched points")
+    duration_h = (points[-1].time_s - points[0].time_s) / 3600.0
+    distance_km = route.length_m(graph) / 1000.0
+
+    low = 0
+    normal = 0
+    for m in route.matched:
+        edge = graph.edge(m.edge_id)
+        span = edge.span_at(m.arc_m)
+        limit = map_db.speed_limit_at(span.element_id, span.element_arc(m.arc_m))
+        if m.point.speed_kmh < low_speed_kmh:
+            low += 1
+        if m.point.speed_kmh >= limit:
+            normal += 1
+    n = len(route.matched)
+    attributes = fetch_route_attributes(route, graph, map_db)
+    return RouteStats(
+        direction=transition.direction,
+        car_id=transition.segment.car_id,
+        season=season_of(points[0].time_s).value,
+        route_time_h=duration_h,
+        route_distance_km=distance_km,
+        low_speed_pct=100.0 * low / n,
+        normal_speed_pct=100.0 * normal / n,
+        fuel_ml=max(0.0, points[-1].fuel_ml - points[0].fuel_ml),
+        n_traffic_lights=attributes.n_traffic_lights,
+        n_junctions=attributes.n_junctions,
+        n_pedestrian_crossings=attributes.n_pedestrian_crossings,
+        n_bus_stops=attributes.n_bus_stops,
+    )

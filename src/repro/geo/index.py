@@ -1,0 +1,149 @@
+"""Uniform grid spatial index.
+
+PostGIS gives the paper's pipeline cheap "features near a point" queries;
+this module provides the pure Python equivalent.  A :class:`GridIndex`
+hashes items into fixed-size square cells by bounding box, which is the
+right trade-off for road networks whose segments are short and uniformly
+spread.  Query cost is O(items in nearby cells).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable, Iterable
+from typing import Generic, TypeVar
+
+from repro.geo.geometry import Point
+
+T = TypeVar("T", bound=Hashable)
+
+
+class GridIndex(Generic[T]):
+    """Spatial hash of items keyed by bounding boxes on a uniform grid.
+
+    Items are inserted with an axis-aligned bounding box and retrieved by
+    point-radius or box queries.  Candidate sets may contain false
+    positives (bounding boxes only); callers refine with exact geometry.
+    """
+
+    __slots__ = ("cell_size", "_cells", "_boxes")
+
+    def __init__(self, cell_size: float = 100.0) -> None:
+        if cell_size <= 0.0:
+            raise ValueError("cell_size must be positive")
+        self.cell_size = float(cell_size)
+        self._cells: dict[tuple[int, int], list[T]] = {}
+        self._boxes: dict[T, tuple[float, float, float, float]] = {}
+
+    def __len__(self) -> int:
+        return len(self._boxes)
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._boxes
+
+    def _key(self, x: float, y: float) -> tuple[int, int]:
+        return (int(math.floor(x / self.cell_size)), int(math.floor(y / self.cell_size)))
+
+    def _keys_for_box(
+        self, x_min: float, y_min: float, x_max: float, y_max: float
+    ) -> Iterable[tuple[int, int]]:
+        i0, j0 = self._key(x_min, y_min)
+        i1, j1 = self._key(x_max, y_max)
+        for i in range(i0, i1 + 1):
+            for j in range(j0, j1 + 1):
+                yield (i, j)
+
+    def insert(
+        self, item: T, x_min: float, y_min: float, x_max: float, y_max: float
+    ) -> None:
+        """Insert ``item`` with its bounding box. Re-inserting replaces it."""
+        if x_max < x_min or y_max < y_min:
+            raise ValueError("malformed bounding box")
+        if item in self._boxes:
+            self.remove(item)
+        self._boxes[item] = (x_min, y_min, x_max, y_max)
+        for key in self._keys_for_box(x_min, y_min, x_max, y_max):
+            self._cells.setdefault(key, []).append(item)
+
+    def insert_point(self, item: T, p: Point) -> None:
+        """Insert a degenerate (point) bounding box."""
+        self.insert(item, p[0], p[1], p[0], p[1])
+
+    def remove(self, item: T) -> None:
+        """Remove ``item``; raises KeyError if absent."""
+        box = self._boxes.pop(item)
+        for key in self._keys_for_box(*box):
+            bucket = self._cells.get(key)
+            if bucket is not None:
+                try:
+                    bucket.remove(item)
+                except ValueError:
+                    pass
+                if not bucket:
+                    del self._cells[key]
+
+    def query_box(
+        self, x_min: float, y_min: float, x_max: float, y_max: float
+    ) -> list[T]:
+        """Items whose bounding box intersects the query box."""
+        seen: dict[T, None] = {}
+        for key in self._keys_for_box(x_min, y_min, x_max, y_max):
+            for item in self._cells.get(key, ()):
+                if item in seen:
+                    continue
+                bx0, by0, bx1, by1 = self._boxes[item]
+                if bx0 <= x_max and bx1 >= x_min and by0 <= y_max and by1 >= y_min:
+                    seen[item] = None
+        return list(seen)
+
+    def query_radius(self, p: Point, radius: float) -> list[T]:
+        """Items whose bounding box intersects the disc around ``p``.
+
+        Bounding-box level only; callers wanting exact distance must refine.
+        """
+        if radius < 0.0:
+            raise ValueError("radius must be non-negative")
+        return self.query_box(p[0] - radius, p[1] - radius, p[0] + radius, p[1] + radius)
+
+    def nearest(self, p: Point, max_radius: float = math.inf) -> T | None:
+        """Item whose bounding box is nearest to ``p`` (box distance).
+
+        Searches expanding rings of cells; returns None if nothing is found
+        within ``max_radius``.
+        """
+        if not self._boxes:
+            return None
+        ring = 0
+        best: T | None = None
+        best_d = math.inf
+        ci, cj = self._key(p[0], p[1])
+        max_ring = int(math.ceil(min(max_radius, 1e12) / self.cell_size)) + 1
+        while ring <= max_ring:
+            found_any = False
+            for i in range(ci - ring, ci + ring + 1):
+                for j in range(cj - ring, cj + ring + 1):
+                    if max(abs(i - ci), abs(j - cj)) != ring:
+                        continue
+                    for item in self._cells.get((i, j), ()):
+                        found_any = True
+                        d = self._box_distance(p, self._boxes[item])
+                        if d < best_d:
+                            best_d = d
+                            best = item
+            # Once something is found, one extra ring suffices: anything
+            # farther out is at least (ring-1)*cell_size away.
+            if best is not None and best_d <= (ring - 1) * self.cell_size:
+                break
+            if found_any and best is not None and ring > 0:
+                break
+            ring += 1
+        if best is not None and best_d <= max_radius:
+            return best
+        return None
+
+    @staticmethod
+    def _box_distance(p: Point, box: tuple[float, float, float, float]) -> float:
+        x0, y0, x1, y1 = box
+        dx = max(x0 - p[0], 0.0, p[0] - x1)
+        dy = max(y0 - p[1], 0.0, p[1] - y1)
+        return math.hypot(dx, dy)

@@ -1,0 +1,208 @@
+"""Polygons and "thick geometry".
+
+The paper's origin/destination gates are road segments "artificially made
+thicker to catch the routes significantly deviating from the original
+roads" (Sec. IV.D).  :class:`ThickLine` models exactly that: a polyline with
+a half-width, i.e. a capsule.  :class:`Polygon` provides the containment
+test used for the "within city centre" filter.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from repro.geo.geometry import LineString, Point, crossing_angle_deg
+
+
+class Polygon:
+    """A simple (non-self-intersecting) polygon with even-odd containment."""
+
+    __slots__ = ("_xs", "_ys")
+
+    def __init__(self, vertices: Iterable[Point]) -> None:
+        pts = list(vertices)
+        if len(pts) >= 2 and pts[0] == pts[-1]:
+            pts = pts[:-1]
+        if len(pts) < 3:
+            raise ValueError("Polygon needs at least three distinct vertices")
+        self._xs = [float(p[0]) for p in pts]
+        self._ys = [float(p[1]) for p in pts]
+
+    @classmethod
+    def rectangle(cls, x_min: float, y_min: float, x_max: float, y_max: float) -> "Polygon":
+        """Axis-aligned rectangle."""
+        if x_max <= x_min or y_max <= y_min:
+            raise ValueError("rectangle needs x_min < x_max and y_min < y_max")
+        return cls([(x_min, y_min), (x_max, y_min), (x_max, y_max), (x_min, y_max)])
+
+    def __len__(self) -> int:
+        return len(self._xs)
+
+    @property
+    def vertices(self) -> list[Point]:
+        return list(zip(self._xs, self._ys))
+
+    def bounds(self) -> tuple[float, float, float, float]:
+        """``(x_min, y_min, x_max, y_max)`` bounding box."""
+        return (min(self._xs), min(self._ys), max(self._xs), max(self._ys))
+
+    def contains(self, p: Point) -> bool:
+        """Even-odd ray-casting point-in-polygon test."""
+        x, y = p
+        inside = False
+        xs = self._xs
+        ys = self._ys
+        j = len(xs) - 1
+        for i in range(len(xs)):
+            if (ys[i] > y) != (ys[j] > y):
+                x_cross = xs[i] + (y - ys[i]) * (xs[j] - xs[i]) / (ys[j] - ys[i])
+                if x < x_cross:
+                    inside = not inside
+            j = i
+        return inside
+
+    def area(self) -> float:
+        """Unsigned shoelace area."""
+        total = 0.0
+        j = len(self._xs) - 1
+        for i in range(len(self._xs)):
+            total += (self._xs[j] + self._xs[i]) * (self._ys[j] - self._ys[i])
+            j = i
+        return abs(total) / 2.0
+
+
+class ThickLine:
+    """A polyline thickened by ``half_width`` metres (a capsule region).
+
+    This is the paper's "thick geometry": membership means being within
+    ``half_width`` of the base polyline.  Crossing detection additionally
+    checks the angle between the moving segment and the local road heading,
+    because the paper only accepts crossings "on an angle within a
+    predefined range".
+    """
+
+    __slots__ = ("line", "half_width")
+
+    def __init__(self, line: LineString, half_width: float) -> None:
+        if half_width <= 0.0:
+            raise ValueError("half_width must be positive")
+        self.line = line
+        self.half_width = float(half_width)
+
+    def contains(self, p: Point) -> bool:
+        """True when ``p`` lies within the capsule."""
+        return self.line.distance_to(p) <= self.half_width
+
+    def bounds(self) -> tuple[float, float, float, float]:
+        """Bounding box of the capsule."""
+        coords = self.line.coords
+        w = self.half_width
+        return (
+            float(coords[:, 0].min()) - w,
+            float(coords[:, 1].min()) - w,
+            float(coords[:, 0].max()) + w,
+            float(coords[:, 1].max()) + w,
+        )
+
+    def crossed_by(
+        self,
+        a: Point,
+        b: Point,
+        min_angle_deg: float = 0.0,
+        max_angle_deg: float = 90.0,
+    ) -> bool:
+        """Does the movement segment ``a``->``b`` cross the thick region?
+
+        A crossing requires (1) the segment to enter the capsule — tested as
+        either endpoint inside, or the capsule axis passing within
+        ``half_width`` of the segment — and (2) the crossing angle between
+        the movement direction and the local road heading to fall inside
+        ``[min_angle_deg, max_angle_deg]``.
+        """
+        move = (b[0] - a[0], b[1] - a[1])
+        if move == (0.0, 0.0):
+            return False
+        inside_a = self.contains(a)
+        inside_b = self.contains(b)
+        touches = inside_a or inside_b
+        arc = None
+        if inside_a:
+            __, arc, __ = self.line.project(a)
+        elif inside_b:
+            __, arc, __ = self.line.project(b)
+        if not touches:
+            # Neither endpoint inside: check the true geometric crossing of
+            # the capsule axis, then widen to the capsule by distance.
+            hits = self.line.crossings(a, b)
+            if hits:
+                touches = True
+                arc = hits[0][1]
+            else:
+                mid = ((a[0] + b[0]) / 2.0, (a[1] + b[1]) / 2.0)
+                if self.contains(mid):
+                    touches = True
+                    __, arc, __ = self.line.project(mid)
+        if not touches or arc is None:
+            return False
+        heading = self.line.heading_at(arc)
+        ang = crossing_angle_deg(move, heading)
+        return min_angle_deg <= ang <= max_angle_deg
+
+    def __repr__(self) -> str:
+        return f"ThickLine({self.line!r}, half_width={self.half_width:.1f})"
+
+
+def capsule_distance(line: LineString, p: Point) -> float:
+    """Signed distance from ``p`` to a capsule around ``line`` of width 0.
+
+    Positive outside the axis; provided as a convenience for callers that
+    want to build their own containment thresholds.
+    """
+    return line.distance_to(p)
+
+
+def convex_hull(points: Iterable[Point]) -> list[Point]:
+    """Andrew's monotone-chain convex hull (counter-clockwise)."""
+    pts = sorted(set((float(x), float(y)) for x, y in points))
+    if len(pts) <= 2:
+        return pts
+
+    def cross(o: Point, a: Point, b: Point) -> float:
+        return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+    lower: list[Point] = []
+    for p in pts:
+        while len(lower) >= 2 and cross(lower[-2], lower[-1], p) <= 0.0:
+            lower.pop()
+        lower.append(p)
+    upper: list[Point] = []
+    for p in reversed(pts):
+        while len(upper) >= 2 and cross(upper[-2], upper[-1], p) <= 0.0:
+            upper.pop()
+        upper.append(p)
+    return lower[:-1] + upper[:-1]
+
+
+def polygon_from_hull(points: Iterable[Point], pad: float = 0.0) -> Polygon:
+    """Convex hull polygon of ``points``, optionally padded outward.
+
+    Padding moves each hull vertex away from the centroid by ``pad`` metres;
+    a cheap approximation of a buffer, adequate for area-of-interest tests.
+    """
+    hull = convex_hull(points)
+    if len(hull) < 3:
+        raise ValueError("need at least three non-collinear points")
+    if pad <= 0.0:
+        return Polygon(hull)
+    cx = sum(p[0] for p in hull) / len(hull)
+    cy = sum(p[1] for p in hull) / len(hull)
+    padded = []
+    for x, y in hull:
+        d = math.hypot(x - cx, y - cy)
+        if d == 0.0:
+            padded.append((x, y))
+        else:
+            s = (d + pad) / d
+            padded.append((cx + (x - cx) * s, cy + (y - cy) * s))
+    return Polygon(padded)

@@ -1,0 +1,44 @@
+"""Map matching (paper Sec. IV.E).
+
+Aligns cleaned route points onto the road graph:
+
+* :mod:`repro.matching.candidates` — candidate edges near a fix, scored by
+  distance and orientation, honouring one-way directions from the map
+  ("enhanced with information retrieved from the digital map");
+* :mod:`repro.matching.incremental` — the incremental matcher of
+  Brakatsoulas et al. (VLDB'05) with look-ahead, the paper's choice;
+* :mod:`repro.matching.hmm` — an HMM/Viterbi matcher as the modern
+  baseline for comparison benches;
+* :mod:`repro.matching.gapfill` — Dijkstra shortest-path gap filling
+  between distant fixes (the pgRouting step);
+* :mod:`repro.matching.types` — matched points and routes.
+"""
+
+from repro.matching.candidates import Candidate, CandidateConfig, candidates_for_point
+from repro.matching.evaluate import (
+    MatchEvaluation,
+    edge_jaccard,
+    evaluate_matcher,
+    truth_for_segment,
+)
+from repro.matching.gapfill import connect_matches
+from repro.matching.hmm import HmmConfig, HmmMatcher
+from repro.matching.incremental import IncrementalConfig, IncrementalMatcher
+from repro.matching.types import MatchedPoint, MatchedRoute
+
+__all__ = [
+    "Candidate",
+    "CandidateConfig",
+    "HmmConfig",
+    "HmmMatcher",
+    "IncrementalConfig",
+    "IncrementalMatcher",
+    "MatchEvaluation",
+    "MatchedPoint",
+    "MatchedRoute",
+    "candidates_for_point",
+    "connect_matches",
+    "edge_jaccard",
+    "evaluate_matcher",
+    "truth_for_segment",
+]

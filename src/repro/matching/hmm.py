@@ -1,0 +1,202 @@
+"""HMM (Viterbi) map matching — the modern baseline.
+
+States are candidate edges per fix; emission likelihood is Gaussian in
+match distance; transition likelihood decays exponentially in the
+difference between network distance and straight-line distance (Newson &
+Krummen style).  Included as the baseline the incremental matcher is
+benchmarked against (the paper's related work names exactly this family).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.matching.candidates import Candidate, CandidateConfig, candidates_for_point
+from repro.matching.gapfill import connect_matches
+from repro.matching.types import MatchedPoint, MatchedRoute
+from repro.roadnet.graph import RoadEdge, RoadGraph
+from repro.roadnet.routing import dijkstra
+from repro.traces.model import RoutePoint
+
+
+@dataclass(frozen=True)
+class HmmConfig:
+    """Viterbi matcher parameters."""
+
+    candidates: CandidateConfig = CandidateConfig()
+    sigma_m: float = 15.0          # GPS noise scale (emission)
+    beta_m: float = 80.0           # route-detour tolerance (transition)
+    max_network_factor: float = 4.0  # cap on network/straight distance ratio
+
+    def __post_init__(self) -> None:
+        if self.sigma_m <= 0 or self.beta_m <= 0:
+            raise ValueError("sigma_m and beta_m must be positive")
+
+
+class HmmMatcher:
+    """Viterbi decoding over candidate edges."""
+
+    def __init__(self, graph: RoadGraph, config: HmmConfig | None = None) -> None:
+        self.graph = graph
+        self.config = config or HmmConfig()
+
+    def match(
+        self,
+        points: list[RoutePoint],
+        to_xy,
+        segment_id: int = 0,
+        car_id: int = 0,
+    ) -> MatchedRoute | None:
+        """Viterbi-match a point sequence (same interface as incremental)."""
+        xys = [to_xy(p) for p in points]
+        movements = _movements(xys)
+        layers: list[list[Candidate]] = []
+        kept_points: list[RoutePoint] = []
+        kept_xys: list[tuple[float, float]] = []
+        for p, xy, mv in zip(points, xys, movements):
+            cands = candidates_for_point(self.graph, xy, mv, self.config.candidates)
+            if cands:
+                layers.append(cands)
+                kept_points.append(p)
+                kept_xys.append(xy)
+        if not layers:
+            return None
+
+        # Viterbi forward pass.
+        n = len(layers)
+        log_prob: list[list[float]] = [[self._emission(c) for c in layers[0]]]
+        back: list[list[int]] = [[-1] * len(layers[0])]
+        for i in range(1, n):
+            straight = math.hypot(
+                kept_xys[i][0] - kept_xys[i - 1][0], kept_xys[i][1] - kept_xys[i - 1][1]
+            )
+            prev_layer = layers[i - 1]
+            cur_layer = layers[i]
+            trans = self._transition_matrix(prev_layer, cur_layer, straight)
+            row_scores: list[float] = []
+            row_back: list[int] = []
+            for j, cand in enumerate(cur_layer):
+                emit = self._emission(cand)
+                best_k = -1
+                best_val = -math.inf
+                for k in range(len(prev_layer)):
+                    val = log_prob[i - 1][k] + trans[k][j]
+                    if val > best_val:
+                        best_val = val
+                        best_k = k
+                row_scores.append(best_val + emit)
+                row_back.append(best_k)
+            log_prob.append(row_scores)
+            back.append(row_back)
+
+        # Backtrack.
+        j = max(range(len(layers[-1])), key=lambda idx: log_prob[-1][idx])
+        chosen: list[int] = [0] * n
+        for i in range(n - 1, -1, -1):
+            chosen[i] = j
+            j = back[i][j] if back[i][j] >= 0 else 0
+
+        matched = [
+            MatchedPoint(
+                point=kept_points[i],
+                edge_id=layers[i][chosen[i]].edge.edge_id,
+                arc_m=layers[i][chosen[i]].arc_m,
+                snapped_xy=layers[i][chosen[i]].snapped_xy,
+                match_distance_m=layers[i][chosen[i]].distance_m,
+                score=log_prob[i][chosen[i]],
+            )
+            for i in range(n)
+        ]
+        route = MatchedRoute(segment_id=segment_id, car_id=car_id, matched=matched)
+        connect_matches(self.graph, route)
+        return route
+
+    # -- probabilities ---------------------------------------------------------
+
+    def _emission(self, cand: Candidate) -> float:
+        z = cand.distance_m / self.config.sigma_m
+        return -0.5 * z * z
+
+    def _transition_matrix(
+        self, prev_layer: list[Candidate], cur_layer: list[Candidate], straight: float
+    ) -> list[list[float]]:
+        """Log transition scores between two candidate layers.
+
+        Network distances are computed with one capped Dijkstra per exit
+        endpoint of each previous candidate, shared across all follow-up
+        candidates.
+        """
+        cap = max(300.0, straight * self.config.max_network_factor)
+        out: list[list[float]] = []
+        for prev in prev_layer:
+            dist_maps: dict[int, dict[int, float]] = {}
+            for exit_node in _exits(prev.edge):
+                settled = dijkstra(
+                    self.graph, exit_node, target=None, weight="length", max_cost=cap
+                )
+                dist_maps[exit_node] = {n: c for n, (c, __, ___) in settled.items()}
+            row: list[float] = []
+            for cur in cur_layer:
+                nd = self._network_distance(prev, cur, dist_maps, cap)
+                if nd is None:
+                    row.append(-1e9)
+                else:
+                    row.append(-abs(nd - straight) / self.config.beta_m)
+            out.append(row)
+        return out
+
+    def _network_distance(
+        self,
+        prev: Candidate,
+        cur: Candidate,
+        dist_maps: dict[int, dict[int, float]],
+        cap: float,
+    ) -> float | None:
+        if prev.edge.edge_id == cur.edge.edge_id:
+            return abs(cur.arc_m - prev.arc_m)
+        best: float | None = None
+        for exit_node, dist_map in dist_maps.items():
+            d1 = (
+                prev.edge.length - prev.arc_m
+                if exit_node == prev.edge.v
+                else prev.arc_m
+            )
+            for entry in _entries(cur.edge):
+                through = dist_map.get(entry)
+                if through is None:
+                    continue
+                d2 = cur.arc_m if entry == cur.edge.u else cur.edge.length - cur.arc_m
+                total = d1 + through + d2
+                if total <= cap * 1.5 and (best is None or total < best):
+                    best = total
+        return best
+
+
+def _exits(edge: RoadEdge) -> list[int]:
+    exits = []
+    if edge.forward_allowed:
+        exits.append(edge.v)
+    if edge.backward_allowed:
+        exits.append(edge.u)
+    return exits or [edge.v]
+
+
+def _entries(edge: RoadEdge) -> list[int]:
+    entries = []
+    if edge.forward_allowed:
+        entries.append(edge.u)
+    if edge.backward_allowed:
+        entries.append(edge.v)
+    return entries or [edge.u]
+
+
+def _movements(xys):
+    n = len(xys)
+    out = []
+    for i in range(n):
+        a = xys[max(0, i - 1)]
+        b = xys[min(n - 1, i + 1)]
+        mv = (b[0] - a[0], b[1] - a[1])
+        out.append(mv if mv != (0.0, 0.0) else None)
+    return out

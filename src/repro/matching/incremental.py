@@ -1,0 +1,153 @@
+"""Incremental map matching (Brakatsoulas et al., VLDB'05).
+
+Fixes are matched one by one; each decision maximises the candidate's own
+score plus the best achievable score over a short look-ahead window,
+where a follow-up candidate only counts when it is *network-connected* to
+the current one (same edge, or within two adjacency hops).  This is the
+algorithm the paper uses, enhanced with one-way information from the map
+(see :mod:`repro.matching.candidates`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.geometry import Point
+from repro.matching.candidates import Candidate, CandidateConfig, candidates_for_point
+from repro.matching.gapfill import connect_matches
+from repro.matching.types import MatchedPoint, MatchedRoute
+from repro.roadnet.graph import RoadGraph
+from repro.traces.model import RoutePoint
+
+
+@dataclass(frozen=True)
+class IncrementalConfig:
+    """Incremental matcher parameters."""
+
+    candidates: CandidateConfig = CandidateConfig()
+    look_ahead: int = 2
+    continuity_bonus: float = 3.0   # prefer staying on the same edge
+    max_gap_cost_m: float = 2_000.0  # Dijkstra budget when filling gaps
+
+    def __post_init__(self) -> None:
+        if self.look_ahead < 0:
+            raise ValueError("look_ahead must be non-negative")
+
+
+class IncrementalMatcher:
+    """Greedy look-ahead matcher over a road graph."""
+
+    def __init__(self, graph: RoadGraph, config: IncrementalConfig | None = None) -> None:
+        self.graph = graph
+        self.config = config or IncrementalConfig()
+        self._adjacent: dict[int, set[int]] = {}
+
+    # -- adjacency ------------------------------------------------------------
+
+    def _edges_adjacent(self, edge_id: int) -> set[int]:
+        """Edge ids sharing a node with ``edge_id`` (cached)."""
+        cached = self._adjacent.get(edge_id)
+        if cached is not None:
+            return cached
+        edge = self.graph.edge(edge_id)
+        near = {
+            e.edge_id
+            for node in (edge.u, edge.v)
+            for e in self.graph.out_edges(node, respect_oneway=False)
+        }
+        near.add(edge_id)
+        self._adjacent[edge_id] = near
+        return near
+
+    def _connected(self, a: int, b: int) -> bool:
+        """Within two adjacency hops (enough for event-sampled city fixes)."""
+        if b in self._edges_adjacent(a):
+            return True
+        return any(b in self._edges_adjacent(mid) for mid in self._edges_adjacent(a))
+
+    # -- matching ---------------------------------------------------------------
+
+    def match(
+        self,
+        points: list[RoutePoint],
+        to_xy,
+        segment_id: int = 0,
+        car_id: int = 0,
+    ) -> MatchedRoute | None:
+        """Match a point sequence.
+
+        ``to_xy`` converts a route point to plane coordinates (normally
+        ``projector.to_xy(p.lat, p.lon)`` partial).  Returns None when no
+        point finds any candidate (off-network data).
+        """
+        xys = [to_xy(p) for p in points]
+        movements = _movements(xys)
+        all_candidates: list[list[Candidate]] = [
+            candidates_for_point(self.graph, xy, mv, self.config.candidates)
+            for xy, mv in zip(xys, movements)
+        ]
+        matched: list[MatchedPoint] = []
+        prev_edge_id: int | None = None
+        for i, (point, cands) in enumerate(zip(points, all_candidates)):
+            if not cands:
+                continue  # unmatched fix; gap filling bridges it later
+            best = max(
+                cands,
+                key=lambda c: self._decision_score(c, i, all_candidates, prev_edge_id),
+            )
+            matched.append(
+                MatchedPoint(
+                    point=point,
+                    edge_id=best.edge.edge_id,
+                    arc_m=best.arc_m,
+                    snapped_xy=best.snapped_xy,
+                    match_distance_m=best.distance_m,
+                    score=best.score,
+                )
+            )
+            prev_edge_id = best.edge.edge_id
+        if not matched:
+            return None
+        route = MatchedRoute(segment_id=segment_id, car_id=car_id, matched=matched)
+        connect_matches(self.graph, route, max_cost_m=self.config.max_gap_cost_m)
+        return route
+
+    def _decision_score(
+        self,
+        candidate: Candidate,
+        i: int,
+        all_candidates: list[list[Candidate]],
+        prev_edge_id: int | None,
+    ) -> float:
+        score = candidate.score
+        if prev_edge_id is not None:
+            if candidate.edge.edge_id == prev_edge_id:
+                score += self.config.continuity_bonus
+            elif not self._connected(prev_edge_id, candidate.edge.edge_id):
+                score -= self.config.continuity_bonus
+        # Look-ahead: the best connected follow-up chain.
+        edge_id = candidate.edge.edge_id
+        for j in range(i + 1, min(i + 1 + self.config.look_ahead, len(all_candidates))):
+            nxt = all_candidates[j]
+            if not nxt:
+                break
+            connected = [c for c in nxt if self._connected(edge_id, c.edge.edge_id)]
+            if not connected:
+                score -= self.config.continuity_bonus
+                break
+            best_next = max(connected, key=lambda c: c.score)
+            score += 0.5 * best_next.score
+            edge_id = best_next.edge.edge_id
+        return score
+
+
+def _movements(xys: list[Point]) -> list[Point | None]:
+    """Local movement direction at each fix (central difference)."""
+    n = len(xys)
+    out: list[Point | None] = []
+    for i in range(n):
+        a = xys[max(0, i - 1)]
+        b = xys[min(n - 1, i + 1)]
+        mv = (b[0] - a[0], b[1] - a[1])
+        out.append(mv if mv != (0.0, 0.0) else None)
+    return out

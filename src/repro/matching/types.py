@@ -1,0 +1,101 @@
+"""Matched points and routes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geo.geometry import Point
+from repro.roadnet.graph import RoadGraph
+from repro.traces.model import RoutePoint
+
+
+@dataclass(frozen=True)
+class MatchedPoint:
+    """One route point snapped onto an edge.
+
+    ``arc_m`` is measured in the edge's canonical (u -> v) frame, so map
+    attributes can be fetched without knowing the traversal direction.
+    """
+
+    point: RoutePoint
+    edge_id: int
+    arc_m: float
+    snapped_xy: Point
+    match_distance_m: float
+    score: float = 0.0
+
+
+@dataclass
+class MatchedRoute:
+    """A fully matched trip segment.
+
+    ``matched`` are the per-point matches; ``edge_sequence`` is the
+    gap-filled ordered list of ``(edge_id, from_node)`` traversals covering
+    the whole drive (the paper's map-matched route on which attribute data
+    is fetched).
+    """
+
+    segment_id: int
+    car_id: int
+    matched: list[MatchedPoint] = field(default_factory=list)
+    edge_sequence: list[tuple[int, int]] = field(default_factory=list)
+    gaps_filled: int = 0
+
+    @property
+    def edge_ids(self) -> list[int]:
+        return [edge_id for edge_id, __ in self.edge_sequence]
+
+    def length_m(self, graph: RoadGraph) -> float:
+        """Driven length: full interior edges plus partial first/last edges."""
+        if not self.edge_sequence:
+            return 0.0
+        total = sum(graph.edge(eid).length for eid in self.edge_ids)
+        # Trim the unused parts of the first and last edges.
+        if self.matched:
+            first = self.matched[0]
+            last = self.matched[-1]
+            first_edge = graph.edge(self.edge_sequence[0][0])
+            last_edge = graph.edge(self.edge_sequence[-1][0])
+            if first.edge_id == first_edge.edge_id:
+                from_node = self.edge_sequence[0][1]
+                used = (
+                    first_edge.length - first.arc_m
+                    if from_node == first_edge.u
+                    else first.arc_m
+                )
+                total -= first_edge.length - used
+            if last.edge_id == last_edge.edge_id:
+                from_node = self.edge_sequence[-1][1]
+                used = last.arc_m if from_node == last_edge.u else last_edge.length - last.arc_m
+                total -= last_edge.length - used
+        return max(0.0, total)
+
+    def element_ids(self, graph: RoadGraph) -> list[int]:
+        """Digiroad element ids along the matched route, in driving order."""
+        out: list[int] = []
+        for edge_id, from_node in self.edge_sequence:
+            edge = graph.edge(edge_id)
+            spans = edge.spans if from_node == edge.u else tuple(reversed(edge.spans))
+            out.extend(span.element_id for span in spans)
+        return out
+
+    def interior_nodes(self) -> list[int]:
+        """Nodes passed between consecutive traversed edges."""
+        nodes = []
+        for (eid, from_node) in self.edge_sequence[1:]:
+            nodes.append(from_node)
+        return nodes
+
+    @property
+    def start_time_s(self) -> float:
+        return self.matched[0].point.time_s if self.matched else 0.0
+
+    @property
+    def end_time_s(self) -> float:
+        return self.matched[-1].point.time_s if self.matched else 0.0
+
+    @property
+    def mean_match_distance_m(self) -> float:
+        if not self.matched:
+            return 0.0
+        return sum(m.match_distance_m for m in self.matched) / len(self.matched)

@@ -1,0 +1,30 @@
+"""Origin-Destination analysis (paper Sec. IV.D).
+
+Three gate roads (T, S, L) at the entry/exit points of downtown are
+thickened ("thick geometry") and trip segments crossing them within an
+angular window, first origin then destination, become *transitions*.
+Filters reproduce the Table 3 funnel: crossing condition, studied OD
+pairs, within-central-area, and the post-map-matching endpoint check.
+"""
+
+from repro.od.gates import CrossingEvent, Gate, find_crossings
+from repro.od.transitions import (
+    STUDIED_PAIRS,
+    FunnelRow,
+    Transition,
+    TransitionConfig,
+    TransitionExtractor,
+    post_filter_transition,
+)
+
+__all__ = [
+    "CrossingEvent",
+    "FunnelRow",
+    "Gate",
+    "STUDIED_PAIRS",
+    "Transition",
+    "TransitionConfig",
+    "TransitionExtractor",
+    "find_crossings",
+    "post_filter_transition",
+]

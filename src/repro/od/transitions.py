@@ -1,0 +1,203 @@
+"""Transition extraction and the Table 3 funnel.
+
+A *transition* is the part of a trip segment between an origin-gate
+crossing and a destination-gate crossing, for the four studied ordered
+pairs (T-L, L-T, T-S, S-T).  The funnel stages mirror Table 3:
+
+1. *trip segments (total)* — all cleaned segments;
+2. *filtered and cleaned* — segments crossing at least one thick gate
+   road within the angle window;
+3. *transitions total* — segments forming one of the studied ordered
+   pairs (first origin, then destination);
+4. *within city centre* — transitions whose route stays inside the
+   central area between the two crossings;
+5. *post-filtered* — transitions whose matched start and end fixes lie
+   close to the origin/destination roads (applied after map matching).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cleaning.segmentation import TripSegment
+from repro.geo.polygon import Polygon
+from repro.od.gates import CrossingEvent, Gate, find_crossings
+
+#: The ordered OD pairs the paper studies.
+STUDIED_PAIRS = (("T", "L"), ("L", "T"), ("T", "S"), ("S", "T"))
+
+
+@dataclass(frozen=True)
+class TransitionConfig:
+    """Extraction parameters."""
+
+    pairs: tuple[tuple[str, str], ...] = STUDIED_PAIRS
+    post_filter_distance_m: float = 150.0
+
+    def __post_init__(self) -> None:
+        if self.post_filter_distance_m <= 0:
+            raise ValueError("post_filter_distance_m must be positive")
+
+
+@dataclass
+class Transition:
+    """One origin->destination transition of a trip segment."""
+
+    segment: TripSegment
+    origin: str
+    destination: str
+    origin_event: CrossingEvent
+    destination_event: CrossingEvent
+    within_centre: bool = False
+    post_filtered_ok: bool | None = None  # set by the post-filter stage
+
+    @property
+    def direction(self) -> str:
+        """The paper's direction label, e.g. ``"T-S"``."""
+        return f"{self.origin}-{self.destination}"
+
+    def point_slice(self) -> slice:
+        """Indices of the segment's points that belong to the transition.
+
+        Includes the fixes straddling both crossings.
+        """
+        return slice(self.origin_event.index, self.destination_event.index + 2)
+
+    def points(self) -> list:
+        return self.segment.points[self.point_slice()]
+
+
+@dataclass(frozen=True)
+class FunnelRow:
+    """One car's row of Table 3."""
+
+    car_id: int
+    total_segments: int
+    filtered_cleaned: int
+    transitions_total: int
+    within_centre: int
+    post_filtered: int
+
+
+@dataclass
+class ExtractionResult:
+    """Everything the extractor produces for a fleet."""
+
+    transitions: list[Transition] = field(default_factory=list)
+    funnel: list[FunnelRow] = field(default_factory=list)
+
+    def by_direction(self) -> dict[str, list[Transition]]:
+        out: dict[str, list[Transition]] = {}
+        for t in self.transitions:
+            out.setdefault(t.direction, []).append(t)
+        return out
+
+
+class TransitionExtractor:
+    """Runs the funnel stages 1-4 (stage 5 needs matched routes)."""
+
+    def __init__(
+        self,
+        gates: list[Gate],
+        central_area: Polygon,
+        config: TransitionConfig | None = None,
+    ) -> None:
+        self.gates = gates
+        self.gates_by_name = {g.name: g for g in gates}
+        self.central_area = central_area
+        self.config = config or TransitionConfig()
+
+    def extract(self, segments: list[TripSegment], to_xy) -> ExtractionResult:
+        """Extract transitions from cleaned segments.
+
+        ``to_xy`` converts a route point to plane coordinates.  Funnel rows
+        carry stage counts per car; the post-filter column is left at the
+        within-centre count until :func:`post_filter_transition` results
+        are folded in by the caller (see
+        :meth:`repro.experiments.study.OuluStudy.run`).
+        """
+        per_car: dict[int, dict[str, int]] = {}
+        transitions: list[Transition] = []
+        for seg in segments:
+            stats = per_car.setdefault(
+                seg.car_id,
+                {"total": 0, "filtered": 0, "transitions": 0, "centre": 0},
+            )
+            stats["total"] += 1
+            xys = [to_xy(p) for p in seg.points]
+            times = [p.time_s for p in seg.points]
+            events = find_crossings(xys, times, self.gates)
+            if not events:
+                continue
+            stats["filtered"] += 1
+            transition = self._first_studied_pair(seg, events)
+            if transition is None:
+                continue
+            stats["transitions"] += 1
+            transition.within_centre = self._within_centre(transition, xys)
+            if transition.within_centre:
+                stats["centre"] += 1
+                transitions.append(transition)
+        funnel = [
+            FunnelRow(
+                car_id=car,
+                total_segments=s["total"],
+                filtered_cleaned=s["filtered"],
+                transitions_total=s["transitions"],
+                within_centre=s["centre"],
+                post_filtered=s["centre"],  # refined by the post-filter stage
+            )
+            for car, s in sorted(per_car.items())
+        ]
+        return ExtractionResult(transitions=transitions, funnel=funnel)
+
+    def _first_studied_pair(
+        self, seg: TripSegment, events: list[CrossingEvent]
+    ) -> Transition | None:
+        """First ordered studied pair among the crossing events."""
+        for i, origin in enumerate(events):
+            for destination in events[i + 1:]:
+                if destination.gate == origin.gate:
+                    continue
+                if (origin.gate, destination.gate) in self.config.pairs:
+                    return Transition(
+                        segment=seg,
+                        origin=origin.gate,
+                        destination=destination.gate,
+                        origin_event=origin,
+                        destination_event=destination,
+                    )
+        return None
+
+    def _within_centre(self, transition: Transition, xys: list) -> bool:
+        """All fixes strictly between the crossings are inside the centre."""
+        i0 = transition.origin_event.index + 1
+        i1 = transition.destination_event.index + 1
+        return all(self.central_area.contains(xys[i]) for i in range(i0, i1))
+
+
+def post_filter_transition(
+    transition: Transition,
+    matched_start_xy,
+    matched_end_xy,
+    gates_by_name: dict[str, Gate],
+    config: TransitionConfig | None = None,
+) -> bool:
+    """Stage 5: matched endpoints must lie near the OD roads.
+
+    The paper map-matches the within-centre transitions and keeps those
+    whose start and end route points are close to the origin/destination
+    roads.  Sparse event sampling means the first fix after a crossing can
+    be far from the gate; such transitions are discarded.
+    """
+    config = config or TransitionConfig()
+    origin_gate = gates_by_name[transition.origin]
+    dest_gate = gates_by_name[transition.destination]
+    d0 = origin_gate.distance_to(matched_start_xy)
+    d1 = dest_gate.distance_to(matched_end_xy)
+    ok = (
+        d0 <= origin_gate.half_width_m + config.post_filter_distance_m
+        and d1 <= dest_gate.half_width_m + config.post_filter_distance_m
+    )
+    transition.post_filtered_ok = ok
+    return ok

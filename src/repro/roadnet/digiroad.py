@@ -1,0 +1,194 @@
+"""The map database — storage and spatial queries over Digiroad-style data.
+
+:class:`MapDatabase` keeps traffic elements, point objects and segmented
+attributes in :mod:`repro.store` tables with spatial columns, exposing the
+queries the pipeline issues: elements near a point, point objects within a
+radius or along an element, and the speed limit at an arc position
+(segmented restrictions override the element default).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Any
+
+from repro.geo.geometry import LineString, Point
+from repro.roadnet.elements import (
+    FlowDirection,
+    PointObject,
+    PointObjectKind,
+    SegmentedAttribute,
+    TrafficElement,
+)
+from repro.store import Column, Database, HashIndex, SpatialColumn
+
+
+class MapDatabase:
+    """Digiroad substitute: elements + point objects + segmented attributes."""
+
+    def __init__(self, spatial_cell_m: float = 150.0) -> None:
+        self.db = Database("digiroad")
+        self._elements = self.db.create_table(
+            "traffic_elements",
+            [
+                Column("element_id", int),
+                Column("element", TrafficElement),
+                Column("geometry", LineString),
+            ],
+            pk="element_id",
+        )
+        self._objects = self.db.create_table(
+            "point_objects",
+            [
+                Column("object_id", int),
+                Column("object", PointObject),
+                Column("kind", str),
+                Column("position", tuple),
+                Column("element_id", int, nullable=True),
+            ],
+            pk="object_id",
+        )
+        self._attrs = self.db.create_table(
+            "segmented_attributes",
+            [
+                Column("id", int),
+                Column("element_id", int),
+                Column("name", str),
+                Column("attr", SegmentedAttribute),
+            ],
+        )
+        self._element_geom = SpatialColumn(self._elements, "geometry", spatial_cell_m)
+        self._object_geom = SpatialColumn(self._objects, "position", spatial_cell_m)
+        self._objects_by_kind = HashIndex(self._objects, "kind")
+        self._objects_by_element = HashIndex(self._objects, "element_id")
+        self._attrs_by_element = HashIndex(self._attrs, "element_id")
+
+    # -- loading -------------------------------------------------------------
+
+    def add_element(self, element: TrafficElement) -> None:
+        """Register one traffic element (unique ``element_id``)."""
+        self._elements.insert(
+            {
+                "element_id": element.element_id,
+                "element": element,
+                "geometry": element.geometry,
+            }
+        )
+
+    def add_elements(self, elements: Iterable[TrafficElement]) -> None:
+        for element in elements:
+            self.add_element(element)
+
+    def add_point_object(self, obj: PointObject) -> None:
+        """Register one point object (light / bus stop / crossing)."""
+        self._objects.insert(
+            {
+                "object_id": obj.object_id,
+                "object": obj,
+                "kind": obj.kind.value,
+                "position": tuple(obj.position),
+                "element_id": obj.element_id,
+            }
+        )
+
+    def add_point_objects(self, objects: Iterable[PointObject]) -> None:
+        for obj in objects:
+            self.add_point_object(obj)
+
+    def add_segmented_attribute(self, attr: SegmentedAttribute) -> None:
+        """Register a segmented line-like attribute row."""
+        self.element(attr.element_id)  # validate the element exists
+        self._attrs.insert({"element_id": attr.element_id, "name": attr.name, "attr": attr})
+
+    # -- element access --------------------------------------------------------
+
+    def element(self, element_id: int) -> TrafficElement:
+        """Traffic element by id (KeyError if absent)."""
+        return self._elements.get(element_id)["element"]
+
+    def elements(self) -> list[TrafficElement]:
+        """All traffic elements."""
+        return [row["element"] for row in self._elements.rows()]
+
+    def element_count(self) -> int:
+        return len(self._elements)
+
+    def elements_near(self, p: Point, radius: float) -> list[TrafficElement]:
+        """Elements whose geometry passes within ``radius`` of ``p``."""
+        rows = self._element_geom.within_radius(p, radius)
+        return [row["element"] for row in rows]
+
+    def nearest_element(self, p: Point, max_radius: float = 500.0) -> TrafficElement | None:
+        """Element nearest to ``p`` within ``max_radius`` (None if none)."""
+        row = self._element_geom.nearest(p, max_radius)
+        return None if row is None else row["element"]
+
+    # -- point object access ----------------------------------------------------
+
+    def point_object(self, object_id: int) -> PointObject:
+        return self._objects.get(object_id)["object"]
+
+    def point_objects(self, kind: PointObjectKind | None = None) -> list[PointObject]:
+        """All point objects, optionally restricted to one kind."""
+        if kind is None:
+            return [row["object"] for row in self._objects.rows()]
+        return [row["object"] for row in self._objects_by_kind.lookup(kind.value)]
+
+    def objects_near(
+        self, p: Point, radius: float, kind: PointObjectKind | None = None
+    ) -> list[PointObject]:
+        """Point objects within ``radius`` of ``p`` (optionally one kind)."""
+        rows = self._object_geom.within_radius(p, radius)
+        objs = [row["object"] for row in rows]
+        if kind is not None:
+            objs = [o for o in objs if o.kind is kind]
+        return objs
+
+    def objects_on_element(
+        self, element_id: int, kind: PointObjectKind | None = None
+    ) -> list[PointObject]:
+        """Point objects attached to one traffic element."""
+        objs = [row["object"] for row in self._objects_by_element.lookup(element_id)]
+        if kind is not None:
+            objs = [o for o in objs if o.kind is kind]
+        return objs
+
+    def count_objects(self, kind: PointObjectKind) -> int:
+        """Total count of point objects of one kind."""
+        return len(self._objects_by_kind.keys(kind.value))
+
+    def feature_census(self) -> dict[str, int]:
+        """Counts of every point-object kind (for the study-area census)."""
+        return {kind.value: self.count_objects(kind) for kind in PointObjectKind}
+
+    # -- attributes ---------------------------------------------------------------
+
+    def segmented_attributes(self, element_id: int, name: str | None = None) -> list[SegmentedAttribute]:
+        """Segmented attributes on an element, optionally filtered by name."""
+        attrs = [row["attr"] for row in self._attrs_by_element.lookup(element_id)]
+        if name is not None:
+            attrs = [a for a in attrs if a.name == name]
+        return attrs
+
+    def speed_limit_at(self, element_id: int, arc_m: float) -> float:
+        """Speed limit at an arc position, honouring segmented restrictions.
+
+        The most restrictive (lowest) covering restriction wins; the element
+        default applies when no restriction covers the position.
+        """
+        element = self.element(element_id)
+        limits = [
+            float(a.value)
+            for a in self.segmented_attributes(element_id, "speed_limit")
+            if a.covers(arc_m)
+        ]
+        if limits:
+            return min(limits)
+        return element.speed_limit_kmh
+
+    def attribute_at(self, element_id: int, name: str, arc_m: float) -> Any | None:
+        """First segmented attribute value of ``name`` covering ``arc_m``."""
+        for attr in self.segmented_attributes(element_id, name):
+            if attr.covers(arc_m):
+                return attr.value
+        return None

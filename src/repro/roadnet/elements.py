@@ -1,0 +1,124 @@
+"""Digiroad-style data model.
+
+Traffic elements are the smallest units of road centre-line geometry; each
+has a unique identifier, a digitization direction, and characteristic
+attributes (functional class, length, speed limit).  Point objects (bus
+stops, traffic lights, pedestrian crossings) and segmented line-like
+attributes (speed restrictions over an arc-length range) hang off the
+elements, as in the real database.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.geo.geometry import LineString, Point
+
+
+class FunctionalClass(enum.IntEnum):
+    """Digiroad functional road classes (1 = highest)."""
+
+    MAIN_ROAD = 1
+    REGIONAL_ROAD = 2
+    CONNECTING_ROAD = 3
+    ARTERIAL_STREET = 4
+    COLLECTOR_STREET = 5
+    RESIDENTIAL_STREET = 6
+
+
+class FlowDirection(enum.Enum):
+    """Allowed traffic flow relative to the digitization direction."""
+
+    BOTH = "both"
+    FORWARD = "forward"       # only along digitization direction
+    BACKWARD = "backward"     # only against digitization direction
+
+    def reversed(self) -> "FlowDirection":
+        if self is FlowDirection.FORWARD:
+            return FlowDirection.BACKWARD
+        if self is FlowDirection.BACKWARD:
+            return FlowDirection.FORWARD
+        return FlowDirection.BOTH
+
+
+class PointObjectKind(enum.Enum):
+    """Transportation-system point object kinds the paper fetches."""
+
+    TRAFFIC_LIGHT = "traffic_light"
+    BUS_STOP = "bus_stop"
+    PEDESTRIAN_CROSSING = "pedestrian_crossing"
+    JUNCTION_MARKER = "junction_marker"
+
+
+@dataclass(frozen=True)
+class TrafficElement:
+    """One traffic element: identifier, geometry and core attributes.
+
+    ``geometry`` runs in the digitization direction.  ``speed_limit_kmh``
+    is the default limit; finer-grained restrictions are expressed as
+    :class:`SegmentedAttribute` rows in the map database.
+    """
+
+    element_id: int
+    geometry: LineString
+    functional_class: FunctionalClass = FunctionalClass.COLLECTOR_STREET
+    speed_limit_kmh: float = 40.0
+    flow: FlowDirection = FlowDirection.BOTH
+    name: str = ""
+
+    @property
+    def length_m(self) -> float:
+        return self.geometry.length
+
+    def start(self) -> Point:
+        return self.geometry.start()
+
+    def end(self) -> Point:
+        return self.geometry.end()
+
+    def __post_init__(self) -> None:
+        if self.speed_limit_kmh <= 0.0:
+            raise ValueError("speed limit must be positive")
+
+
+@dataclass(frozen=True)
+class PointObject:
+    """A transportation-system point object (light, stop, crossing)."""
+
+    object_id: int
+    kind: PointObjectKind
+    position: Point
+    element_id: int | None = None
+    attributes: tuple[tuple[str, Any], ...] = field(default=())
+
+    def attribute(self, name: str, default: Any = None) -> Any:
+        for key, value in self.attributes:
+            if key == name:
+                return value
+        return default
+
+
+@dataclass(frozen=True)
+class SegmentedAttribute:
+    """Line-like attribute data over an arc range of one element.
+
+    Road addresses and speed restrictions are the paper's examples; the
+    value applies on ``element_id`` from ``start_m`` to ``end_m`` measured
+    along the digitization direction.
+    """
+
+    element_id: int
+    name: str
+    start_m: float
+    end_m: float
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.end_m <= self.start_m:
+            raise ValueError("segmented attribute needs start_m < end_m")
+
+    def covers(self, arc_m: float) -> bool:
+        """True when the attribute applies at arc position ``arc_m``."""
+        return self.start_m <= arc_m <= self.end_m

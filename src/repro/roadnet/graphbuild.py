@@ -1,0 +1,229 @@
+"""Map preparation (paper Sec. IV.A).
+
+Reconstructs the road-network graph so that each edge is a single merged
+chain of traffic elements between two junctions:
+
+1. Build an endpoint table classifying every element endpoint as a
+   *junction* (at least three element endpoints coincide, or a dead end)
+   or an *intermediate point* (exactly two elements touch).
+2. Walk chains of elements through intermediate points, merging their
+   geometries (reversing where digitization direction opposes the walk)
+   and intersecting their flow directions.
+3. Emit the junction-pair table (paper Table 1) and the final
+   :class:`~repro.roadnet.graph.RoadGraph`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.geo.geometry import LineString, Point
+from repro.roadnet.elements import FlowDirection, TrafficElement
+from repro.roadnet.graph import ElementSpan, RoadEdge, RoadGraph, RoadNode
+
+#: Coordinates closer than this (metres) are the same endpoint.
+ENDPOINT_QUANTUM_M = 0.05
+
+
+def _endpoint_key(p: Point, quantum: float = ENDPOINT_QUANTUM_M) -> tuple[int, int]:
+    return (round(p[0] / quantum), round(p[1] / quantum))
+
+
+@dataclass
+class EndpointInfo:
+    """All element endpoints coinciding at one location."""
+
+    key: tuple[int, int]
+    position: Point
+    incidences: list[tuple[int, bool]]  # (element_id, is_start_endpoint)
+
+    @property
+    def degree(self) -> int:
+        return len(self.incidences)
+
+    @property
+    def is_junction(self) -> bool:
+        """Junctions per the paper: >= 3 incident elements; dead ends too."""
+        return self.degree != 2
+
+
+@dataclass(frozen=True)
+class JunctionPair:
+    """One row of the paper's Table 1: a merged edge between junctions."""
+
+    junction1: Point
+    element_ids: tuple[int, ...]
+    junction2: Point
+
+
+def classify_endpoints(
+    elements: Iterable[TrafficElement],
+) -> dict[tuple[int, int], EndpointInfo]:
+    """Build the endpoint table of Sec. IV.A.
+
+    Each element contributes its start and end endpoint; coincident
+    endpoints (within :data:`ENDPOINT_QUANTUM_M`) are pooled.
+    """
+    table: dict[tuple[int, int], EndpointInfo] = {}
+    for element in elements:
+        for point, is_start in ((element.start(), True), (element.end(), False)):
+            key = _endpoint_key(point)
+            info = table.get(key)
+            if info is None:
+                info = EndpointInfo(key=key, position=point, incidences=[])
+                table[key] = info
+            info.incidences.append((element.element_id, is_start))
+    return table
+
+
+def _traversal_allowed(element: TrafficElement, reversed_: bool) -> tuple[bool, bool]:
+    """(forward_ok, backward_ok) of an element in the chain's frame."""
+    flow = element.flow.reversed() if reversed_ else element.flow
+    forward_ok = flow in (FlowDirection.BOTH, FlowDirection.FORWARD)
+    backward_ok = flow in (FlowDirection.BOTH, FlowDirection.BACKWARD)
+    return forward_ok, backward_ok
+
+
+def _merge_chain(
+    chain: Sequence[tuple[TrafficElement, bool]], edge_id: int, u: int, v: int
+) -> RoadEdge:
+    """Merge an oriented element chain into one :class:`RoadEdge`."""
+    parts = []
+    spans = []
+    offset = 0.0
+    forward_all = True
+    backward_all = True
+    for element, reversed_ in chain:
+        geom = element.geometry.reversed() if reversed_ else element.geometry
+        parts.append(geom)
+        spans.append(
+            ElementSpan(
+                element_id=element.element_id,
+                start_arc=offset,
+                end_arc=offset + geom.length,
+                reversed_=reversed_,
+                speed_limit_kmh=element.speed_limit_kmh,
+            )
+        )
+        offset += geom.length
+        fwd, bwd = _traversal_allowed(element, reversed_)
+        forward_all = forward_all and fwd
+        backward_all = backward_all and bwd
+    return RoadEdge(
+        edge_id=edge_id,
+        u=u,
+        v=v,
+        geometry=LineString.concat(parts),
+        spans=tuple(spans),
+        forward_allowed=forward_all,
+        backward_allowed=backward_all,
+    )
+
+
+def build_road_graph(
+    elements: Iterable[TrafficElement],
+) -> tuple[RoadGraph, list[JunctionPair]]:
+    """Run the full map preparation and return (graph, Table 1 rows).
+
+    Every traffic element ends up in exactly one edge.  Cycles made purely
+    of intermediate points (a block with no junction) get one synthetic
+    junction so they remain representable.
+    """
+    elements = list(elements)
+    by_id = {e.element_id: e for e in elements}
+    if len(by_id) != len(elements):
+        raise ValueError("duplicate element ids")
+    endpoints = classify_endpoints(elements)
+
+    graph = RoadGraph()
+    pairs: list[JunctionPair] = []
+    node_ids: dict[tuple[int, int], int] = {}
+    visited: set[int] = set()
+    next_edge_id = 1
+
+    def node_for(key: tuple[int, int]) -> int:
+        if key not in node_ids:
+            info = endpoints[key]
+            node_id = len(node_ids) + 1
+            node_ids[key] = node_id
+            graph.add_node(RoadNode(node_id=node_id, position=info.position, degree=info.degree))
+        return node_ids[key]
+
+    def walk_chain(start_key: tuple[int, int], element_id: int) -> tuple[
+        list[tuple[TrafficElement, bool]], tuple[int, int]
+    ]:
+        """Walk from a junction through intermediates; return chain and end key."""
+        chain: list[tuple[TrafficElement, bool]] = []
+        current_key = start_key
+        current_element_id = element_id
+        while True:
+            element = by_id[current_element_id]
+            start_k = _endpoint_key(element.start())
+            end_k = _endpoint_key(element.end())
+            if start_k == current_key:
+                reversed_ = False
+                next_key = end_k
+            elif end_k == current_key:
+                reversed_ = True
+                next_key = start_k
+            else:  # pragma: no cover - defensive, walk invariant violated
+                raise RuntimeError("chain walk lost its endpoint")
+            chain.append((element, reversed_))
+            visited.add(current_element_id)
+            info = endpoints[next_key]
+            if info.is_junction:
+                return chain, next_key
+            # Intermediate point: exactly one other element continues.
+            others = [eid for eid, __ in info.incidences if eid != current_element_id]
+            if len(others) != 1:
+                # Both incidences belong to the current element (a loop whose
+                # far end folds back); treat as terminal.
+                return chain, next_key
+            nxt = others[0]
+            if nxt in visited:
+                return chain, next_key
+            current_key = next_key
+            current_element_id = nxt
+
+    # Pass 1: chains anchored at junctions (and dead ends).
+    for info in endpoints.values():
+        if not info.is_junction:
+            continue
+        for element_id, __ in info.incidences:
+            if element_id in visited:
+                continue
+            chain, end_key = walk_chain(info.key, element_id)
+            u = node_for(info.key)
+            v = node_for(end_key)
+            edge = _merge_chain(chain, next_edge_id, u, v)
+            next_edge_id += 1
+            graph.add_edge(edge)
+            pairs.append(
+                JunctionPair(
+                    junction1=endpoints[info.key].position,
+                    element_ids=edge.element_ids,
+                    junction2=endpoints[end_key].position,
+                )
+            )
+
+    # Pass 2: cycles of pure intermediate points (no junction anywhere).
+    for element in elements:
+        if element.element_id in visited:
+            continue
+        start_key = _endpoint_key(element.start())
+        chain, end_key = walk_chain(start_key, element.element_id)
+        u = node_for(start_key)
+        v = node_for(end_key)
+        edge = _merge_chain(chain, next_edge_id, u, v)
+        next_edge_id += 1
+        graph.add_edge(edge)
+        pairs.append(
+            JunctionPair(
+                junction1=endpoints[start_key].position,
+                element_ids=edge.element_ids,
+                junction2=endpoints[end_key].position,
+            )
+        )
+
+    return graph, pairs

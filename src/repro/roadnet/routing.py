@@ -1,0 +1,284 @@
+"""Shortest paths on the road graph — the pgRouting substitute.
+
+The paper uses pgRouting's Dijkstra to fill map-matching gaps; this module
+provides Dijkstra (with distance or free-flow travel-time weights) and an
+A* variant with an admissible straight-line heuristic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.geo.geometry import LineString
+from repro.roadnet.graph import RoadEdge, RoadGraph
+
+Weight = Literal["length", "time"]
+
+#: Optional custom edge-cost function (must be non-negative).
+WeightFn = Callable[[RoadEdge], float]
+
+#: Upper bound on road speed used to keep the A* time heuristic admissible.
+MAX_SPEED_KMH = 120.0
+
+
+@dataclass(frozen=True)
+class PathResult:
+    """A shortest path: visited nodes, traversed edges, and total cost."""
+
+    nodes: tuple[int, ...]
+    edges: tuple[int, ...]
+    cost: float
+
+    @property
+    def found(self) -> bool:
+        return len(self.nodes) > 0
+
+    @property
+    def hop_count(self) -> int:
+        return len(self.edges)
+
+
+def _edge_weight(edge: RoadEdge, weight: Weight) -> float:
+    if weight == "length":
+        return edge.length
+    return edge.travel_time_s
+
+
+def dijkstra(
+    graph: RoadGraph,
+    source: int,
+    target: int | None = None,
+    weight: Weight = "length",
+    respect_oneway: bool = True,
+    max_cost: float = math.inf,
+    weight_fn: WeightFn | None = None,
+) -> dict[int, tuple[float, int | None, int | None]]:
+    """Dijkstra from ``source``.
+
+    Returns ``{node: (cost, prev_node, prev_edge)}`` for every settled node.
+    Stops early once ``target`` is settled or costs exceed ``max_cost``.
+    ``weight_fn`` overrides the built-in weights (route-choice noise, light
+    penalties); it must return non-negative costs.
+    """
+    dist: dict[int, tuple[float, int | None, int | None]] = {source: (0.0, None, None)}
+    settled: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        cost, node = heapq.heappop(heap)
+        if node in settled:
+            continue
+        settled.add(node)
+        if node == target:
+            break
+        if cost > max_cost:
+            break
+        for edge in graph.out_edges(node, respect_oneway):
+            other = edge.other(node)
+            if other in settled:
+                continue
+            step = weight_fn(edge) if weight_fn is not None else _edge_weight(edge, weight)
+            new_cost = cost + step
+            current = dist.get(other)
+            if current is None or new_cost < current[0]:
+                dist[other] = (new_cost, node, edge.edge_id)
+                heapq.heappush(heap, (new_cost, other))
+    return {n: v for n, v in dist.items() if n in settled or target is None}
+
+
+def _reconstruct(
+    dist: dict[int, tuple[float, int | None, int | None]], source: int, target: int
+) -> PathResult:
+    if target not in dist:
+        return PathResult(nodes=(), edges=(), cost=math.inf)
+    nodes: list[int] = []
+    edges: list[int] = []
+    node: int | None = target
+    while node is not None:
+        nodes.append(node)
+        __, prev_node, prev_edge = dist[node]
+        if prev_edge is not None:
+            edges.append(prev_edge)
+        node = prev_node
+    nodes.reverse()
+    edges.reverse()
+    if nodes[0] != source:
+        return PathResult(nodes=(), edges=(), cost=math.inf)
+    return PathResult(nodes=tuple(nodes), edges=tuple(edges), cost=dist[target][0])
+
+
+def shortest_path(
+    graph: RoadGraph,
+    source: int,
+    target: int,
+    weight: Weight = "length",
+    respect_oneway: bool = True,
+    weight_fn: WeightFn | None = None,
+) -> PathResult:
+    """Dijkstra shortest path between two nodes."""
+    if source == target:
+        return PathResult(nodes=(source,), edges=(), cost=0.0)
+    dist = dijkstra(graph, source, target, weight, respect_oneway, weight_fn=weight_fn)
+    return _reconstruct(dist, source, target)
+
+
+def astar(
+    graph: RoadGraph,
+    source: int,
+    target: int,
+    weight: Weight = "length",
+    respect_oneway: bool = True,
+) -> PathResult:
+    """A* shortest path with a straight-line admissible heuristic."""
+    if source == target:
+        return PathResult(nodes=(source,), edges=(), cost=0.0)
+    tx, ty = graph.node(target).position
+
+    def h(node_id: int) -> float:
+        px, py = graph.node(node_id).position
+        d = math.hypot(px - tx, py - ty)
+        if weight == "length":
+            return d
+        return d / (MAX_SPEED_KMH / 3.6)
+
+    dist: dict[int, tuple[float, int | None, int | None]] = {source: (0.0, None, None)}
+    settled: set[int] = set()
+    heap: list[tuple[float, int]] = [(h(source), source)]
+    while heap:
+        __, node = heapq.heappop(heap)
+        if node in settled:
+            continue
+        settled.add(node)
+        if node == target:
+            break
+        g = dist[node][0]
+        for edge in graph.out_edges(node, respect_oneway):
+            other = edge.other(node)
+            if other in settled:
+                continue
+            new_cost = g + _edge_weight(edge, weight)
+            current = dist.get(other)
+            if current is None or new_cost < current[0]:
+                dist[other] = (new_cost, node, edge.edge_id)
+                heapq.heappush(heap, (new_cost + h(other), other))
+    return _reconstruct(dist, source, target)
+
+
+def bidirectional_dijkstra(
+    graph: RoadGraph,
+    source: int,
+    target: int,
+    weight: Weight = "length",
+    respect_oneway: bool = True,
+) -> PathResult:
+    """Bidirectional Dijkstra: meets in the middle, same optimal cost.
+
+    Searches forward from ``source`` and backward from ``target``
+    (traversing edges against their allowed direction in the backward
+    frontier), stopping once the frontiers' combined radius exceeds the
+    best meeting cost.  Typically settles far fewer nodes than plain
+    Dijkstra on city-scale graphs.
+    """
+    if source == target:
+        return PathResult(nodes=(source,), edges=(), cost=0.0)
+
+    fwd_dist: dict[int, tuple[float, int | None, int | None]] = {source: (0.0, None, None)}
+    bwd_dist: dict[int, tuple[float, int | None, int | None]] = {target: (0.0, None, None)}
+    fwd_settled: set[int] = set()
+    bwd_settled: set[int] = set()
+    fwd_heap: list[tuple[float, int]] = [(0.0, source)]
+    bwd_heap: list[tuple[float, int]] = [(0.0, target)]
+    best_cost = math.inf
+    meeting: int | None = None
+
+    def relax(node: int, cost: float, dist, heap, backward: bool) -> None:
+        nonlocal best_cost, meeting
+        for edge in graph.out_edges(node, respect_oneway=False):
+            other = edge.other(node)
+            # Forward search needs node->other legal; backward search
+            # needs other->node legal (we walk the path in reverse).
+            entry = other if backward else node
+            if respect_oneway and not edge.allows(entry):
+                continue
+            new_cost = cost + _edge_weight(edge, weight)
+            current = dist.get(other)
+            if current is None or new_cost < current[0]:
+                dist[other] = (new_cost, node, edge.edge_id)
+                heapq.heappush(heap, (new_cost, other))
+
+    while fwd_heap or bwd_heap:
+        # Alternate by smaller frontier head.
+        use_fwd = bool(fwd_heap) and (
+            not bwd_heap or fwd_heap[0][0] <= bwd_heap[0][0]
+        )
+        if use_fwd:
+            cost, node = heapq.heappop(fwd_heap)
+            if node in fwd_settled:
+                continue
+            fwd_settled.add(node)
+            if node in bwd_dist:
+                total = cost + bwd_dist[node][0]
+                if total < best_cost:
+                    best_cost = total
+                    meeting = node
+            relax(node, cost, fwd_dist, fwd_heap, backward=False)
+        else:
+            cost, node = heapq.heappop(bwd_heap)
+            if node in bwd_settled:
+                continue
+            bwd_settled.add(node)
+            if node in fwd_dist:
+                total = cost + fwd_dist[node][0]
+                if total < best_cost:
+                    best_cost = total
+                    meeting = node
+            relax(node, cost, bwd_dist, bwd_heap, backward=True)
+        frontier = (fwd_heap[0][0] if fwd_heap else math.inf) + (
+            bwd_heap[0][0] if bwd_heap else math.inf
+        )
+        if frontier >= best_cost:
+            break
+
+    if meeting is None:
+        return PathResult(nodes=(), edges=(), cost=math.inf)
+
+    # Stitch forward half and reversed backward half at the meeting node.
+    nodes: list[int] = []
+    edges: list[int] = []
+    node: int | None = meeting
+    while node is not None:
+        nodes.append(node)
+        __, prev_node, prev_edge = fwd_dist[node]
+        if prev_edge is not None:
+            edges.append(prev_edge)
+        node = prev_node
+    nodes.reverse()
+    edges.reverse()
+    node = meeting
+    while True:
+        __, next_node, next_edge = bwd_dist[node]
+        if next_edge is None:
+            break
+        edges.append(next_edge)
+        nodes.append(next_node)
+        node = next_node
+    return PathResult(nodes=tuple(nodes), edges=tuple(edges), cost=best_cost)
+
+
+def shortest_path_geometry(graph: RoadGraph, path: PathResult) -> LineString | None:
+    """Merged geometry of a path result (None for empty/point paths)."""
+    if not path.found or not path.edges:
+        return None
+    parts = []
+    for node, edge_id in zip(path.nodes[:-1], path.edges):
+        edge = graph.edge(edge_id)
+        parts.append(edge.geometry_from(node))
+    return LineString.concat(parts)
+
+
+def path_travel_time_s(graph: RoadGraph, path: PathResult) -> float:
+    """Free-flow travel time of a path in seconds."""
+    return sum(graph.edge(eid).travel_time_s for eid in path.edges)

@@ -1,0 +1,452 @@
+"""Deterministic synthetic downtown-Oulu generator.
+
+The paper's map is a proprietary Digiroad extract of Oulu.  This module
+builds a structurally equivalent substitute: a dense downtown grid with a
+pedestrian hotspot, three gate arterials (T north, S south-east, L
+south-west) at the key entry/exit points, a light-free western bypass
+(fast T<->L alternative), an eastern outer arterial *outside* the central
+area (so some gate-to-gate transitions legitimately leave the centre and
+get filtered, as in Table 3), dead-end stubs (visible in the Fig. 9
+intercept map), and point objects placed deterministically with counts
+calibrated to the paper's study-area census {67 traffic lights, 48 bus
+stops, 293 pedestrian crossings}.
+
+Everything is seeded and reproducible; the city is a plain
+:class:`~repro.roadnet.digiroad.MapDatabase` plus the prepared road graph,
+so the rest of the pipeline cannot tell it apart from a real extract.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.geo.geometry import LineString, Point, segment_intersection
+from repro.geo.polygon import Polygon
+from repro.geo.projection import LocalProjector
+from repro.roadnet.digiroad import MapDatabase
+from repro.roadnet.elements import (
+    FlowDirection,
+    FunctionalClass,
+    PointObject,
+    PointObjectKind,
+    TrafficElement,
+)
+from repro.roadnet.graph import RoadGraph
+from repro.roadnet.graphbuild import JunctionPair, build_road_graph
+
+#: First synthetic element id (cosmetic nod to the paper's Table 1 ids).
+FIRST_ELEMENT_ID = 121_000
+
+
+@dataclass(frozen=True)
+class StreetSpec:
+    """One straight street of the synthetic city (before element splitting)."""
+
+    name: str
+    a: Point
+    b: Point
+    functional_class: FunctionalClass
+    speed_limit_kmh: float
+    flow: FlowDirection = FlowDirection.BOTH
+
+
+@dataclass(frozen=True)
+class CitySpec:
+    """Parameters of the synthetic city.
+
+    Defaults reproduce the study-area feature census of the paper
+    ({67, 48, 293} lights/bus stops/pedestrian crossings) on a grid whose
+    scale matches downtown Oulu (200 m blocks).
+    """
+
+    ref_lat: float = 65.0121
+    ref_lon: float = 25.4651
+    grid_half_m: float = 1000.0
+    grid_spacing_m: float = 200.0
+    n_traffic_lights: int = 67
+    n_bus_stops: int = 48
+    n_pedestrian_crossings: int = 293
+    gate_half_width_m: float = 60.0
+    max_element_length_m: float = 120.0
+    seed: int = 20120110
+
+    def __post_init__(self) -> None:
+        if self.grid_spacing_m <= 0 or self.grid_half_m <= 0:
+            raise ValueError("grid dimensions must be positive")
+        if self.grid_half_m % self.grid_spacing_m != 0:
+            raise ValueError("grid_half_m must be a multiple of grid_spacing_m")
+
+
+@dataclass
+class SyntheticCity:
+    """The generated city: map database, prepared graph, gates and regions."""
+
+    spec: CitySpec
+    map_db: MapDatabase
+    graph: RoadGraph
+    junction_pairs: list[JunctionPair]
+    gate_roads: dict[str, LineString]
+    central_area: Polygon
+    hotspots: list[Polygon]
+    projector: LocalProjector
+    streets: list[StreetSpec] = field(default_factory=list)
+
+    def in_hotspot(self, p: Point) -> bool:
+        """Is ``p`` inside a crowded pedestrian hotspot?"""
+        return any(h.contains(p) for h in self.hotspots)
+
+    def feature_census(self) -> dict[str, int]:
+        """Point-object counts plus the junction count ("crossings")."""
+        census = self.map_db.feature_census()
+        census["junctions"] = sum(
+            1 for n in self.graph.nodes() if self.graph.degree(n.node_id) >= 3
+        )
+        return census
+
+
+def _street_list(spec: CitySpec) -> list[StreetSpec]:
+    """The full street inventory of the synthetic city."""
+    half = spec.grid_half_m
+    step = spec.grid_spacing_m
+    streets: list[StreetSpec] = []
+    xs = [(-half) + i * step for i in range(int(2 * half / step) + 1)]
+
+    def ns_class(x: float) -> tuple[FunctionalClass, float, FlowDirection]:
+        if x == 0.0:
+            return FunctionalClass.ARTERIAL_STREET, 40.0, FlowDirection.BOTH
+        if x == -half:
+            # The western bypass corridor: a light-free T<->L alternative
+            # (the paper's Fig. 6 region "below line D" has few features).
+            return FunctionalClass.CONNECTING_ROAD, 40.0, FlowDirection.BOTH
+        if x == half:
+            return FunctionalClass.RESIDENTIAL_STREET, 30.0, FlowDirection.BOTH
+        if abs(x) == 600.0:
+            return FunctionalClass.COLLECTOR_STREET, 40.0, FlowDirection.BOTH
+        if x == 200.0:  # one-way pair flanking the main axis, like real downtowns
+            return FunctionalClass.RESIDENTIAL_STREET, 30.0, FlowDirection.FORWARD
+        if x == -200.0:
+            return FunctionalClass.RESIDENTIAL_STREET, 30.0, FlowDirection.BACKWARD
+        return FunctionalClass.RESIDENTIAL_STREET, 30.0, FlowDirection.BOTH
+
+    def ew_class(y: float) -> tuple[FunctionalClass, float, FlowDirection]:
+        if y == 0.0:
+            return FunctionalClass.ARTERIAL_STREET, 40.0, FlowDirection.BOTH
+        if abs(y) == half:
+            return FunctionalClass.RESIDENTIAL_STREET, 30.0, FlowDirection.BOTH
+        if abs(y) == 600.0:
+            return FunctionalClass.COLLECTOR_STREET, 40.0, FlowDirection.BOTH
+        return FunctionalClass.RESIDENTIAL_STREET, 30.0, FlowDirection.BOTH
+
+    # Downtown grid (north-south streets digitized south->north, east-west
+    # streets west->east).
+    for x in xs:
+        cls, limit, flow = ns_class(x)
+        streets.append(StreetSpec(f"ns_{int(x)}", (x, -half), (x, half), cls, limit, flow))
+    for y in xs:
+        cls, limit, flow = ew_class(y)
+        streets.append(StreetSpec(f"ew_{int(y)}", (-half, y), (half, y), cls, limit, flow))
+
+    # Gate arterials beyond the grid.
+    streets.append(
+        StreetSpec(
+            "arterial_T", (0.0, half), (0.0, 2400.0),
+            FunctionalClass.CONNECTING_ROAD, 60.0,
+        )
+    )
+    streets.append(
+        StreetSpec(
+            "arterial_S", (600.0, -2200.0), (600.0, -half),
+            FunctionalClass.CONNECTING_ROAD, 50.0,
+        )
+    )
+    streets.append(
+        StreetSpec(
+            "arterial_L", (-600.0, -2200.0), (-600.0, -half),
+            FunctionalClass.CONNECTING_ROAD, 50.0,
+        )
+    )
+    # Western bypass leg joining the grid edge to the southern connector.
+    streets.append(
+        StreetSpec(
+            "bypass_W", (-half, -1400.0), (-half, -half),
+            FunctionalClass.CONNECTING_ROAD, 50.0,
+        )
+    )
+    # Southern connector carrying the S and L gates.
+    streets.append(
+        StreetSpec(
+            "connector_south", (-half, -1400.0), (1400.0, -1400.0),
+            FunctionalClass.ARTERIAL_STREET, 50.0,
+        )
+    )
+    # Eastern outer arterial (outside the central area) and its link.
+    streets.append(
+        StreetSpec(
+            "outer_E", (1400.0, -1400.0), (1400.0, 600.0),
+            FunctionalClass.CONNECTING_ROAD, 45.0,
+        )
+    )
+    streets.append(
+        StreetSpec(
+            "link_E", (half, 600.0), (1400.0, 600.0),
+            FunctionalClass.ARTERIAL_STREET, 40.0,
+        )
+    )
+    # The T gate road: a short cross street on the northern arterial.
+    streets.append(
+        StreetSpec(
+            "gate_T_road", (-150.0, 1600.0), (150.0, 1600.0),
+            FunctionalClass.RESIDENTIAL_STREET, 30.0,
+        )
+    )
+    # Suburb streets beyond the gates: trip origins/destinations outside
+    # the central area, so gate transitions have somewhere to come from.
+    streets.append(
+        StreetSpec("suburb_N1", (-400.0, 2000.0), (400.0, 2000.0),
+                   FunctionalClass.COLLECTOR_STREET, 40.0)
+    )
+    streets.append(
+        StreetSpec("suburb_N2", (-300.0, 2400.0), (300.0, 2400.0),
+                   FunctionalClass.COLLECTOR_STREET, 40.0)
+    )
+    streets.append(
+        StreetSpec("suburb_S1", (200.0, -1800.0), (1000.0, -1800.0),
+                   FunctionalClass.COLLECTOR_STREET, 40.0)
+    )
+    streets.append(
+        StreetSpec("suburb_L1", (-1000.0, -1800.0), (-200.0, -1800.0),
+                   FunctionalClass.COLLECTOR_STREET, 40.0)
+    )
+    # Dead-end stubs (the paper's Fig. 9 highlights dead-end slowdowns).
+    streets.append(
+        StreetSpec("stub_E", (half, 200.0), (1300.0, 200.0),
+                   FunctionalClass.RESIDENTIAL_STREET, 30.0)
+    )
+    streets.append(
+        StreetSpec("stub_W", (-1300.0, -200.0), (-half, -200.0),
+                   FunctionalClass.RESIDENTIAL_STREET, 30.0)
+    )
+    streets.append(
+        StreetSpec("stub_N", (400.0, half), (400.0, 1300.0),
+                   FunctionalClass.RESIDENTIAL_STREET, 30.0)
+    )
+    streets.append(
+        StreetSpec("stub_S", (-400.0, -1300.0), (-400.0, -half),
+                   FunctionalClass.RESIDENTIAL_STREET, 30.0)
+    )
+    return streets
+
+
+def _split_street(
+    street: StreetSpec, others: list[StreetSpec]
+) -> list[tuple[Point, Point]]:
+    """Split a street at every intersection with other streets."""
+    a, b = street.a, street.b
+    length = math.hypot(b[0] - a[0], b[1] - a[1])
+    cuts: dict[float, Point] = {0.0: a, length: b}
+    for other in others:
+        if other is street:
+            continue
+        hit = segment_intersection(a, b, other.a, other.b)
+        if hit is None:
+            continue
+        arc = math.hypot(hit[0] - a[0], hit[1] - a[1])
+        # Quantize so floating error does not create duplicate cut points.
+        arc = round(arc, 3)
+        if 0.0 < arc < length:
+            cuts[arc] = hit
+    ordered = sorted(cuts.items())
+    return [
+        (ordered[i][1], ordered[i + 1][1]) for i in range(len(ordered) - 1)
+    ]
+
+
+def _blocks_to_elements(
+    street: StreetSpec,
+    blocks: list[tuple[Point, Point]],
+    spec: CitySpec,
+    rng: random.Random,
+    next_id: list[int],
+) -> list[TrafficElement]:
+    """Turn street blocks into traffic elements.
+
+    Blocks longer than ``spec.max_element_length_m`` are split into equal
+    pieces, so merged graph edges genuinely contain several elements (the
+    structure paper Table 1 shows).  Digitization direction is randomly
+    flipped per element to exercise direction handling; flow is adjusted so
+    the street's one-way semantics are preserved.
+    """
+    elements: list[TrafficElement] = []
+    for block_a, block_b in blocks:
+        block_len = math.hypot(block_b[0] - block_a[0], block_b[1] - block_a[1])
+        if block_len <= 0.0:
+            continue
+        n_pieces = max(1, int(math.ceil(block_len / spec.max_element_length_m)))
+        for k in range(n_pieces):
+            t0 = k / n_pieces
+            t1 = (k + 1) / n_pieces
+            p0 = (
+                block_a[0] + t0 * (block_b[0] - block_a[0]),
+                block_a[1] + t0 * (block_b[1] - block_a[1]),
+            )
+            p1 = (
+                block_a[0] + t1 * (block_b[0] - block_a[0]),
+                block_a[1] + t1 * (block_b[1] - block_a[1]),
+            )
+            reversed_ = rng.random() < 0.5
+            if reversed_:
+                geometry = LineString([p1, p0])
+                flow = street.flow.reversed()
+            else:
+                geometry = LineString([p0, p1])
+                flow = street.flow
+            elements.append(
+                TrafficElement(
+                    element_id=next_id[0],
+                    geometry=geometry,
+                    functional_class=street.functional_class,
+                    speed_limit_kmh=street.speed_limit_kmh,
+                    flow=flow,
+                    name=street.name,
+                )
+            )
+            next_id[0] += 1
+    return elements
+
+
+def _grid_intersections(spec: CitySpec) -> list[Point]:
+    """All grid intersection points, nearest-to-centre first."""
+    half = spec.grid_half_m
+    step = spec.grid_spacing_m
+    xs = [(-half) + i * step for i in range(int(2 * half / step) + 1)]
+    pts = [(x, y) for x in xs for y in xs]
+    pts.sort(key=lambda p: (math.hypot(p[0], p[1]), p[1], p[0]))
+    return pts
+
+
+def _place_point_objects(
+    spec: CitySpec, map_db: MapDatabase, rng: random.Random
+) -> None:
+    """Deterministically place lights, pedestrian crossings and bus stops."""
+    intersections = _grid_intersections(spec)
+    next_object_id = 1
+
+    def attach(position: Point) -> int | None:
+        element = map_db.nearest_element(position, max_radius=80.0)
+        return None if element is None else element.element_id
+
+    # Traffic lights: the busiest (most central) intersections first, which
+    # leaves the grid edge and the bypass light-free, as in real Oulu.
+    for p in intersections[: spec.n_traffic_lights]:
+        map_db.add_point_object(
+            PointObject(
+                object_id=next_object_id,
+                kind=PointObjectKind.TRAFFIC_LIGHT,
+                position=p,
+                element_id=attach(p),
+            )
+        )
+        next_object_id += 1
+
+    # Pedestrian crossings: four arms per central intersection, offset a
+    # dozen metres from the corner, until the census target is met.
+    placed = 0
+    arm_offsets = [(12.0, 0.0), (-12.0, 0.0), (0.0, 12.0), (0.0, -12.0)]
+    for p in intersections:
+        for dx, dy in arm_offsets:
+            if placed >= spec.n_pedestrian_crossings:
+                break
+            pos = (p[0] + dx, p[1] + dy)
+            map_db.add_point_object(
+                PointObject(
+                    object_id=next_object_id,
+                    kind=PointObjectKind.PEDESTRIAN_CROSSING,
+                    position=pos,
+                    element_id=attach(pos),
+                )
+            )
+            next_object_id += 1
+            placed += 1
+        if placed >= spec.n_pedestrian_crossings:
+            break
+
+    # Bus stops: spaced along the arterial streets, most central first.
+    arterial_axes: list[tuple[Point, Point]] = [
+        ((0.0, -spec.grid_half_m), (0.0, 2400.0)),       # main NS axis + T arterial
+        ((-spec.grid_half_m, 0.0), (spec.grid_half_m, 0.0)),  # main EW axis
+        ((600.0, -2200.0), (600.0, -spec.grid_half_m)),  # S arterial
+        ((-600.0, -2200.0), (-600.0, -spec.grid_half_m)),  # L arterial
+        ((-spec.grid_half_m, 600.0), (spec.grid_half_m, 600.0)),
+        ((-spec.grid_half_m, -600.0), (spec.grid_half_m, -600.0)),
+        ((600.0, -spec.grid_half_m), (600.0, spec.grid_half_m)),
+        ((-600.0, -spec.grid_half_m), (-600.0, spec.grid_half_m)),
+    ]
+    candidates: list[tuple[Point, tuple[float, float]]] = []
+    for a, b in arterial_axes:
+        axis_len = math.hypot(b[0] - a[0], b[1] - a[1])
+        n_stops = int(axis_len // 250.0)
+        for k in range(1, n_stops + 1):
+            t = k * 250.0 / axis_len
+            x = a[0] + t * (b[0] - a[0])
+            y = a[1] + t * (b[1] - a[1])
+            # Offset to the kerb side, alternating along the axis so both
+            # travel directions are served.  With right-hand traffic, the
+            # kerb side determines which direction the stop serves — the
+            # attribute the paper's Digiroad extract lacked.
+            side = 1.0 if k % 2 == 0 else -1.0
+            if a[0] == b[0]:
+                candidates.append(((x + side * 8.0, y), (0.0, side)))
+            else:
+                candidates.append(((x, y + side * 8.0), (-side, 0.0)))
+    candidates.sort(key=lambda c: (math.hypot(c[0][0], c[0][1]), c[0][1], c[0][0]))
+    for pos, serves in candidates[: spec.n_bus_stops]:
+        map_db.add_point_object(
+            PointObject(
+                object_id=next_object_id,
+                kind=PointObjectKind.BUS_STOP,
+                position=pos,
+                element_id=attach(pos),
+                attributes=(("serves_heading", serves),),
+            )
+        )
+        next_object_id += 1
+
+
+def build_synthetic_oulu(spec: CitySpec | None = None) -> SyntheticCity:
+    """Build the synthetic city: map database, graph, gates and regions."""
+    spec = spec or CitySpec()
+    rng = random.Random(spec.seed)
+    streets = _street_list(spec)
+
+    map_db = MapDatabase()
+    next_id = [FIRST_ELEMENT_ID]
+    for street in streets:
+        blocks = _split_street(street, streets)
+        map_db.add_elements(_blocks_to_elements(street, blocks, spec, rng, next_id))
+
+    _place_point_objects(spec, map_db, rng)
+
+    graph, junction_pairs = build_road_graph(map_db.elements())
+
+    gate_roads = {
+        "T": LineString([(-150.0, 1600.0), (150.0, 1600.0)]),
+        "S": LineString([(450.0, -1400.0), (750.0, -1400.0)]),
+        "L": LineString([(-750.0, -1400.0), (-450.0, -1400.0)]),
+    }
+    central_area = Polygon.rectangle(-1200.0, -1750.0, 1200.0, 1750.0)
+    hotspots = [Polygon.rectangle(-250.0, -50.0, 250.0, 250.0)]
+    projector = LocalProjector(spec.ref_lat, spec.ref_lon)
+
+    return SyntheticCity(
+        spec=spec,
+        map_db=map_db,
+        graph=graph,
+        junction_pairs=junction_pairs,
+        gate_roads=gate_roads,
+        central_area=central_area,
+        hotspots=hotspots,
+        projector=projector,
+        streets=streets,
+    )

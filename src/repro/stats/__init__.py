@@ -1,0 +1,31 @@
+"""Statistics (paper Sec. V).
+
+* :mod:`repro.stats.descriptive` — the six-number summaries of Table 4;
+* :mod:`repro.stats.ols` — ordinary least squares (model (1));
+* :mod:`repro.stats.mixed` — the linear mixed model with Gaussian random
+  intercepts (models (2)-(3)): REML variance estimation, BLUP intercept
+  predictions with confidence limits;
+* :mod:`repro.stats.qq` — normal QQ-plot data (Fig. 7).
+
+Everything is implemented from first principles on NumPy; no statistical
+package is required at runtime.
+"""
+
+from repro.stats.descriptive import SixNumber, mean, quantile, six_number_summary, variance
+from repro.stats.mixed import MixedModelResult, RandomInterceptModel
+from repro.stats.ols import OlsResult, fit_ols
+from repro.stats.qq import normal_qq, normal_quantile
+
+__all__ = [
+    "MixedModelResult",
+    "OlsResult",
+    "RandomInterceptModel",
+    "SixNumber",
+    "fit_ols",
+    "mean",
+    "normal_qq",
+    "normal_quantile",
+    "quantile",
+    "six_number_summary",
+    "variance",
+]

@@ -1,0 +1,78 @@
+"""Descriptive statistics — the six-number summaries of Table 4.
+
+Quantiles use linear interpolation between order statistics (R's default
+type 7), matching the environment the paper's summaries were computed in.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SixNumber:
+    """Min / 1st quartile / median / mean / 3rd quartile / max."""
+
+    minimum: float
+    q1: float
+    median: float
+    mean: float
+    q3: float
+    maximum: float
+    n: int
+
+    def as_row(self) -> tuple[float, float, float, float, float, float]:
+        """The Table 4 column order: Min, 1st Q, Med, Mean, 3rd Q, Max."""
+        return (self.minimum, self.q1, self.median, self.mean, self.q3, self.maximum)
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean (ValueError on empty input)."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("mean of empty sequence")
+    return sum(vals) / len(vals)
+
+
+def variance(values: Iterable[float]) -> float:
+    """Sample variance with Bessel's correction (0 for n < 2)."""
+    vals = list(values)
+    if len(vals) < 2:
+        return 0.0
+    m = mean(vals)
+    return sum((v - m) ** 2 for v in vals) / (len(vals) - 1)
+
+
+def quantile(values: Iterable[float], q: float) -> float:
+    """Type-7 (R default) quantile of ``values`` at probability ``q``."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    vals = sorted(values)
+    if not vals:
+        raise ValueError("quantile of empty sequence")
+    if len(vals) == 1:
+        return vals[0]
+    h = (len(vals) - 1) * q
+    lo = math.floor(h)
+    hi = math.ceil(h)
+    if lo == hi:
+        return vals[int(h)]
+    return vals[lo] + (h - lo) * (vals[hi] - vals[lo])
+
+
+def six_number_summary(values: Iterable[float]) -> SixNumber:
+    """The Table 4 summary of a sample."""
+    vals = sorted(values)
+    if not vals:
+        raise ValueError("summary of empty sequence")
+    return SixNumber(
+        minimum=vals[0],
+        q1=quantile(vals, 0.25),
+        median=quantile(vals, 0.5),
+        mean=mean(vals),
+        q3=quantile(vals, 0.75),
+        maximum=vals[-1],
+        n=len(vals),
+    )

@@ -1,0 +1,83 @@
+"""Ordinary least squares — model (1) of the paper.
+
+``Y = Xb + e`` with Gaussian errors, solved via the normal equations with
+NumPy's pseudo-inverse for rank safety.  Returns coefficient estimates
+with standard errors and t statistics, enough to inspect associations
+between map features and driving speed before moving to mixed models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class OlsResult:
+    """Fitted OLS model."""
+
+    names: tuple[str, ...]
+    coefficients: tuple[float, ...]
+    std_errors: tuple[float, ...]
+    t_values: tuple[float, ...]
+    sigma2: float
+    r_squared: float
+    n: int
+
+    def coefficient(self, name: str) -> float:
+        return self.coefficients[self.names.index(name)]
+
+    def std_error(self, name: str) -> float:
+        return self.std_errors[self.names.index(name)]
+
+
+def fit_ols(
+    y: list[float] | np.ndarray,
+    covariates: dict[str, list[float] | np.ndarray],
+    intercept: bool = True,
+) -> OlsResult:
+    """Fit ``y ~ covariates`` by least squares.
+
+    ``covariates`` maps names to columns.  With ``intercept`` a constant
+    column named ``"(intercept)"`` is prepended.
+    """
+    y_arr = np.asarray(y, dtype=float)
+    n = y_arr.shape[0]
+    if n == 0:
+        raise ValueError("empty response")
+    names: list[str] = []
+    columns: list[np.ndarray] = []
+    if intercept:
+        names.append("(intercept)")
+        columns.append(np.ones(n))
+    for name, col in covariates.items():
+        arr = np.asarray(col, dtype=float)
+        if arr.shape[0] != n:
+            raise ValueError(f"covariate {name!r} has length {arr.shape[0]}, expected {n}")
+        names.append(name)
+        columns.append(arr)
+    x = np.column_stack(columns)
+    p = x.shape[1]
+    if n <= p:
+        raise ValueError(f"need more observations ({n}) than parameters ({p})")
+    xtx_inv = np.linalg.pinv(x.T @ x)
+    beta = xtx_inv @ (x.T @ y_arr)
+    residuals = y_arr - x @ beta
+    dof = n - p
+    sigma2 = float(residuals @ residuals) / dof
+    se = np.sqrt(np.clip(np.diag(xtx_inv) * sigma2, 0.0, None))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t_vals = np.where(se > 0, beta / se, np.inf)
+    ss_tot = float(np.sum((y_arr - y_arr.mean()) ** 2))
+    ss_res = float(residuals @ residuals)
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return OlsResult(
+        names=tuple(names),
+        coefficients=tuple(float(b) for b in beta),
+        std_errors=tuple(float(s) for s in se),
+        t_values=tuple(float(t) for t in t_vals),
+        sigma2=sigma2,
+        r_squared=r2,
+        n=n,
+    )

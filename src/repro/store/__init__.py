@@ -1,0 +1,59 @@
+"""Embedded typed table store — the pipeline's PostgreSQL/PostGIS substitute.
+
+The paper stores trips, route points and the road-network graph in
+PostgreSQL 9.1 with PostGIS, and manipulates them with SQL/PLpgSQL.  This
+package provides the same logical capabilities in pure Python:
+
+* :class:`~repro.store.table.Table` — a typed, schema-validated row store
+  with per-column type checking and auto-increment primary keys;
+* :class:`~repro.store.index.HashIndex` / :class:`~repro.store.index.SortedIndex`
+  — equality and range indexes maintained incrementally;
+* :mod:`repro.store.query` — a small composable predicate/query layer
+  (select, where, order_by, aggregate);
+* :class:`~repro.store.spatial.SpatialColumn` — a PostGIS-style spatial
+  index over a geometry column (radius / box / nearest queries);
+* :class:`~repro.store.database.Database` — a named container of tables.
+"""
+
+from repro.store.database import Database
+from repro.store.index import HashIndex, SortedIndex
+from repro.store.query import (
+    Query,
+    and_,
+    between,
+    eq,
+    ge,
+    gt,
+    in_,
+    le,
+    lt,
+    ne,
+    not_,
+    or_,
+    where,
+)
+from repro.store.spatial import SpatialColumn
+from repro.store.table import Column, Row, Table
+
+__all__ = [
+    "Column",
+    "Database",
+    "HashIndex",
+    "Query",
+    "Row",
+    "SortedIndex",
+    "SpatialColumn",
+    "Table",
+    "and_",
+    "between",
+    "eq",
+    "ge",
+    "gt",
+    "in_",
+    "le",
+    "lt",
+    "ne",
+    "not_",
+    "or_",
+    "where",
+]

@@ -1,0 +1,52 @@
+"""A named container of tables — the "DBMS" the pipeline runs against."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.store.table import Column, Table
+
+
+class Database:
+    """Holds named tables; mirrors the single PostgreSQL database the paper
+    stores trips, route points and the road graph in."""
+
+    def __init__(self, name: str = "taxidb") -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+
+    def create_table(
+        self, name: str, columns: Iterable[Column], pk: str | None = None
+    ) -> Table:
+        """Create and register a table; name must be unique."""
+        if name in self._tables:
+            raise ValueError(f"table {name!r} already exists")
+        table = Table(name, columns, pk=pk)
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table (KeyError if absent)."""
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise KeyError(f"no table {name!r} in database {self.name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def table_names(self) -> list[str]:
+        return list(self._tables)
+
+    def __repr__(self) -> str:
+        return f"Database({self.name!r}, tables={self.table_names()})"

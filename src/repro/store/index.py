@@ -1,0 +1,138 @@
+"""Secondary indexes over :class:`~repro.store.table.Table`.
+
+Two kinds, mirroring what the paper's PostgreSQL schema would use:
+
+* :class:`HashIndex` — equality lookups (``trip_id -> route points``);
+* :class:`SortedIndex` — range scans (``timestamp BETWEEN ..``) backed by a
+  sorted key list maintained with :mod:`bisect`.
+
+Both are table observers: attach them with ``table.attach_observer(index)``
+(done automatically by the convenience constructors) and they stay
+consistent through inserts, updates and deletes.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterator
+from typing import Any
+
+from repro.store.table import Row, Table
+
+
+class HashIndex:
+    """Equality index on one column.
+
+    Maps column value -> set of primary keys.  ``None`` values are indexed
+    too (under ``None``), matching SQL ``IS NULL`` scans.
+    """
+
+    def __init__(self, table: Table, column: str) -> None:
+        if column not in table.columns:
+            raise KeyError(f"no column {column!r} in table {table.name!r}")
+        self.table = table
+        self.column = column
+        self._map: dict[Any, set[Any]] = {}
+        table.attach_observer(self)
+        table.register_index(column, self)
+
+    # observer protocol ----------------------------------------------------
+
+    def on_insert(self, pk: Any, row: Row) -> None:
+        self._map.setdefault(row[self.column], set()).add(pk)
+
+    def on_delete(self, pk: Any, row: Row) -> None:
+        bucket = self._map.get(row[self.column])
+        if bucket is not None:
+            bucket.discard(pk)
+            if not bucket:
+                del self._map[row[self.column]]
+
+    # queries ---------------------------------------------------------------
+
+    def lookup(self, value: Any) -> list[Row]:
+        """Rows whose indexed column equals ``value``."""
+        return [self.table.get(pk) for pk in self._map.get(value, ())]
+
+    def keys(self, value: Any) -> set[Any]:
+        """Primary keys whose indexed column equals ``value``."""
+        return set(self._map.get(value, set()))
+
+    def distinct_values(self) -> list[Any]:
+        """All distinct indexed values."""
+        return list(self._map.keys())
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+
+class SortedIndex:
+    """Range index on one column (values must be mutually comparable)."""
+
+    def __init__(self, table: Table, column: str) -> None:
+        if column not in table.columns:
+            raise KeyError(f"no column {column!r} in table {table.name!r}")
+        self.table = table
+        self.column = column
+        self._keys: list[Any] = []       # sorted column values
+        self._pks: list[Any] = []        # primary keys aligned with _keys
+        table.attach_observer(self)
+        table.register_index(column, self)
+
+    # observer protocol ----------------------------------------------------
+
+    def on_insert(self, pk: Any, row: Row) -> None:
+        value = row[self.column]
+        if value is None:
+            return
+        i = bisect.bisect_right(self._keys, value)
+        self._keys.insert(i, value)
+        self._pks.insert(i, pk)
+
+    def on_delete(self, pk: Any, row: Row) -> None:
+        value = row[self.column]
+        if value is None:
+            return
+        i = bisect.bisect_left(self._keys, value)
+        while i < len(self._keys) and self._keys[i] == value:
+            if self._pks[i] == pk:
+                del self._keys[i]
+                del self._pks[i]
+                return
+            i += 1
+
+    # queries ---------------------------------------------------------------
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[Row]:
+        """Rows with indexed value in the given (optionally open) range."""
+        if low is None:
+            i0 = 0
+        elif include_low:
+            i0 = bisect.bisect_left(self._keys, low)
+        else:
+            i0 = bisect.bisect_right(self._keys, low)
+        if high is None:
+            i1 = len(self._keys)
+        elif include_high:
+            i1 = bisect.bisect_right(self._keys, high)
+        else:
+            i1 = bisect.bisect_left(self._keys, high)
+        for pk in self._pks[i0:i1]:
+            yield self.table.get(pk)
+
+    def min(self) -> Any:
+        """Smallest indexed value (None when empty)."""
+        return self._keys[0] if self._keys else None
+
+    def max(self) -> Any:
+        """Largest indexed value (None when empty)."""
+        return self._keys[-1] if self._keys else None
+
+    def __len__(self) -> int:
+        return len(self._keys)

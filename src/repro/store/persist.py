@@ -1,0 +1,128 @@
+"""Durable snapshots of the embedded store.
+
+Tables whose columns hold JSON-friendly scalars (plus tuples and
+:class:`~repro.geo.geometry.LineString` geometries, which get codecs) can
+be saved to and restored from a single JSON file — the "pg_dump" of the
+substitute DBMS.  Restoring replays rows through normal inserts, so
+schema validation and attached indexes stay consistent.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.geo.geometry import LineString
+from repro.store.database import Database
+from repro.store.table import Column, Table
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, LineString):
+        return {"__geom__": [[float(x), float(y)] for x, y in value]}
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode_value(v) for v in value]}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(f"cannot persist value of type {type(value).__name__}")
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "__geom__" in value:
+            return LineString(value["__geom__"])
+        if "__tuple__" in value:
+            return tuple(_decode_value(v) for v in value["__tuple__"])
+    return value
+
+
+_TYPE_CODES = {int: "int", float: "float", str: "str", bool: "bool",
+               tuple: "tuple", LineString: "geom"}
+_CODE_TYPES = {code: type_ for type_, code in _TYPE_CODES.items()}
+
+
+def _encode_column(col: Column) -> dict:
+    types = col.type_ if isinstance(col.type_, tuple) else (col.type_,)
+    codes = []
+    for t in types:
+        if t not in _TYPE_CODES:
+            raise TypeError(
+                f"column {col.name!r} holds unpersistable type {t.__name__}"
+            )
+        codes.append(_TYPE_CODES[t])
+    return {"name": col.name, "types": codes, "nullable": col.nullable}
+
+
+def _decode_column(data: dict) -> Column:
+    types = tuple(_CODE_TYPES[c] for c in data["types"])
+    return Column(
+        name=data["name"],
+        type_=types if len(types) > 1 else types[0],
+        nullable=data["nullable"],
+    )
+
+
+def save_table(table: Table, path: str | Path) -> int:
+    """Write one table's schema and rows as JSON; returns the row count."""
+    payload = {
+        "name": table.name,
+        "pk": table.pk,
+        "auto_pk": table._auto_pk,
+        "columns": [_encode_column(c) for c in table.columns.values()],
+        "rows": [
+            {k: _encode_value(v) for k, v in row.items()} for row in table.rows()
+        ],
+    }
+    Path(path).write_text(json.dumps(payload))
+    return len(payload["rows"])
+
+
+def load_table(path: str | Path) -> Table:
+    """Restore a table saved with :func:`save_table`."""
+    payload = json.loads(Path(path).read_text())
+    columns = [_decode_column(c) for c in payload["columns"]]
+    table = Table(
+        payload["name"],
+        columns,
+        pk=None if payload["auto_pk"] else payload["pk"],
+    )
+    for row in payload["rows"]:
+        table.insert({k: _decode_value(v) for k, v in row.items()})
+    return table
+
+
+def save_database(db: Database, path: str | Path) -> int:
+    """Write a whole database snapshot; returns the total row count."""
+    tables = []
+    total = 0
+    for table in db:
+        payload = {
+            "name": table.name,
+            "pk": table.pk,
+            "auto_pk": table._auto_pk,
+            "columns": [_encode_column(c) for c in table.columns.values()],
+            "rows": [
+                {k: _encode_value(v) for k, v in row.items()}
+                for row in table.rows()
+            ],
+        }
+        total += len(payload["rows"])
+        tables.append(payload)
+    Path(path).write_text(json.dumps({"name": db.name, "tables": tables}))
+    return total
+
+
+def load_database(path: str | Path) -> Database:
+    """Restore a database snapshot saved with :func:`save_database`."""
+    payload = json.loads(Path(path).read_text())
+    db = Database(payload["name"])
+    for tdata in payload["tables"]:
+        columns = [_decode_column(c) for c in tdata["columns"]]
+        table = db.create_table(
+            tdata["name"], columns,
+            pk=None if tdata["auto_pk"] else tdata["pk"],
+        )
+        for row in tdata["rows"]:
+            table.insert({k: _decode_value(v) for k, v in row.items()})
+    return db

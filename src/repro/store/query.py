@@ -1,0 +1,276 @@
+"""Composable predicate queries over tables, with index-aware planning.
+
+A tiny relational query layer: predicates are *structured* comparator
+objects (still plain callables ``Row -> bool``), combined with
+:func:`and_` / :func:`or_`, and executed by :class:`Query` which supports
+projection, ordering, limits and simple aggregates.
+
+Because comparators carry their column, operator and operand, the query
+planner can serve them from a registered :class:`~repro.store.index.HashIndex`
+(equality, IN) or :class:`~repro.store.index.SortedIndex` (ranges) instead
+of scanning the table — the subset of SQL planning the paper's PLpgSQL
+pre-processing leaned on.  ``Query.plan()`` explains the chosen strategy.
+"""
+
+from __future__ import annotations
+
+import operator
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.store.table import Row, Table
+
+Predicate = Callable[[Row], bool]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A structured single-column comparison predicate."""
+
+    column: str
+    op: str           # one of: eq ne lt le gt ge in between isnull
+    value: Any = None
+    high: Any = None  # only for "between"
+
+    _OPS = {
+        "eq": operator.eq, "ne": operator.ne,
+        "lt": operator.lt, "le": operator.le,
+        "gt": operator.gt, "ge": operator.ge,
+    }
+
+    def __call__(self, row: Row) -> bool:
+        v = row.get(self.column)
+        if self.op == "isnull":
+            return v is None
+        if v is None:
+            return False
+        if self.op == "in":
+            return v in self.value
+        if self.op == "between":
+            return self.value <= v <= self.high
+        return self._OPS[self.op](v, self.value)
+
+    def describe(self) -> str:
+        if self.op == "isnull":
+            return f"{self.column} IS NULL"
+        if self.op == "in":
+            return f"{self.column} IN ({len(self.value)} values)"
+        if self.op == "between":
+            return f"{self.column} BETWEEN {self.value!r} AND {self.high!r}"
+        symbol = {"eq": "=", "ne": "<>", "lt": "<", "le": "<=",
+                  "gt": ">", "ge": ">="}[self.op]
+        return f"{self.column} {symbol} {self.value!r}"
+
+
+def eq(column: str, value: Any) -> Predicate:
+    """``column = value`` (NULL never matches; ``eq(c, None)`` is IS NULL)."""
+    if value is None:
+        return Comparison(column, "isnull")
+    return Comparison(column, "eq", value)
+
+
+def ne(column: str, value: Any) -> Predicate:
+    """``column <> value``."""
+    return Comparison(column, "ne", value)
+
+
+def lt(column: str, value: Any) -> Predicate:
+    """``column < value``."""
+    return Comparison(column, "lt", value)
+
+
+def le(column: str, value: Any) -> Predicate:
+    """``column <= value``."""
+    return Comparison(column, "le", value)
+
+
+def gt(column: str, value: Any) -> Predicate:
+    """``column > value``."""
+    return Comparison(column, "gt", value)
+
+
+def ge(column: str, value: Any) -> Predicate:
+    """``column >= value``."""
+    return Comparison(column, "ge", value)
+
+
+def in_(column: str, values: Iterable[Any]) -> Predicate:
+    """``column IN (values)``."""
+    return Comparison(column, "in", frozenset(values))
+
+
+def between(column: str, low: Any, high: Any) -> Predicate:
+    """``column BETWEEN low AND high`` (inclusive)."""
+    return Comparison(column, "between", low, high)
+
+
+def and_(*preds: Predicate) -> Predicate:
+    """Conjunction of predicates."""
+    return lambda row: all(p(row) for p in preds)
+
+
+def or_(*preds: Predicate) -> Predicate:
+    """Disjunction of predicates."""
+    return lambda row: any(p(row) for p in preds)
+
+
+def not_(pred: Predicate) -> Predicate:
+    """Negation of a predicate."""
+    return lambda row: not pred(row)
+
+
+class Query:
+    """A lazily-built query over a table.
+
+    Example::
+
+        rows = (Query(points)
+                .where(eq("trip_id", 42))
+                .order_by("timestamp")
+                .all())
+
+    When the table has a registered index covering one of the ``where``
+    comparisons (see :meth:`repro.store.table.Table.register_index`), the
+    planner fetches the candidate rows from the index and applies the
+    remaining predicates to that subset instead of scanning the table.
+    """
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+        self._preds: list[Predicate] = []
+        self._order: str | None = None
+        self._desc = False
+        self._limit: int | None = None
+
+    def where(self, pred: Predicate) -> "Query":
+        """Add a filter predicate (AND semantics across calls)."""
+        self._preds.append(pred)
+        return self
+
+    def order_by(self, column: str, desc: bool = False) -> "Query":
+        """Order results by a column."""
+        self._order = column
+        self._desc = desc
+        return self
+
+    def limit(self, n: int) -> "Query":
+        """Keep at most ``n`` rows."""
+        if n < 0:
+            raise ValueError("limit must be non-negative")
+        self._limit = n
+        return self
+
+    # planning -----------------------------------------------------------------
+
+    def _pick_index(self):
+        """(index, comparison) serving one predicate, or (None, None)."""
+        for pred in self._preds:
+            if not isinstance(pred, Comparison):
+                continue
+            index = self.table.index_for(pred.column)
+            if index is None:
+                continue
+            kind = type(index).__name__
+            if kind == "HashIndex" and pred.op in ("eq", "in", "isnull"):
+                return index, pred
+            if kind == "SortedIndex" and pred.op in (
+                "lt", "le", "gt", "ge", "between", "eq"
+            ):
+                return index, pred
+        return None, None
+
+    def plan(self) -> str:
+        """Explain the access path this query would use."""
+        index, pred = self._pick_index()
+        if index is None:
+            return f"full scan of {self.table.name!r}"
+        return (
+            f"{type(index).__name__} on {self.table.name!r}.{pred.column} "
+            f"for [{pred.describe()}]"
+        )
+
+    def _candidates(self) -> tuple[list[Row], Predicate | None]:
+        """Candidate rows plus the predicate the index already satisfied."""
+        index, pred = self._pick_index()
+        if index is None:
+            return self.table.rows(), None
+        kind = type(index).__name__
+        if kind == "HashIndex":
+            if pred.op == "eq":
+                return index.lookup(pred.value), pred
+            if pred.op == "isnull":
+                return index.lookup(None), pred
+            rows: list[Row] = []
+            for value in pred.value:
+                rows.extend(index.lookup(value))
+            return rows, pred
+        # SortedIndex range scans.
+        if pred.op == "eq":
+            return list(index.range(pred.value, pred.value)), pred
+        if pred.op == "between":
+            return list(index.range(pred.value, pred.high)), pred
+        if pred.op == "lt":
+            return list(index.range(None, pred.value, include_high=False)), pred
+        if pred.op == "le":
+            return list(index.range(None, pred.value)), pred
+        if pred.op == "gt":
+            return list(index.range(pred.value, None, include_low=False)), pred
+        return list(index.range(pred.value, None)), pred  # ge
+
+    # execution --------------------------------------------------------------
+
+    def _matching(self) -> list[Row]:
+        rows, served = self._candidates()
+        remaining = [p for p in self._preds if p is not served]
+        if remaining:
+            pred = and_(*remaining)
+            rows = [r for r in rows if pred(r)]
+        else:
+            rows = list(rows)
+        if self._order is not None:
+            col = self._order
+            rows.sort(key=lambda r: r.get(col), reverse=self._desc)
+        if self._limit is not None:
+            rows = rows[: self._limit]
+        return rows
+
+    def all(self) -> list[Row]:
+        """Execute and return matching rows."""
+        return self._matching()
+
+    def first(self) -> Row | None:
+        """First matching row or None."""
+        rows = self._matching()
+        return rows[0] if rows else None
+
+    def count(self) -> int:
+        """Number of matching rows."""
+        return len(self._matching())
+
+    def values(self, column: str) -> list[Any]:
+        """Column values of matching rows."""
+        return [r.get(column) for r in self._matching()]
+
+    def sum(self, column: str) -> float:
+        """Sum of a numeric column over matching rows (NULLs skipped)."""
+        return float(sum(v for v in self.values(column) if v is not None))
+
+    def avg(self, column: str) -> float | None:
+        """Mean of a numeric column (None when no non-NULL values)."""
+        vals = [v for v in self.values(column) if v is not None]
+        if not vals:
+            return None
+        return float(sum(vals)) / len(vals)
+
+    def group_by(self, column: str) -> dict[Any, list[Row]]:
+        """Group matching rows by a column value."""
+        groups: dict[Any, list[Row]] = {}
+        for row in self._matching():
+            groups.setdefault(row.get(column), []).append(row)
+        return groups
+
+
+def where(table: Table, pred: Predicate) -> list[Row]:
+    """Shorthand for ``Query(table).where(pred).all()``."""
+    return Query(table).where(pred).all()

@@ -1,0 +1,111 @@
+"""Spatial extension for tables — the PostGIS-flavoured part of the store.
+
+A :class:`SpatialColumn` watches a table column holding either a point
+``(x, y)`` tuple or a :class:`~repro.geo.geometry.LineString` and maintains
+a :class:`~repro.geo.index.GridIndex` over it, giving the radius / box /
+nearest queries the paper's pipeline issues against PostGIS.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.geo.geometry import LineString, Point
+from repro.geo.index import GridIndex
+from repro.store.table import Row, Table
+
+
+class SpatialColumn:
+    """Grid-indexed geometry column of a table.
+
+    The column value of each row must be a point ``(x, y)`` tuple, a
+    :class:`LineString`, or None (unindexed).  Query results are rows,
+    refined by exact geometric distance where it matters.
+    """
+
+    def __init__(self, table: Table, column: str, cell_size: float = 100.0) -> None:
+        if column not in table.columns:
+            raise KeyError(f"no column {column!r} in table {table.name!r}")
+        self.table = table
+        self.column = column
+        self._index: GridIndex[Any] = GridIndex(cell_size)
+        table.attach_observer(self)
+
+    # observer protocol ----------------------------------------------------
+
+    def on_insert(self, pk: Any, row: Row) -> None:
+        geom = row[self.column]
+        if geom is None:
+            return
+        box = _bounds(geom)
+        self._index.insert(pk, *box)
+
+    def on_delete(self, pk: Any, row: Row) -> None:
+        if row[self.column] is None:
+            return
+        if pk in self._index:
+            self._index.remove(pk)
+
+    # queries ----------------------------------------------------------------
+
+    def within_radius(self, p: Point, radius: float) -> list[Row]:
+        """Rows whose geometry lies within ``radius`` metres of ``p``."""
+        out = []
+        for pk in self._index.query_radius(p, radius):
+            row = self.table.get(pk)
+            if _distance(row[self.column], p) <= radius:
+                out.append(row)
+        return out
+
+    def in_box(self, x_min: float, y_min: float, x_max: float, y_max: float) -> list[Row]:
+        """Rows whose geometry bounding box intersects the query box."""
+        return [self.table.get(pk) for pk in self._index.query_box(x_min, y_min, x_max, y_max)]
+
+    def nearest(self, p: Point, max_radius: float = float("inf")) -> Row | None:
+        """Row with geometry nearest ``p`` (exact distance), or None.
+
+        Candidates are gathered from the grid by expanding radius, then
+        ranked by exact geometric distance.
+        """
+        radius = self._index.cell_size
+        while radius <= max_radius * 2.0 or radius <= self._index.cell_size * 2.0:
+            candidates = self._index.query_radius(p, min(radius, max_radius))
+            if candidates:
+                best = min(
+                    candidates,
+                    key=lambda pk: _distance(self.table.get(pk)[self.column], p),
+                )
+                d = _distance(self.table.get(best)[self.column], p)
+                if d <= max_radius:
+                    return self.table.get(best)
+                return None
+            if radius > max_radius:
+                return None
+            radius *= 2.0
+            if radius > 1e9:
+                return None
+        return None
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+
+def _bounds(geom: Any) -> tuple[float, float, float, float]:
+    if isinstance(geom, LineString):
+        coords = geom.coords
+        return (
+            float(coords[:, 0].min()),
+            float(coords[:, 1].min()),
+            float(coords[:, 0].max()),
+            float(coords[:, 1].max()),
+        )
+    x, y = geom
+    return (float(x), float(y), float(x), float(y))
+
+
+def _distance(geom: Any, p: Point) -> float:
+    if isinstance(geom, LineString):
+        return geom.distance_to(p)
+    import math
+
+    return math.hypot(geom[0] - p[0], geom[1] - p[1])

@@ -1,0 +1,227 @@
+"""Typed row store with schema validation.
+
+A :class:`Table` holds rows as plain dicts validated against a declared
+schema.  It is deliberately small: enough to model the paper's PostgreSQL
+tables (trips, route points, junction pairs, traffic elements) with honest
+type checking, primary keys, and incremental secondary indexes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+Row = dict[str, Any]
+
+
+@dataclass(frozen=True)
+class Column:
+    """A table column: name, accepted Python type(s), nullability.
+
+    ``type_`` may be a type or a tuple of types (``isinstance`` semantics).
+    A ``check`` callable, when given, must return True for valid values.
+    """
+
+    name: str
+    type_: type | tuple[type, ...]
+    nullable: bool = False
+    check: Callable[[Any], bool] | None = None
+
+    def validate(self, value: Any) -> None:
+        """Raise :class:`SchemaError` when ``value`` is not acceptable."""
+        if value is None:
+            if not self.nullable:
+                raise SchemaError(f"column {self.name!r} is not nullable")
+            return
+        if not isinstance(value, self.type_):
+            raise SchemaError(
+                f"column {self.name!r} expects {self.type_}, got {type(value).__name__}"
+            )
+        if self.check is not None and not self.check(value):
+            raise SchemaError(f"column {self.name!r} check failed for {value!r}")
+
+
+class SchemaError(ValueError):
+    """Row does not conform to the table schema."""
+
+
+class ConstraintError(ValueError):
+    """Primary-key or uniqueness violation."""
+
+
+@dataclass
+class _TableStats:
+    inserts: int = 0
+    deletes: int = 0
+    updates: int = 0
+    scans: int = 0
+
+
+class Table:
+    """A typed in-memory table.
+
+    Rows are stored in a dict keyed by primary key.  When ``pk`` is omitted
+    an auto-increment integer key named ``"id"`` is generated.  Secondary
+    indexes (see :mod:`repro.store.index`) and spatial columns register
+    themselves via :meth:`attach_observer` and are maintained on every
+    mutation.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Iterable[Column],
+        pk: str | None = None,
+    ) -> None:
+        self.name = name
+        self.columns: dict[str, Column] = {}
+        for col in columns:
+            if col.name in self.columns:
+                raise SchemaError(f"duplicate column {col.name!r}")
+            self.columns[col.name] = col
+        self._auto_pk = pk is None
+        self.pk = pk if pk is not None else "id"
+        if self._auto_pk and "id" not in self.columns:
+            self.columns["id"] = Column("id", int)
+        if self.pk not in self.columns:
+            raise SchemaError(f"primary key {self.pk!r} is not a column")
+        self._rows: dict[Any, Row] = {}
+        self._next_id = 1
+        self._observers: list[Any] = []
+        self._indexes: dict[str, Any] = {}
+        self.stats = _TableStats()
+
+    # -- observers ---------------------------------------------------------
+
+    def attach_observer(self, observer: Any) -> None:
+        """Register an index-like observer.
+
+        Observers must implement ``on_insert(pk, row)`` and
+        ``on_delete(pk, row)``.  Existing rows are replayed on attach.
+        """
+        self._observers.append(observer)
+        for key, row in self._rows.items():
+            observer.on_insert(key, row)
+
+    def register_index(self, column: str, index: Any) -> None:
+        """Make an index available to the query planner for ``column``.
+
+        The most recently registered index per column wins (a sorted index
+        registered after a hash index takes over range queries).
+        """
+        if column not in self.columns:
+            raise SchemaError(f"no column {column!r} in table {self.name!r}")
+        self._indexes[column] = index
+
+    def index_for(self, column: str) -> Any | None:
+        """The registered index on ``column``, if any."""
+        return self._indexes.get(column)
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, row: Mapping[str, Any]) -> Any:
+        """Insert a row; returns its primary key.
+
+        Unknown columns are rejected; missing nullable columns become None;
+        a missing auto primary key is generated.
+        """
+        data: Row = dict(row)
+        unknown = set(data) - set(self.columns)
+        if unknown:
+            raise SchemaError(f"unknown column(s) {sorted(unknown)!r} for table {self.name!r}")
+        if self._auto_pk and self.pk not in data:
+            data[self.pk] = self._next_id
+            self._next_id += 1
+        for col in self.columns.values():
+            if col.name not in data:
+                data[col.name] = None
+            col.validate(data[col.name])
+        key = data[self.pk]
+        if key in self._rows:
+            raise ConstraintError(f"duplicate primary key {key!r} in table {self.name!r}")
+        if self._auto_pk and isinstance(key, int) and key >= self._next_id:
+            self._next_id = key + 1
+        self._rows[key] = data
+        self.stats.inserts += 1
+        for obs in self._observers:
+            obs.on_insert(key, data)
+        return key
+
+    def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> list[Any]:
+        """Insert several rows, returning their primary keys."""
+        return [self.insert(r) for r in rows]
+
+    def delete(self, key: Any) -> Row:
+        """Remove and return the row with primary key ``key``."""
+        try:
+            row = self._rows.pop(key)
+        except KeyError:
+            raise KeyError(f"no row {key!r} in table {self.name!r}") from None
+        self.stats.deletes += 1
+        for obs in self._observers:
+            obs.on_delete(key, row)
+        return row
+
+    def update(self, key: Any, **changes: Any) -> Row:
+        """Update columns of an existing row; primary key may not change."""
+        if self.pk in changes:
+            raise ConstraintError("primary key cannot be updated")
+        row = self.get(key)
+        unknown = set(changes) - set(self.columns)
+        if unknown:
+            raise SchemaError(f"unknown column(s) {sorted(unknown)!r}")
+        new_row = dict(row)
+        new_row.update(changes)
+        for name, value in changes.items():
+            self.columns[name].validate(value)
+        for obs in self._observers:
+            obs.on_delete(key, row)
+        self._rows[key] = new_row
+        self.stats.updates += 1
+        for obs in self._observers:
+            obs.on_insert(key, new_row)
+        return new_row
+
+    def clear(self) -> None:
+        """Remove all rows (observers are notified per row)."""
+        for key in list(self._rows):
+            self.delete(key)
+
+    # -- access ------------------------------------------------------------
+
+    def get(self, key: Any) -> Row:
+        """Row with primary key ``key`` (KeyError if absent)."""
+        try:
+            return self._rows[key]
+        except KeyError:
+            raise KeyError(f"no row {key!r} in table {self.name!r}") from None
+
+    def get_or_none(self, key: Any) -> Row | None:
+        return self._rows.get(key)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._rows
+
+    def __iter__(self) -> Iterator[Row]:
+        self.stats.scans += 1
+        return iter(list(self._rows.values()))
+
+    def keys(self) -> list[Any]:
+        return list(self._rows.keys())
+
+    def rows(self) -> list[Row]:
+        """All rows (a fresh list; mutating it does not affect the table)."""
+        self.stats.scans += 1
+        return list(self._rows.values())
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {len(self)} rows, cols={list(self.columns)})"
+
+
+def field_names(table: Table) -> list[str]:
+    """Column names of ``table`` in declaration order."""
+    return list(table.columns)

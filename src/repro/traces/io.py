@@ -1,0 +1,100 @@
+"""Trace serialization: CSV for route points, JSONL for trips.
+
+The paper's ingest pools device data over HTTP into PostgreSQL; here the
+equivalent durable format is a flat route-point CSV (one row per point)
+plus a trips JSONL with the per-trip header records.  Round-tripping is
+lossless to float precision.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.traces.model import FleetData, RoutePoint, Trip
+
+_POINT_FIELDS = ["point_id", "trip_id", "lat", "lon", "time_s", "speed_kmh", "fuel_ml"]
+
+
+def write_points_csv(fleet: FleetData, path: str | Path) -> int:
+    """Write all route points as CSV; returns the row count."""
+    path = Path(path)
+    count = 0
+    with path.open("w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["car_id"] + _POINT_FIELDS)
+        for trip in fleet.trips:
+            for p in trip.points:
+                writer.writerow(
+                    [trip.car_id, p.point_id, p.trip_id, repr(p.lat), repr(p.lon),
+                     repr(p.time_s), repr(p.speed_kmh), repr(p.fuel_ml)]
+                )
+                count += 1
+    return count
+
+
+def read_points_csv(path: str | Path) -> FleetData:
+    """Read a route-point CSV back into trips (grouped by trip id)."""
+    path = Path(path)
+    trips: dict[int, Trip] = {}
+    with path.open(newline="") as f:
+        reader = csv.DictReader(f)
+        for row in reader:
+            trip_id = int(row["trip_id"])
+            trip = trips.get(trip_id)
+            if trip is None:
+                trip = Trip(trip_id=trip_id, car_id=int(row["car_id"]))
+                trips[trip_id] = trip
+            trip.points.append(
+                RoutePoint(
+                    point_id=int(row["point_id"]),
+                    trip_id=trip_id,
+                    lat=float(row["lat"]),
+                    lon=float(row["lon"]),
+                    time_s=float(row["time_s"]),
+                    speed_kmh=float(row["speed_kmh"]),
+                    fuel_ml=float(row["fuel_ml"]),
+                )
+            )
+    return FleetData(trips=sorted(trips.values(), key=lambda t: t.trip_id))
+
+
+def write_trips_jsonl(fleet: FleetData, path: str | Path) -> int:
+    """Write per-trip header records (summaries) as JSONL."""
+    path = Path(path)
+    count = 0
+    with path.open("w") as f:
+        for trip in fleet.trips:
+            s = trip.summary()
+            f.write(
+                json.dumps(
+                    {
+                        "trip_id": s.trip_id,
+                        "car_id": s.car_id,
+                        "start_time_s": s.start_time_s,
+                        "end_time_s": s.end_time_s,
+                        "start_point": list(s.start_point),
+                        "end_point": list(s.end_point),
+                        "total_time_s": s.total_time_s,
+                        "total_distance_m": s.total_distance_m,
+                        "total_fuel_ml": s.total_fuel_ml,
+                        "point_count": s.point_count,
+                    }
+                )
+            )
+            f.write("\n")
+            count += 1
+    return count
+
+
+def read_trips_jsonl(path: str | Path) -> list[dict]:
+    """Read trip header records (as dicts) from JSONL."""
+    path = Path(path)
+    out = []
+    with path.open() as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

@@ -1,0 +1,33 @@
+"""Weather substrate — seasons and the FMI road-weather substitute.
+
+The paper stratifies speeds by season (Fig. 5) and by road-weather
+temperature class from the FMI road weather model (Fig. 10).  We cannot
+run the FMI model, so :mod:`repro.weather.roadweather` provides a
+climatological substitute for Oulu: a seasonal temperature curve with
+deterministic daily variation, classified into the same kind of
+temperature bands.
+"""
+
+from repro.weather.roadweather import (
+    TEMPERATURE_CLASSES,
+    RoadWeatherModel,
+    temperature_class,
+)
+from repro.weather.seasons import (
+    SEASONS,
+    SEASON_SPEED_FACTOR,
+    Season,
+    season_of,
+    season_speed_factor,
+)
+
+__all__ = [
+    "SEASONS",
+    "SEASON_SPEED_FACTOR",
+    "RoadWeatherModel",
+    "Season",
+    "TEMPERATURE_CLASSES",
+    "season_of",
+    "season_speed_factor",
+    "temperature_class",
+]

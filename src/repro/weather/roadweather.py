@@ -1,0 +1,74 @@
+"""FMI road-weather model substitute.
+
+The paper obtains road-surface temperature from the FMI road weather model
+(Kangas et al., 2006).  The substitute is a climatological model for Oulu:
+a sinusoidal annual temperature cycle (coldest late January, warmest late
+July) plus deterministic pseudo-random daily variation, classified into
+the temperature bands Fig. 10 stratifies over.  It is deterministic in the
+timestamp, so simulated trips and analysis code always agree on the
+weather a trip was driven in.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from datetime import datetime, timezone
+
+#: Temperature classes used for the Fig. 10 reproduction, ordered cold->warm.
+TEMPERATURE_CLASSES = ("<=-10", "-10..0", "0..+10", ">+10")
+
+#: Oulu climatology: annual mean and seasonal amplitude, degrees C.
+_ANNUAL_MEAN_C = 3.0
+_ANNUAL_AMPLITUDE_C = 14.5
+#: Day of year of the temperature minimum (late January).
+_COLDEST_DOY = 25
+_DAILY_SIGMA_C = 4.0
+
+
+class RoadWeatherModel:
+    """Deterministic daily road temperature for the study area."""
+
+    def __init__(self, seed: int = 2012) -> None:
+        self.seed = seed
+
+    def temperature_c(self, time_s: float) -> float:
+        """Daily mean road temperature at a Unix timestamp."""
+        dt = datetime.fromtimestamp(time_s, tz=timezone.utc)
+        doy = dt.timetuple().tm_yday
+        phase = 2.0 * math.pi * (doy - _COLDEST_DOY) / 365.25
+        seasonal = _ANNUAL_MEAN_C - _ANNUAL_AMPLITUDE_C * math.cos(phase)
+        return seasonal + self._daily_offset(dt.year, doy)
+
+    def _daily_offset(self, year: int, doy: int) -> float:
+        """Deterministic pseudo-random daily deviation in [-2.5σ, 2.5σ]."""
+        digest = hashlib.sha256(f"{self.seed}:{year}:{doy}".encode()).digest()
+        u = int.from_bytes(digest[:8], "big") / 2**64  # uniform [0, 1)
+        # Inverse-CDF-ish triangular shaping is enough for stratification.
+        return (u - 0.5) * 2.0 * _DAILY_SIGMA_C
+
+    def temperature_class(self, time_s: float) -> str:
+        """The Fig. 10 temperature band at ``time_s``."""
+        return temperature_class(self.temperature_c(time_s))
+
+    def grip_factor(self, time_s: float) -> float:
+        """Speed multiplier for slippery roads (1.0 above freezing).
+
+        Mild by design: the paper found weather effects on low-speed share
+        to be secondary to map features.
+        """
+        t = self.temperature_c(time_s)
+        if t >= 0.0:
+            return 1.0
+        return max(0.9, 1.0 + 0.005 * t)  # -10 C -> 0.95
+
+
+def temperature_class(temperature_c: float) -> str:
+    """Band a temperature into the Fig. 10 classes."""
+    if temperature_c <= -10.0:
+        return TEMPERATURE_CLASSES[0]
+    if temperature_c <= 0.0:
+        return TEMPERATURE_CLASSES[1]
+    if temperature_c <= 10.0:
+        return TEMPERATURE_CLASSES[2]
+    return TEMPERATURE_CLASSES[3]

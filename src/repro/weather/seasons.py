@@ -1,0 +1,52 @@
+"""Meteorological seasons and their speed effects.
+
+Season boundaries follow the meteorological convention (winter = Dec-Feb,
+spring = Mar-May, summer = Jun-Aug, autumn = Sep-Nov), which matches the
+paper's northern-country framing.  The per-season speed factors encode the
+paper's measured deltas against the annual mean (-0.07 km/h in winter,
++0.46 spring, +0.70 summer, +1.38 autumn): the *ordering*
+winter < spring < summer < autumn is the reproduction target.
+"""
+
+from __future__ import annotations
+
+import enum
+from datetime import datetime, timezone
+
+
+class Season(enum.Enum):
+    WINTER = "winter"
+    SPRING = "spring"
+    SUMMER = "summer"
+    AUTUMN = "autumn"
+
+
+#: All seasons in calendar order starting from winter.
+SEASONS = (Season.WINTER, Season.SPRING, Season.SUMMER, Season.AUTUMN)
+
+_MONTH_TO_SEASON = {
+    12: Season.WINTER, 1: Season.WINTER, 2: Season.WINTER,
+    3: Season.SPRING, 4: Season.SPRING, 5: Season.SPRING,
+    6: Season.SUMMER, 7: Season.SUMMER, 8: Season.SUMMER,
+    9: Season.AUTUMN, 10: Season.AUTUMN, 11: Season.AUTUMN,
+}
+
+#: Multiplicative effect of season on achievable driving speed, calibrated
+#: so the measured per-season mean-speed deltas order as in the paper.
+SEASON_SPEED_FACTOR = {
+    Season.WINTER: 0.997,
+    Season.SPRING: 1.018,
+    Season.SUMMER: 1.038,
+    Season.AUTUMN: 1.055,
+}
+
+
+def season_of(time_s: float) -> Season:
+    """Meteorological season of a Unix timestamp (UTC)."""
+    month = datetime.fromtimestamp(time_s, tz=timezone.utc).month
+    return _MONTH_TO_SEASON[month]
+
+
+def season_speed_factor(time_s: float) -> float:
+    """Speed multiplier in effect at ``time_s``."""
+    return SEASON_SPEED_FACTOR[season_of(time_s)]

@@ -1,0 +1,60 @@
+"""Shared fixtures.
+
+Expensive artefacts (city, simulated fleet, full study) are session-scoped
+so the suite builds them once; tests must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cleaning import CleaningPipeline
+from repro.experiments import OuluStudy, StudyConfig
+from repro.roadnet import build_synthetic_oulu
+from repro.traces import FleetSpec, TaxiFleetSimulator
+
+
+@pytest.fixture(scope="session")
+def city():
+    """The default synthetic city (deterministic)."""
+    return build_synthetic_oulu()
+
+
+@pytest.fixture(scope="session")
+def fleet_and_runs(city):
+    """A 12-day simulated fleet with ground-truth runs."""
+    simulator = TaxiFleetSimulator(city, FleetSpec(n_days=12, seed=1234))
+    return simulator.simulate()
+
+
+@pytest.fixture(scope="session")
+def fleet(fleet_and_runs):
+    return fleet_and_runs[0]
+
+
+@pytest.fixture(scope="session")
+def runs(fleet_and_runs):
+    return fleet_and_runs[1]
+
+
+@pytest.fixture(scope="session")
+def clean_result(fleet):
+    """The cleaned and segmented fleet."""
+    return CleaningPipeline().run(fleet)
+
+
+@pytest.fixture(scope="session")
+def study_result():
+    """A complete end-to-end study at moderate scale."""
+    config = StudyConfig(fleet=FleetSpec(n_days=30, seed=7))
+    return OuluStudy(config).run()
+
+
+@pytest.fixture()
+def to_xy(city):
+    projector = city.projector
+
+    def convert(p):
+        return projector.to_xy(p.lat, p.lon)
+
+    return convert

@@ -1,0 +1,104 @@
+"""Tests for repro.analysis.anomaly."""
+
+import pytest
+
+from repro.analysis.anomaly import (
+    AnomalyConfig,
+    anomaly_rate,
+    detect_anomalies,
+)
+from repro.matching.types import MatchedPoint, MatchedRoute
+from repro.traces.model import RoutePoint
+
+
+def make_route(edge_ids, duration_s, segment_id=1, car_id=1):
+    points = [
+        MatchedPoint(
+            point=RoutePoint(point_id=1, trip_id=1, lat=0, lon=0, time_s=0.0),
+            edge_id=edge_ids[0], arc_m=0.0, snapped_xy=(0.0, 0.0),
+            match_distance_m=0.0,
+        ),
+        MatchedPoint(
+            point=RoutePoint(point_id=2, trip_id=1, lat=0, lon=0,
+                             time_s=duration_s),
+            edge_id=edge_ids[-1], arc_m=0.0, snapped_xy=(0.0, 0.0),
+            match_distance_m=0.0,
+        ),
+    ]
+    route = MatchedRoute(segment_id=segment_id, car_id=car_id, matched=points)
+    route.edge_sequence = [(e, 0) for e in edge_ids]
+    return route
+
+
+class FakeTransition:
+    def __init__(self, direction):
+        self.direction = direction
+
+
+def fleet_pairs():
+    """Nine normal trips plus one detour and one slow trip."""
+    pairs = []
+    for i in range(9):
+        pairs.append((FakeTransition("T-S"),
+                      make_route([1, 2, 3, 4], 400.0 + i, segment_id=i)))
+    # Spatial anomaly: a completely different route.
+    pairs.append((FakeTransition("T-S"),
+                  make_route([10, 11, 12, 13], 420.0, segment_id=90)))
+    # Temporal anomaly: the normal route, three times slower.
+    pairs.append((FakeTransition("T-S"),
+                  make_route([1, 2, 3, 4], 1300.0, segment_id=91)))
+    return pairs
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AnomalyConfig(min_overlap=2.0)
+        with pytest.raises(ValueError):
+            AnomalyConfig(max_duration_ratio=0.9)
+
+
+class TestDetection:
+    def test_detour_flagged_spatially(self):
+        flags = detect_anomalies(fleet_pairs())
+        by_id = {f.segment_id: f for f in flags}
+        assert by_id[90].spatial_anomaly
+        assert not by_id[90].temporal_anomaly
+
+    def test_slow_trip_flagged_temporally(self):
+        flags = detect_anomalies(fleet_pairs())
+        by_id = {f.segment_id: f for f in flags}
+        assert by_id[91].temporal_anomaly
+        assert not by_id[91].spatial_anomaly
+
+    def test_normal_trips_clean(self):
+        flags = detect_anomalies(fleet_pairs())
+        normal = [f for f in flags if f.segment_id < 9]
+        assert all(not f.is_anomalous for f in normal)
+
+    def test_anomaly_rate(self):
+        flags = detect_anomalies(fleet_pairs())
+        assert anomaly_rate(flags) == pytest.approx(2 / 11)
+        assert anomaly_rate([]) == 0.0
+
+    def test_small_directions_skipped(self):
+        pairs = fleet_pairs()[:3]
+        assert detect_anomalies(pairs) == []
+
+    def test_overlap_reported(self):
+        flags = detect_anomalies(fleet_pairs())
+        by_id = {f.segment_id: f for f in flags}
+        assert by_id[0].route_overlap == pytest.approx(1.0)
+        assert by_id[90].route_overlap == pytest.approx(0.0)
+
+
+class TestOnStudyData:
+    def test_low_anomaly_rate_on_honest_fleet(self, study_result):
+        """The simulator's drivers are honest: few trips flag."""
+        flags = detect_anomalies(study_result.kept())
+        if not flags:
+            pytest.skip("study fixture has too few transitions per direction")
+        assert anomaly_rate(flags) < 0.5
+        for f in flags:
+            assert 0.0 <= f.route_overlap <= 1.0
+            assert f.duration_ratio > 0.0

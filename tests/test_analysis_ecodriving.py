@@ -1,0 +1,89 @@
+"""Tests for repro.analysis.ecodriving."""
+
+import pytest
+
+from repro.analysis.ecodriving import (
+    DrivingCoach,
+    eco_route_comparison,
+    estimate_route_fuel,
+)
+
+
+class TestRouteFuel:
+    def test_estimate_over_known_route(self, city):
+        n1 = city.graph.nearest_node((0.0, 2000.0))
+        n2 = city.graph.nearest_node((600.0, -1800.0))
+        from repro.roadnet.routing import shortest_path
+
+        path = shortest_path(city.graph, n1.node_id, n2.node_id, weight="time")
+        est = estimate_route_fuel(city.graph, city.map_db, path.edges, "test")
+        assert est.distance_m > 2000.0
+        assert est.expected_time_s > 100.0
+        assert est.expected_fuel_ml > 100.0
+        assert 50.0 < est.fuel_per_km < 300.0
+
+    def test_lights_add_fuel(self, city):
+        """A route through the lit core burns more per km than the bypass."""
+        from repro.roadnet.routing import shortest_path
+
+        n1 = city.graph.nearest_node((0.0, 1000.0))
+        n2 = city.graph.nearest_node((0.0, -1000.0))     # straight through core
+        core = shortest_path(city.graph, n1.node_id, n2.node_id, weight="length")
+        b1 = city.graph.nearest_node((-1000.0, 1000.0))
+        b2 = city.graph.nearest_node((-1000.0, -1000.0))  # along the unlit edge
+        edge_route = shortest_path(city.graph, b1.node_id, b2.node_id, weight="length")
+        core_est = estimate_route_fuel(city.graph, city.map_db, core.edges, "core")
+        edge_est = estimate_route_fuel(city.graph, city.map_db, edge_route.edges, "edge")
+        assert core_est.expected_stops > edge_est.expected_stops
+        assert core_est.fuel_per_km > edge_est.fuel_per_km
+
+
+class TestEcoRouting:
+    def test_alternatives_distinct_and_sorted(self, city):
+        n1 = city.graph.nearest_node((0.0, 2000.0))
+        n2 = city.graph.nearest_node((600.0, -1800.0))
+        estimates = eco_route_comparison(
+            city.graph, city.map_db, n1.node_id, n2.node_id, k=3
+        )
+        assert 2 <= len(estimates) <= 3
+        routes = {e.edge_ids for e in estimates}
+        assert len(routes) == len(estimates)
+        fuels = [e.expected_fuel_ml for e in estimates]
+        assert fuels == sorted(fuels)
+
+    def test_unreachable_returns_empty(self, city):
+        from repro.roadnet.graph import RoadNode
+
+        # Use two distinct dead-end tips at opposite corners; they are
+        # connected, so instead test a node vs itself -> no route edges.
+        node = city.graph.nodes()[0].node_id
+        estimates = eco_route_comparison(city.graph, city.map_db, node, node, k=2)
+        assert estimates == []
+
+
+class TestDrivingCoach:
+    def test_requires_data(self):
+        with pytest.raises(ValueError):
+            DrivingCoach([])
+
+    def test_fleet_reports(self, study_result):
+        coach = DrivingCoach(study_result.route_stats)
+        reports = coach.fleet_reports()
+        assert len(reports) >= 2
+        fuels = [r.fuel_per_km_ml for r in reports]
+        assert fuels == sorted(fuels)
+        for r in reports:
+            assert 0.0 <= r.fuel_percentile < 100.0
+            assert 0.0 <= r.low_speed_percentile < 100.0
+            assert r.n_transitions >= 1
+            assert 30.0 < r.fuel_per_km_ml < 400.0
+
+    def test_unknown_car_rejected(self, study_result):
+        coach = DrivingCoach(study_result.route_stats)
+        with pytest.raises(KeyError):
+            coach.report(999)
+
+    def test_best_driver_has_zero_percentile(self, study_result):
+        coach = DrivingCoach(study_result.route_stats)
+        best = coach.fleet_reports()[0]
+        assert best.fuel_percentile == 0.0

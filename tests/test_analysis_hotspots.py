@@ -1,0 +1,132 @@
+"""Tests for repro.analysis.hotspots."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.hotspots import (
+    DwellEvent,
+    dbscan,
+    detect_hotspots,
+    extract_dwells,
+)
+from repro.traces.model import RoutePoint, Trip, FleetData
+
+
+class TestDbscan:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            dbscan([(0.0, 0.0)], eps=0.0, min_pts=3)
+        with pytest.raises(ValueError):
+            dbscan([(0.0, 0.0)], eps=1.0, min_pts=0)
+
+    def test_two_blobs_and_noise(self):
+        rng = random.Random(1)
+        blob_a = [(rng.gauss(0, 5), rng.gauss(0, 5)) for __ in range(30)]
+        blob_b = [(rng.gauss(500, 5), rng.gauss(500, 5)) for __ in range(30)]
+        noise = [(rng.uniform(-1000, 1000), rng.uniform(1500, 3000)) for __ in range(5)]
+        points = blob_a + blob_b + noise
+        labels = dbscan(points, eps=30.0, min_pts=4)
+        a_labels = {labels[i] for i in range(30)}
+        b_labels = {labels[i] for i in range(30, 60)}
+        assert len(a_labels) == 1 and -1 not in a_labels
+        assert len(b_labels) == 1 and -1 not in b_labels
+        assert a_labels != b_labels
+        assert all(labels[i] == -1 for i in range(60, 65))
+
+    def test_all_noise_when_sparse(self):
+        points = [(i * 1000.0, 0.0) for i in range(10)]
+        assert set(dbscan(points, eps=50.0, min_pts=3)) == {-1}
+
+    def test_single_dense_cluster(self):
+        points = [(float(i % 5), float(i // 5)) for i in range(25)]
+        labels = dbscan(points, eps=2.0, min_pts=3)
+        assert set(labels) == {0}
+
+    def test_empty(self):
+        assert dbscan([], eps=1.0, min_pts=2) == []
+
+    def test_labels_against_reference_counts(self):
+        # Three separated 10-point clusters: exactly three labels.
+        points = []
+        for cx in (0.0, 300.0, 600.0):
+            points.extend((cx + dx, 0.0) for dx in range(10))
+        labels = dbscan(points, eps=15.0, min_pts=3)
+        assert len({lab for lab in labels if lab >= 0}) == 3
+        assert -1 not in labels
+
+
+def make_trip(points_xy_t, car_id=1, trip_id=1):
+    # lat=y/111111, lon=x/(111111*cos) approximated by identity projector below.
+    points = [
+        RoutePoint(point_id=i + 1, trip_id=trip_id, lat=y, lon=x, time_s=t)
+        for i, (x, y, t) in enumerate(points_xy_t)
+    ]
+    return Trip(trip_id=trip_id, car_id=car_id, points=points)
+
+
+def identity_to_xy(p):
+    return (p.lon, p.lat)
+
+
+class TestExtractDwells:
+    def test_detects_long_stop(self):
+        trip = make_trip([
+            (0.0, 0.0, 0.0), (100.0, 0.0, 20.0),
+            (100.0, 0.0, 30.0), (105.0, 0.0, 400.0),   # ~370 s near-stationary
+            (300.0, 0.0, 430.0),
+        ])
+        dwells = extract_dwells(FleetData(trips=[trip]), identity_to_xy)
+        assert len(dwells) == 1
+        assert dwells[0].duration_s >= 300.0
+        assert dwells[0].position == (100.0, 0.0)
+
+    def test_moving_trip_has_no_dwells(self):
+        trip = make_trip([(x * 100.0, 0.0, x * 20.0) for x in range(10)])
+        assert extract_dwells(FleetData(trips=[trip]), identity_to_xy) == []
+
+    def test_short_stop_ignored(self):
+        trip = make_trip([
+            (0.0, 0.0, 0.0), (100.0, 0.0, 20.0),
+            (100.0, 0.0, 80.0),   # only 60 s
+            (300.0, 0.0, 100.0),
+        ])
+        assert extract_dwells(FleetData(trips=[trip]), identity_to_xy) == []
+
+
+class TestDetectHotspots:
+    def test_empty(self):
+        assert detect_hotspots([]) == []
+
+    def test_clusters_dwells(self):
+        rng = random.Random(3)
+        dwells = []
+        for i in range(20):
+            dwells.append(DwellEvent(
+                car_id=i % 3 + 1, trip_id=i, start_s=0.0, duration_s=300.0,
+                position=(rng.gauss(0, 20), rng.gauss(0, 20)),
+            ))
+        for i in range(4):
+            dwells.append(DwellEvent(
+                car_id=1, trip_id=100 + i, start_s=0.0, duration_s=300.0,
+                position=(5000.0 + i * 400.0, 5000.0),
+            ))
+        hotspots = detect_hotspots(dwells, eps=100.0, min_pts=4)
+        assert len(hotspots) == 1
+        top = hotspots[0]
+        assert top.n_events == 20
+        assert top.n_cars == 3
+        assert math.hypot(*top.centroid) < 30.0
+
+    def test_hotspot_found_in_simulation(self, fleet, city):
+        projector = city.projector
+        dwells = extract_dwells(fleet, lambda p: projector.to_xy(p.lat, p.lon))
+        assert len(dwells) > 50
+        hotspots = detect_hotspots(dwells, eps=180.0, min_pts=6)
+        assert hotspots
+        # The busiest hotspot involves several taxis and sits inside the
+        # central area (dwells are customer stops around downtown).
+        top = hotspots[0]
+        assert top.n_cars >= 3
+        assert city.central_area.contains(top.centroid)

@@ -1,0 +1,78 @@
+"""Tests for repro.analysis.odflows and repro.analysis.critical."""
+
+import pytest
+
+from repro.analysis.critical import critical_edges, usage_counts
+from repro.analysis.odflows import build_od_matrix, flow_table
+from repro.traces.simulator import Region
+
+
+class TestOdMatrix:
+    @pytest.fixture(scope="class")
+    def matrix(self, runs):
+        return build_od_matrix(runs)
+
+    def test_counts_total(self, matrix, runs):
+        assert matrix.n_trips == len(runs)
+        assert sum(matrix.counts.values()) == len(runs)
+
+    def test_in_out_flow_conservation(self, matrix):
+        total_out = sum(matrix.outflow(r) for r in Region)
+        total_in = sum(matrix.inflow(r) for r in Region)
+        assert total_out == total_in == matrix.n_trips
+
+    def test_core_dominates(self, matrix):
+        """Most trips touch the downtown core (the paper's study area)."""
+        assert matrix.core_share() > 0.7
+        assert matrix.flow(Region.CORE, Region.CORE) > matrix.flow(
+            Region.NORTH, Region.SOUTH_S
+        )
+
+    def test_gate_flows_roughly_symmetric(self, matrix):
+        """The region Markov chain is near-balanced: N<->core flows are
+        within a factor of a few of each other."""
+        assert matrix.symmetry(Region.CORE, Region.NORTH) > 0.3
+
+    def test_peak_hour_in_working_day(self, matrix):
+        assert 5 <= matrix.peak_hour() <= 23
+
+    def test_flow_table_shape(self, matrix):
+        rows = flow_table(matrix)
+        assert len(rows) == len(Region)
+        assert all(len(r) == len(Region) + 1 for r in rows)
+
+    def test_empty_runs(self):
+        matrix = build_od_matrix([])
+        assert matrix.n_trips == 0
+        assert matrix.core_share() == 0.0
+        assert matrix.symmetry(Region.CORE, Region.NORTH) == 1.0
+
+
+class TestCriticalEdges:
+    def test_usage_counts(self, study_result):
+        routes = [route for __, route in study_result.kept()]
+        counts = usage_counts(routes)
+        assert counts
+        assert all(v >= 1 for v in counts.values())
+        assert sum(counts.values()) == sum(len(r.edge_ids) for r in routes)
+
+    def test_critical_edges_scored(self, study_result):
+        routes = [route for __, route in study_result.kept()]
+        scored = critical_edges(study_result.city.graph, routes,
+                                top_k=5, n_pairs=20)
+        assert len(scored) == 5
+        usages = [c.usage for c in scored]
+        assert usages == sorted(usages, reverse=True)
+        for c in scored:
+            assert c.detour_factor >= 0.99  # removal never shortens paths
+
+    def test_gate_arterials_heavily_used(self, study_result):
+        """Transitions funnel through the gates: the busiest edges sit on
+        the arterials near the gates or the core axis."""
+        routes = [route for __, route in study_result.kept()]
+        counts = usage_counts(routes)
+        busiest = max(counts, key=lambda e: counts[e])
+        edge = study_result.city.graph.edge(busiest)
+        mid = edge.geometry.interpolate(edge.length / 2.0)
+        # Busiest edge lies within the study corridor, not out in a suburb.
+        assert abs(mid[0]) <= 1500.0

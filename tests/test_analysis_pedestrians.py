@@ -1,0 +1,72 @@
+"""Tests for repro.analysis.pedestrians."""
+
+import pytest
+
+from repro.analysis.pedestrians import PedestrianModel, fuse_with_intercepts
+from repro.features.grid import GridSpec
+
+
+class TestPedestrianModel:
+    @pytest.fixture(scope="class")
+    def model(self, city):
+        return PedestrianModel(city)
+
+    def test_access_points_exist(self, model):
+        assert len(model.access_points) > 20
+
+    def test_hotspot_aps_busier(self, model, city):
+        in_hot = [ap for ap in model.access_points if city.in_hotspot(ap.position)]
+        out_hot = [ap for ap in model.access_points
+                   if not city.in_hotspot(ap.position)]
+        assert in_hot and out_hot
+        mean_in = sum(a.base_clients for a in in_hot) / len(in_hot)
+        mean_out = sum(a.base_clients for a in out_hot) / len(out_hot)
+        assert mean_in > mean_out * 1.5
+
+    def test_diurnal_pattern(self, model):
+        ap = model.access_points[0]
+        night = model.clients_at(ap, 3)
+        afternoon = model.clients_at(ap, 14)
+        assert afternoon > night
+
+    def test_hour_validation(self, model):
+        with pytest.raises(ValueError):
+            model.clients_at(model.access_points[0], 24)
+
+    def test_deterministic(self, city):
+        a = PedestrianModel(city, seed=1)
+        b = PedestrianModel(city, seed=1)
+        ap = a.access_points[5]
+        assert a.clients_at(ap, 12) == b.clients_at(b.access_points[5], 12)
+
+    def test_cell_counts_concentrated_in_centre(self, model, city):
+        spec = GridSpec(200.0)
+        counts = model.cell_counts(spec, hour=14)
+        assert counts
+        centre = counts.get(spec.cell_of((0.0, 0.0)), 0.0)
+        edge = counts.get(spec.cell_of((950.0, 950.0)), 0.0)
+        assert centre > edge
+
+
+class TestFusion:
+    def test_pedestrians_explain_residual_slowness(self, study_result, city):
+        model = PedestrianModel(city)
+        counts = model.cell_counts(study_result.config.grid, hour=14)
+        fit = fuse_with_intercepts(
+            study_result.mixed.blup, counts, study_result.cell_features
+        )
+        # Crowded cells have lower speed intercepts, beyond what the
+        # static map features explain — the paper's area-B finding.
+        assert fit.coefficient("pedestrians") < 0.0
+        assert fit.n == len(study_result.mixed.groups)
+
+    def test_fusion_controls_present(self, study_result, city):
+        model = PedestrianModel(city)
+        counts = model.cell_counts(study_result.config.grid)
+        fit = fuse_with_intercepts(
+            study_result.mixed.blup, counts, study_result.cell_features
+        )
+        assert set(fit.names) == {
+            "(intercept)", "pedestrians", "traffic_lights", "bus_stops",
+            "pedestrian_crossings",
+        }

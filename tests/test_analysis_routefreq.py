@@ -1,0 +1,108 @@
+"""Tests for repro.analysis.routefreq."""
+
+import pytest
+
+from repro.analysis.routefreq import (
+    build_direction_profiles,
+    overlap_fraction,
+    route_signature,
+)
+from repro.matching.types import MatchedPoint, MatchedRoute
+from repro.traces.model import RoutePoint
+
+
+def make_route(edge_ids, t0=0.0, t1=300.0):
+    points = [
+        MatchedPoint(
+            point=RoutePoint(point_id=1, trip_id=1, lat=0, lon=0, time_s=t0),
+            edge_id=edge_ids[0], arc_m=0.0, snapped_xy=(0.0, 0.0),
+            match_distance_m=0.0,
+        ),
+        MatchedPoint(
+            point=RoutePoint(point_id=2, trip_id=1, lat=0, lon=0, time_s=t1),
+            edge_id=edge_ids[-1], arc_m=0.0, snapped_xy=(0.0, 0.0),
+            match_distance_m=0.0,
+        ),
+    ]
+    route = MatchedRoute(segment_id=1, car_id=1, matched=points)
+    route.edge_sequence = [(e, 0) for e in edge_ids]
+    return route
+
+
+class FakeTransition:
+    def __init__(self, direction):
+        self.direction = direction
+
+
+class TestRouteSignature:
+    def test_dedupes_immediate_repeats(self):
+        route = make_route([1, 1, 2, 3, 3, 3, 2])
+        assert route_signature(route) == (1, 2, 3, 2)
+
+    def test_empty_route(self):
+        route = MatchedRoute(segment_id=1, car_id=1)
+        assert route_signature(route) == ()
+
+
+class TestOverlap:
+    def test_identical(self):
+        assert overlap_fraction((1, 2, 3), (1, 2, 3)) == 1.0
+
+    def test_disjoint(self):
+        assert overlap_fraction((1, 2), (3, 4)) == 0.0
+
+    def test_partial(self):
+        assert overlap_fraction((1, 2, 3), (2, 3, 4)) == pytest.approx(0.5)
+
+    def test_both_empty(self):
+        assert overlap_fraction((), ()) == 1.0
+
+
+class TestProfiles:
+    def build(self):
+        pairs = [
+            (FakeTransition("T-S"), make_route([1, 2, 3], 0.0, 400.0)),
+            (FakeTransition("T-S"), make_route([1, 2, 3], 0.0, 380.0)),
+            (FakeTransition("T-S"), make_route([1, 5, 3], 0.0, 300.0)),
+            (FakeTransition("L-T"), make_route([7, 8], 0.0, 250.0)),
+        ]
+        return build_direction_profiles(pairs)
+
+    def test_grouping(self):
+        profiles = self.build()
+        assert set(profiles) == {"T-S", "L-T"}
+        assert profiles["T-S"].n_trips == 3
+        assert profiles["T-S"].n_variants == 2
+
+    def test_shares_sum_to_one(self):
+        profile = self.build()["T-S"]
+        assert sum(v.share for v in profile.variants) == pytest.approx(1.0)
+
+    def test_most_frequent(self):
+        profile = self.build()["T-S"]
+        assert profile.most_frequent().signature == (1, 2, 3)
+        assert profile.most_frequent().count == 2
+
+    def test_fastest_recommendation(self):
+        profile = self.build()["T-S"]
+        assert profile.fastest().signature == (1, 5, 3)
+        assert profile.fastest().mean_time_s == pytest.approx(300.0)
+
+    def test_diversity_bounds(self):
+        profiles = self.build()
+        assert profiles["L-T"].diversity == pytest.approx(1.0)
+        assert 1.0 < profiles["T-S"].diversity <= 2.0
+
+    def test_on_study_output(self, study_result):
+        profiles = build_direction_profiles(study_result.kept())
+        assert profiles
+        for profile in profiles.values():
+            assert profile.n_trips >= 1
+            assert profile.diversity >= 1.0
+            assert sum(v.count for v in profile.variants) == profile.n_trips
+
+    def test_drivers_freely_select_routes(self, study_result):
+        """At least one direction shows route diversity (the paper's
+        premise that taxi drivers choose routes freely)."""
+        profiles = build_direction_profiles(study_result.kept())
+        assert any(p.n_variants > 1 for p in profiles.values())

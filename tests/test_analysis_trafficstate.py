@@ -1,0 +1,83 @@
+"""Tests for repro.analysis.trafficstate."""
+
+import pytest
+
+from repro.analysis.trafficstate import TrafficStateEstimator
+
+
+class TestValidation:
+    def test_bin_hours_must_divide_24(self, city):
+        with pytest.raises(ValueError):
+            TrafficStateEstimator(city.graph, bin_hours=5)
+        with pytest.raises(ValueError):
+            TrafficStateEstimator(city.graph, bin_hours=0)
+
+
+class TestEstimation:
+    @pytest.fixture()
+    def estimator(self, study_result):
+        est = TrafficStateEstimator(study_result.city.graph, bin_hours=24)
+        for __, route in study_result.kept():
+            est.add_route(route)
+        return est
+
+    def test_observations_counted(self, estimator, study_result):
+        total = sum(len(r.matched) for __, r in study_result.kept())
+        assert sum(s.n_observations for s in estimator.states(1)) == total
+
+    def test_unobserved_edge_is_none(self, estimator, study_result):
+        observed = {s.edge_id for s in estimator.states(1)}
+        all_edges = {e.edge_id for e in study_result.city.graph.edges()}
+        unobserved = all_edges - observed
+        assert unobserved, "transitions cannot cover every edge"
+        assert estimator.edge_state(next(iter(unobserved))) is None
+
+    def test_coverage_fraction(self, estimator):
+        cov = estimator.coverage()
+        assert 0.05 < cov < 1.0
+
+    def test_mean_speeds_plausible(self, estimator):
+        for state in estimator.states(min_observations=5):
+            assert 0.0 < state.mean_speed_kmh < 90.0
+            assert state.free_flow_kmh > 0.0
+
+    def test_congestion_ratio_below_one_on_average(self, estimator):
+        """Probes drive at/below the limit on average (lights, hotspot)."""
+        states = estimator.states(min_observations=5)
+        assert states
+        mean_ratio = sum(s.congestion_ratio for s in states) / len(states)
+        assert mean_ratio < 1.05
+
+    def test_congested_edges_sorted(self, estimator):
+        congested = estimator.congested_edges(threshold=0.9, min_observations=3)
+        ratios = [s.congestion_ratio for s in congested]
+        assert ratios == sorted(ratios)
+        assert all(r < 0.9 for r in ratios)
+
+    def test_lit_edges_more_congested_than_unlit(self, study_result, estimator):
+        """Edges with traffic lights show lower congestion ratios."""
+        from repro.roadnet.elements import PointObjectKind
+
+        city = study_result.city
+        lights = city.map_db.point_objects(PointObjectKind.TRAFFIC_LIGHT)
+        lit_edges = set()
+        for obj in lights:
+            for edge in city.graph.edges_near(obj.position, 25.0):
+                lit_edges.add(edge.edge_id)
+        lit, unlit = [], []
+        for state in estimator.states(min_observations=5):
+            (lit if state.edge_id in lit_edges else unlit).append(
+                state.congestion_ratio
+            )
+        if lit and unlit:
+            assert sum(lit) / len(lit) < sum(unlit) / len(unlit)
+
+
+class TestTimeBins:
+    def test_binning(self, study_result):
+        est = TrafficStateEstimator(study_result.city.graph, bin_hours=6)
+        for __, route in study_result.kept():
+            est.add_route(route)
+        bins = {s.hour_bin for s in est.states(1)}
+        assert bins <= {0, 1, 2, 3}
+        assert bins  # taxis drive during the day: some bin is populated

@@ -1,0 +1,124 @@
+"""Tests for repro.cleaning.filters."""
+
+import pytest
+
+from repro.cleaning.filters import (
+    FilterConfig,
+    drop_duplicates,
+    filter_segments,
+    remove_position_outliers,
+    within_bounds,
+)
+from repro.cleaning.segmentation import TripSegment
+from repro.geo.distance import destination_point
+from repro.traces.model import RoutePoint
+
+
+def pt(i, lat=65.0, lon=25.0, t=0.0):
+    return RoutePoint(point_id=i, trip_id=1, lat=lat, lon=lon, time_s=t)
+
+
+def walking_points(n, step_m=100.0, dt=10.0):
+    """A straight track with plausible speeds (10 m/s)."""
+    points = []
+    lat, lon = 65.0, 25.0
+    for i in range(n):
+        points.append(pt(i, lat, lon, i * dt))
+        lat, lon = destination_point(lat, lon, 0.0, step_m)
+    return points
+
+
+class TestFilterConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FilterConfig(max_implied_speed_mps=0.0)
+        with pytest.raises(ValueError):
+            FilterConfig(min_segment_points=1)
+
+
+class TestDropDuplicates:
+    def test_exact_duplicate_removed(self):
+        config = FilterConfig()
+        points = [pt(1, t=0.0), pt(2, t=0.1), pt(3, t=100.0)]
+        out = drop_duplicates(points, config)
+        assert [p.point_id for p in out] == [1, 3]
+
+    def test_same_place_different_time_kept(self):
+        config = FilterConfig()
+        points = [pt(1, t=0.0), pt(2, t=60.0)]
+        assert len(drop_duplicates(points, config)) == 2
+
+    def test_empty(self):
+        assert drop_duplicates([], FilterConfig()) == []
+
+
+class TestPositionOutliers:
+    def test_glitch_in_middle_removed(self):
+        config = FilterConfig()
+        points = walking_points(6)
+        glitch_lat, glitch_lon = destination_point(points[3].lat, points[3].lon, 90.0, 2000.0)
+        points[3] = RoutePoint(point_id=3, trip_id=1, lat=glitch_lat,
+                               lon=glitch_lon, time_s=points[3].time_s)
+        out = remove_position_outliers(points, config)
+        assert len(out) == 5
+        assert all(p.point_id != 3 for p in out)
+
+    def test_glitched_first_point_removed(self):
+        config = FilterConfig()
+        points = walking_points(6)
+        glitch_lat, glitch_lon = destination_point(points[0].lat, points[0].lon, 90.0, 3000.0)
+        points[0] = RoutePoint(point_id=0, trip_id=1, lat=glitch_lat,
+                               lon=glitch_lon, time_s=points[0].time_s)
+        out = remove_position_outliers(points, config)
+        assert out[0].point_id == 1
+
+    def test_clean_track_untouched(self):
+        points = walking_points(8)
+        assert remove_position_outliers(points, FilterConfig()) == points
+
+    def test_short_input_passthrough(self):
+        points = walking_points(2)
+        assert remove_position_outliers(points, FilterConfig()) == points
+
+
+class TestWithinBounds:
+    def test_no_bounds_passthrough(self):
+        points = walking_points(3)
+        assert within_bounds(points, FilterConfig()) == points
+
+    def test_bounds_filter(self):
+        config = FilterConfig(bounds=(64.99, 24.99, 65.01, 25.01))
+        points = [pt(1), pt(2, lat=66.0)]
+        out = within_bounds(points, config)
+        assert [p.point_id for p in out] == [1]
+
+
+class TestSegmentFilters:
+    def make_segment(self, n_points, spread_m=100.0):
+        points = walking_points(n_points, step_m=spread_m)
+        return TripSegment(segment_id=1, trip_id=1, car_id=1, index=0, points=points)
+
+    def test_short_segment_dropped(self):
+        config = FilterConfig()
+        kept, short, long_ = filter_segments([self.make_segment(3)], config)
+        assert kept == []
+        assert short == 1
+        assert long_ == 0
+
+    def test_long_segment_dropped(self):
+        config = FilterConfig()
+        seg = self.make_segment(20, spread_m=2000.0)  # 38 km
+        kept, short, long_ = filter_segments([seg], config)
+        assert kept == []
+        assert long_ == 1
+
+    def test_normal_segment_kept(self):
+        config = FilterConfig()
+        kept, short, long_ = filter_segments([self.make_segment(10)], config)
+        assert len(kept) == 1
+        assert (short, long_) == (0, 0)
+
+    def test_boundary_five_points_kept(self):
+        config = FilterConfig()
+        kept, short, __ = filter_segments([self.make_segment(5)], config)
+        assert len(kept) == 1

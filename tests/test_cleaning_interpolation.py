@@ -1,0 +1,112 @@
+"""Tests for repro.cleaning.interpolation."""
+
+import pytest
+
+from repro.cleaning.interpolation import (
+    INTERPOLATED_ID_BASE,
+    InterpolationConfig,
+    interpolate_gaps,
+    is_interpolated,
+    strip_interpolated,
+)
+from repro.geo.distance import destination_point
+from repro.traces.model import RoutePoint
+
+
+def pt(i, lat, lon, t, speed=30.0, fuel=0.0):
+    return RoutePoint(point_id=i, trip_id=1, lat=lat, lon=lon, time_s=t,
+                      speed_kmh=speed, fuel_ml=fuel)
+
+
+def moving_pair(gap_s, distance_m=1000.0):
+    lat2, lon2 = destination_point(65.0, 25.0, 0.0, distance_m)
+    return [pt(1, 65.0, 25.0, 0.0, fuel=0.0),
+            pt(2, lat2, lon2, gap_s, fuel=100.0)]
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InterpolationConfig(target_spacing_s=0.0)
+        with pytest.raises(ValueError):
+            InterpolationConfig(max_gap_s=10.0, target_spacing_s=30.0)
+
+
+class TestInterpolateGaps:
+    def test_fills_long_moving_gap(self):
+        points, added = interpolate_gaps(moving_pair(120.0))
+        assert added == 4                     # 120 s / 30 s spacing
+        assert len(points) == 6
+        mids = points[1:-1]
+        assert all(is_interpolated(p) for p in mids)
+
+    def test_interpolated_values_linear(self):
+        points, __ = interpolate_gaps(moving_pair(120.0))
+        times = [p.time_s for p in points]
+        assert times == sorted(times)
+        # Fuel interpolates linearly between 0 and 100.
+        mid = points[len(points) // 2]
+        assert 0.0 < mid.fuel_ml < 100.0
+        lats = [p.lat for p in points]
+        assert lats == sorted(lats)           # straight northward fill
+
+    def test_short_gap_untouched(self):
+        points, added = interpolate_gaps(moving_pair(45.0))
+        assert added == 0
+        assert len(points) == 2
+
+    def test_stop_gap_not_fabricated(self):
+        # Long gap but no movement: a genuine stop, leave it alone.
+        stationary = [pt(1, 65.0, 25.0, 0.0), pt(2, 65.0, 25.0, 500.0)]
+        points, added = interpolate_gaps(stationary)
+        assert added == 0
+
+    def test_very_long_gap_not_filled(self):
+        points, added = interpolate_gaps(moving_pair(1200.0))
+        assert added == 0
+
+    def test_single_point(self):
+        points, added = interpolate_gaps([pt(1, 65.0, 25.0, 0.0)])
+        assert added == 0
+        assert len(points) == 1
+
+    def test_ids_flagged(self):
+        points, __ = interpolate_gaps(moving_pair(120.0))
+        synthetic = [p for p in points if is_interpolated(p)]
+        assert all(p.point_id >= INTERPOLATED_ID_BASE for p in synthetic)
+
+
+class TestStripInterpolated:
+    def test_roundtrip(self):
+        original = moving_pair(120.0)
+        filled, added = interpolate_gaps(original)
+        assert added > 0
+        stripped = strip_interpolated(filled)
+        assert stripped == original
+
+
+class TestWithDropout:
+    def test_restores_dropped_coverage(self, city):
+        """Dropout thins a trace; interpolation restores temporal density."""
+        import random
+
+        from repro.traces import FleetSpec, TaxiFleetSimulator
+        from repro.traces.noise import NoiseSpec
+
+        spec = FleetSpec(
+            n_days=1, seed=55,
+            noise=NoiseSpec(gps_sigma_m=0.0, reorder_prob=0.0,
+                            glitch_prob=0.0, duplicate_prob=0.0,
+                            dropout_prob=0.35),
+        )
+        fleet, __ = TaxiFleetSimulator(city, spec).simulate()
+        trip = max(fleet.trips, key=len)
+        filled, added = interpolate_gaps(trip.points)
+        assert added > 0
+        gaps_before = [
+            b.time_s - a.time_s for a, b in zip(trip.points, trip.points[1:])
+        ]
+        gaps_after = [
+            b.time_s - a.time_s for a, b in zip(filled, filled[1:])
+        ]
+        assert max(gaps_after) <= max(gaps_before)

@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSimulate:
+    def test_writes_points_and_trips(self, tmp_path, capsys):
+        points = tmp_path / "p.csv"
+        trips = tmp_path / "t.jsonl"
+        code = main([
+            "simulate", "--days", "1", "--seed", "3",
+            "--points", str(points), "--trips", str(trips),
+        ])
+        assert code == 0
+        assert points.exists() and points.stat().st_size > 1000
+        assert trips.exists()
+        out = capsys.readouterr().out
+        assert "route points" in out
+
+
+class TestClean:
+    def test_reports_stages(self, tmp_path, capsys):
+        points = tmp_path / "p.csv"
+        assert main(["simulate", "--days", "1", "--seed", "3",
+                     "--points", str(points)]) == 0
+        capsys.readouterr()
+        assert main(["clean", str(points)]) == 0
+        out = capsys.readouterr().out
+        assert "segments out" in out
+        assert "rule firings" in out
+
+    def test_empty_csv_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.csv"
+        empty.write_text(
+            "car_id,point_id,trip_id,lat,lon,time_s,speed_kmh,fuel_ml\n"
+        )
+        assert main(["clean", str(empty)]) == 1
+
+
+class TestStudy:
+    def test_writes_artifacts(self, tmp_path, capsys):
+        out = tmp_path / "study"
+        code = main([
+            "study", "--days", "8", "--seed", "9", "--out", str(out), "--svg",
+        ])
+        assert code == 0
+        names = {p.name for p in out.iterdir()}
+        assert {"table2.txt", "table3.txt", "table4.txt", "table5.txt",
+                "fig5.txt", "fig10.txt"} <= names
+        # SVG artefacts for the map figures.
+        assert "fig9.svg" in names
+        assert (out / "table3.txt").read_text().startswith("Car")
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestStudyGeojson:
+    def test_geojson_exports(self, tmp_path):
+        import json
+
+        out = tmp_path / "study"
+        assert main(["study", "--days", "8", "--seed", "9",
+                     "--out", str(out), "--geojson"]) == 0
+        for name in ("roads", "gates", "routes", "cells"):
+            path = out / f"{name}.geojson"
+            assert path.exists()
+            fc = json.loads(path.read_text())
+            assert fc["type"] == "FeatureCollection"

@@ -1,0 +1,50 @@
+"""Tests for repro.experiments.extensions."""
+
+import copy
+
+import pytest
+
+from repro.experiments.extensions import (
+    FEATURE_NAMES,
+    covariate_mixed_model,
+    pedestrian_fusion,
+)
+
+
+class TestCovariateMixedModel:
+    def test_feature_effects_signed(self, study_result):
+        model = covariate_mixed_model(study_result)
+        assert model.fixed_effect("traffic_lights") < 0.0
+
+    def test_all_features_in_model(self, study_result):
+        model = covariate_mixed_model(study_result)
+        assert set(FEATURE_NAMES) <= set(model.fixed_names)
+        assert "(intercept)" in model.fixed_names
+
+    def test_features_absorb_cell_variance(self, study_result):
+        model = covariate_mixed_model(study_result)
+        assert model.sigma2_u < study_result.mixed.sigma2_u
+
+    def test_observation_count_matches_grid(self, study_result):
+        model = covariate_mixed_model(study_result)
+        assert model.n == study_result.grid.point_count
+
+
+class TestPedestrianFusion:
+    def test_negative_pedestrian_effect(self, study_result):
+        fit = pedestrian_fusion(study_result)
+        assert fit.coefficient("pedestrians") < 0.0
+
+    def test_requires_mixed_model(self, study_result):
+        hollow = copy.copy(study_result)
+        hollow.mixed = None
+        with pytest.raises(ValueError):
+            pedestrian_fusion(hollow)
+
+    def test_hour_passthrough(self, study_result):
+        morning = pedestrian_fusion(study_result, hour=6)
+        afternoon = pedestrian_fusion(study_result, hour=14)
+        # Different crowd levels, same cells: coefficients differ.
+        assert morning.coefficient("pedestrians") != afternoon.coefficient(
+            "pedestrians"
+        )

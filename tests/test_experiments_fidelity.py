@@ -1,0 +1,56 @@
+"""Tests for repro.experiments.fidelity."""
+
+import pytest
+
+from repro.experiments.fidelity import (
+    SegmentationFidelity,
+    TransitionFidelity,
+    segmentation_fidelity,
+    transition_fidelity,
+)
+
+
+class TestSegmentationFidelity:
+    def test_high_recall_on_study(self, study_result):
+        fidelity = segmentation_fidelity(
+            study_result.clean.segments, study_result.runs
+        )
+        assert fidelity.recall > 0.9
+        assert fidelity.n_segments > 0
+
+    def test_boundary_error_below_emission_gap(self, study_result):
+        """Boundaries land within one emission interval of the truth."""
+        fidelity = segmentation_fidelity(
+            study_result.clean.segments, study_result.runs
+        )
+        assert fidelity.boundary_mae_s < 60.0
+
+    def test_empty_inputs(self):
+        fidelity = segmentation_fidelity([], [])
+        assert fidelity.recall == 0.0
+        assert fidelity.boundary_mae_s == 0.0
+
+    def test_no_segments_zero_recall(self, runs):
+        fidelity = segmentation_fidelity([], runs)
+        assert fidelity.recall == 0.0
+        assert fidelity.n_runs == len(runs)
+
+
+class TestTransitionFidelity:
+    def test_precision_high_on_study(self, study_result):
+        """The extractor never invents transitions: every detected one
+        corresponds to a real gate-pair run."""
+        fidelity = transition_fidelity(study_result)
+        assert fidelity.n_detected > 0
+        assert fidelity.precision > 0.85
+
+    def test_recall_reflects_deliberate_filters(self, study_result):
+        """Recall is capped by the paper's own within-centre filter, so it
+        sits below 1 but well above chance."""
+        fidelity = transition_fidelity(study_result)
+        assert 0.3 < fidelity.recall <= 1.0
+
+    def test_dataclass_edge_cases(self):
+        empty = TransitionFidelity(n_true=0, n_detected=0, n_matched=0)
+        assert empty.precision == 1.0
+        assert empty.recall == 1.0

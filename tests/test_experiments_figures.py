@@ -1,0 +1,126 @@
+"""Tests for the figure generators (Figs. 3-10)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    fig3_speed_points,
+    fig4_direction_speeds,
+    fig5_season_speeds,
+    fig6_cell_features,
+    fig7_qq,
+    fig8_intercepts,
+    fig9_intercept_map,
+    fig10_weather_low_speed,
+    seasonal_speed_deltas,
+)
+from repro.weather.roadweather import TEMPERATURE_CLASSES
+
+
+def any_car_with_transitions(study_result):
+    cars = {t.segment.car_id for t, __ in study_result.kept()}
+    assert cars
+    return sorted(cars)[0]
+
+
+class TestFig3:
+    def test_speed_points_structure(self, study_result):
+        car = any_car_with_transitions(study_result)
+        points = fig3_speed_points(study_result, car_id=car)
+        assert points
+        for x, y, v in points:
+            assert -3000.0 < x < 3000.0
+            assert -3000.0 < y < 3000.0
+            assert 0.0 <= v < 120.0
+
+    def test_unknown_car_is_empty(self, study_result):
+        assert fig3_speed_points(study_result, car_id=99) == []
+
+
+class TestFig4:
+    def test_directions_partition_points(self, study_result):
+        car = any_car_with_transitions(study_result)
+        by_dir = fig4_direction_speeds(study_result, car_id=car)
+        assert by_dir
+        assert set(by_dir) <= {"T-S", "S-T", "T-L", "L-T"}
+        total = sum(len(v) for v in by_dir.values())
+        assert total == len(fig3_speed_points(study_result, car_id=car))
+
+
+class TestFig5:
+    def test_seasons_valid(self, study_result):
+        car = any_car_with_transitions(study_result)
+        by_season = fig5_season_speeds(study_result, car_id=car)
+        assert set(by_season) <= {"winter", "spring", "summer", "autumn"}
+        assert all(v for v in by_season.values())
+
+    def test_seasonal_deltas_sum_shape(self, study_result):
+        deltas = seasonal_speed_deltas(study_result)
+        # 30 October days -> only autumn present; delta vs annual mean ~ 0.
+        assert deltas
+        for season, delta in deltas.items():
+            assert abs(delta) < 10.0
+
+
+class TestFig6:
+    def test_cells_for_direction(self, study_result):
+        directions = {t.direction for t, __ in study_result.kept()}
+        direction = sorted(directions)[0]
+        cells = fig6_cell_features(study_result, direction=direction)
+        assert cells
+        for info in cells.values():
+            assert info["n"] >= 1
+            assert info["avg_speed"] >= 0.0
+            assert "traffic_lights" in info
+            assert "junctions" in info
+
+    def test_absent_direction_empty(self, study_result):
+        assert fig6_cell_features(study_result, direction="X-Y") == {}
+
+
+class TestFig7And8:
+    def test_qq_pairs(self, study_result):
+        pairs = fig7_qq(study_result)
+        assert len(pairs) == len(study_result.mixed.groups)
+        theo = [t for t, __ in pairs]
+        assert theo == sorted(theo)
+
+    def test_intercept_rows_sorted_with_limits(self, study_result):
+        rows = fig8_intercepts(study_result)
+        values = [r["intercept"] for r in rows]
+        assert values == sorted(values)
+        for r in rows:
+            assert r["lower"] <= r["intercept"] <= r["upper"]
+            assert r["n"] >= 1
+
+
+class TestFig9:
+    def test_intercepts_located_on_map(self, study_result):
+        cells = fig9_intercept_map(study_result)
+        assert len(cells) == len(study_result.mixed.groups)
+        for info in cells.values():
+            x, y = info["centre"]
+            assert -3000.0 < x < 3000.0
+
+    def test_slow_cells_near_centre_or_deadends(self, study_result):
+        """The most negative intercepts should sit in the lit core or the
+        hotspot, reproducing the paper's Fig. 9 reading."""
+        cells = fig9_intercept_map(study_result)
+        worst = min(cells.values(), key=lambda c: c["intercept"])
+        x, y = worst["centre"]
+        assert max(abs(x), abs(y)) < 1500.0
+
+
+class TestFig10:
+    def test_all_classes_reported(self, study_result):
+        data = fig10_weather_low_speed(study_result)
+        assert set(data) == set(TEMPERATURE_CLASSES)
+
+    def test_many_lights_increase_low_speed(self, study_result):
+        data = fig10_weather_low_speed(study_result, lights_threshold=5)
+        comparable = [
+            (v["lights<5"], v["lights>=5"])
+            for v in data.values()
+            if v["lights<5"] is not None and v["lights>=5"] is not None
+        ]
+        assert comparable, "no temperature class with both groups populated"
+        assert all(many >= few for few, many in comparable)

@@ -1,0 +1,33 @@
+"""Tests for repro.experiments.rendering edge cases."""
+
+from repro.experiments.rendering import format_table, render_series
+
+
+class TestFormatTable:
+    def test_mixed_types(self):
+        text = format_table(["a", "b", "c"], [[1, "x", 2.5], [22, "yy", 0.125]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "0.125" in text
+        # Columns aligned: header separator as wide as the widest cell.
+        assert len(lines[0]) == len(lines[1])
+
+    def test_digits_control(self):
+        text = format_table(["v"], [[1.23456]], digits=1)
+        assert "1.2" in text
+        assert "1.23" not in text
+
+    def test_wide_header_wins(self):
+        text = format_table(["a_very_long_header"], [[1]])
+        assert text.splitlines()[1] == "-" * len("a_very_long_header")
+
+
+class TestRenderSeries:
+    def test_pairs_rendered(self):
+        text = render_series("title", [(1.234, 5.678), ("x", "y")])
+        assert text.startswith("title")
+        assert "1.23" in text
+        assert "x" in text and "y" in text
+
+    def test_empty_series(self):
+        assert render_series("nothing", []) == "nothing"

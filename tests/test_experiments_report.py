@@ -1,0 +1,72 @@
+"""Tests for repro.experiments.report."""
+
+from repro.experiments.report import study_report
+
+
+class TestStudyReport:
+    def test_contains_every_section(self, study_result):
+        text = study_report(study_result)
+        for heading in (
+            "# Taxi-trace study report",
+            "## Data preparation",
+            "Segmentation rules (Table 2)",
+            "Map-matching funnel (Table 3)",
+            "Route statistics per direction (Table 4)",
+            "Lights/bus stops vs cell speed (Table 5)",
+            "Mixed model (Figs. 7-9)",
+            "Low-speed share by temperature class (Fig. 10)",
+            "Pick-up/drop-off hotspots",
+            "OD flows",
+            "Route variants per direction",
+            "Driving coach",
+        ):
+            assert heading in text, f"missing section: {heading}"
+
+    def test_fleet_facts_accurate(self, study_result):
+        text = study_report(study_result)
+        assert f"{len(study_result.fleet)} raw trips" in text
+        assert f"{study_result.fleet.point_count} route points" in text
+
+    def test_markdown_code_fences_balanced(self, study_result):
+        text = study_report(study_result)
+        assert text.count("```") % 2 == 0
+
+    def test_deterministic(self, study_result):
+        assert study_report(study_result) == study_report(study_result)
+
+
+class TestDiurnalFactor:
+    def test_rush_hour_slower_than_night(self):
+        from datetime import datetime, timezone
+
+        from repro.traces.simulator import diurnal_speed_factor
+
+        def at(hour):
+            t = datetime(2013, 3, 5, hour, 30, tzinfo=timezone.utc).timestamp()
+            return diurnal_speed_factor(t)
+
+        assert at(8) < at(12) < at(23)
+        assert at(16) < 1.0
+        assert at(3) > 1.0
+
+    def test_traffic_state_sees_diurnal_effect(self, city):
+        """Hour-binned edge speeds reflect the rush-hour factor."""
+        from repro.analysis.trafficstate import TrafficStateEstimator
+        from repro.cleaning import CleaningPipeline
+        from repro.matching import IncrementalMatcher
+        from repro.traces import FleetSpec, TaxiFleetSimulator
+
+        fleet, __ = TaxiFleetSimulator(city, FleetSpec(n_days=6, seed=61)).simulate()
+        segments = CleaningPipeline().run(fleet).segments
+        matcher = IncrementalMatcher(city.graph)
+        estimator = TrafficStateEstimator(city.graph, bin_hours=6)
+        for seg in segments[:150]:
+            route = matcher.match(
+                seg.points, lambda p: city.projector.to_xy(p.lat, p.lon),
+                seg.segment_id, seg.car_id,
+            )
+            if route is not None:
+                estimator.add_route(route)
+        # Several time bins are populated (shifts span the day).
+        bins = {s.hour_bin for s in estimator.states(1)}
+        assert len(bins) >= 2

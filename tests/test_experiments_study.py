@@ -1,0 +1,121 @@
+"""Tests for the end-to-end study orchestration."""
+
+import pytest
+
+from repro.experiments import OuluStudy, StudyConfig
+from repro.od.transitions import STUDIED_PAIRS
+
+
+class TestStudyConfig:
+    def test_matcher_validation(self):
+        with pytest.raises(ValueError):
+            StudyConfig(matcher="magic")
+
+
+class TestStudyArtefacts:
+    def test_all_stages_present(self, study_result):
+        assert study_result.fleet.point_count > 1000
+        assert study_result.clean.segments
+        assert study_result.extraction.transitions
+        assert study_result.kept_transitions
+        assert study_result.route_stats
+        assert len(study_result.grid) > 10
+        assert study_result.mixed is not None
+
+    def test_funnel_monotone_per_car(self, study_result):
+        for row in study_result.funnel:
+            assert (
+                row.total_segments
+                >= row.filtered_cleaned
+                >= row.transitions_total
+                >= row.within_centre
+                >= row.post_filtered
+                >= 0
+            )
+
+    def test_funnel_covers_all_cars(self, study_result):
+        assert [r.car_id for r in study_result.funnel] == [1, 2, 3, 4, 5, 6, 7]
+
+    def test_funnel_proportions_paper_shape(self, study_result):
+        """Aggregate funnel ratios sit in the paper's Table 3 bands."""
+        total = sum(r.total_segments for r in study_result.funnel)
+        filtered = sum(r.filtered_cleaned for r in study_result.funnel)
+        transitions = sum(r.transitions_total for r in study_result.funnel)
+        centre = sum(r.within_centre for r in study_result.funnel)
+        post = sum(r.post_filtered for r in study_result.funnel)
+        assert 0.15 < filtered / total < 0.55          # paper ~0.25-0.40
+        assert 0.02 < transitions / filtered < 0.35    # paper ~0.07-0.26
+        assert centre / transitions > 0.6              # paper ~0.73-0.96
+        assert 0.4 < post / max(centre, 1) <= 1.0      # paper ~0.59-0.92
+
+    def test_transitions_are_studied_pairs(self, study_result):
+        for t in study_result.transitions():
+            assert (t.origin, t.destination) in STUDIED_PAIRS
+
+    def test_kept_transitions_passed_post_filter(self, study_result):
+        for i in study_result.kept_transitions:
+            assert study_result.extraction.transitions[i].post_filtered_ok
+
+    def test_route_stats_align_with_kept(self, study_result):
+        assert len(study_result.route_stats) == len(study_result.kept_transitions)
+
+    def test_stats_by_direction_partition(self, study_result):
+        by_dir = study_result.stats_by_direction()
+        assert sum(len(v) for v in by_dir.values()) == len(study_result.route_stats)
+
+    def test_grid_points_come_from_kept_routes(self, study_result):
+        expected = sum(len(r.matched) for __, r in study_result.kept())
+        assert study_result.grid.point_count == expected
+
+    def test_mixed_model_groups_are_grid_cells(self, study_result):
+        cells = set(study_result.grid.cells())
+        assert set(study_result.mixed.groups) <= cells
+
+
+class TestPaperShapeTargets:
+    """The headline orderings of the paper's evaluation."""
+
+    def test_low_speed_core_above_bypass(self, study_result):
+        by_dir = {
+            d: [s.low_speed_pct for s in stats]
+            for d, stats in study_result.stats_by_direction().items()
+        }
+        core = by_dir.get("T-S", []) + by_dir.get("S-T", [])
+        bypass = by_dir.get("T-L", []) + by_dir.get("L-T", [])
+        assert core and bypass
+        assert sum(core) / len(core) > sum(bypass) / len(bypass)
+
+    def test_normal_speed_ordering_reversed(self, study_result):
+        by_dir = {
+            d: [s.normal_speed_pct for s in stats]
+            for d, stats in study_result.stats_by_direction().items()
+        }
+        core = by_dir.get("T-S", []) + by_dir.get("S-T", [])
+        bypass = by_dir.get("T-L", []) + by_dir.get("L-T", [])
+        assert sum(bypass) / len(bypass) > 0.6 * (sum(core) / len(core))
+
+    def test_route_time_core_longer(self, study_result):
+        by_dir = {
+            d: [s.route_time_h for s in stats]
+            for d, stats in study_result.stats_by_direction().items()
+        }
+        core = by_dir.get("T-S", []) + by_dir.get("S-T", [])
+        bypass = by_dir.get("T-L", []) + by_dir.get("L-T", [])
+        assert sum(core) / len(core) > sum(bypass) / len(bypass)
+
+    def test_blup_range_paper_scale(self, study_result):
+        blups = list(study_result.mixed.blup.values())
+        # Paper: coefficients vary between ca. -15 and +20 km/h.
+        assert -40.0 < min(blups) < -2.0
+        assert 2.0 < max(blups) < 40.0
+
+
+class TestHmmStudyVariant:
+    def test_hmm_matcher_study_runs(self):
+        from repro.traces import FleetSpec
+
+        config = StudyConfig(fleet=FleetSpec(n_days=4, seed=5), matcher="hmm")
+        result = OuluStudy(config).run()
+        assert result.clean.segments
+        # HMM should match at least most transitions it is given.
+        assert len(result.matched) >= 0.5 * max(1, len(result.extraction.transitions))

@@ -1,0 +1,131 @@
+"""Tests for the table generators (Tables 1-5)."""
+
+import math
+
+import pytest
+
+from repro.experiments.rendering import (
+    format_table,
+    render_funnel,
+    render_table4,
+    render_table5,
+)
+from repro.experiments.tables import (
+    TABLE2_RULES,
+    table1_junction_pairs,
+    table2_rule_hits,
+    table3_funnel,
+    table4_route_summaries,
+    table5_cell_speed_strata,
+)
+
+
+class TestTable1:
+    def test_rows_shape(self, study_result):
+        rows = table1_junction_pairs(study_result.city, limit=10)
+        assert len(rows) == 10
+        for row in rows:
+            assert row["junction1"].startswith("POINT(")
+            assert row["junction2"].startswith("POINT(")
+            assert isinstance(row["elements"], list)
+            assert row["elements"]
+
+    def test_coordinates_are_epsg4326_near_oulu(self, study_result):
+        rows = table1_junction_pairs(study_result.city, limit=5)
+        for row in rows:
+            lon = float(row["junction1"].split("(")[1].split(",")[0])
+            assert 25.0 < lon < 26.0
+
+    def test_multi_element_rows_exist(self, study_result):
+        rows = table1_junction_pairs(study_result.city)
+        assert any(len(r["elements"]) >= 2 for r in rows)
+
+
+class TestTable2:
+    def test_all_five_rules_listed(self, study_result):
+        rows = table2_rule_hits(study_result.clean)
+        assert [r["rule"] for r in rows] == [1, 2, 3, 4, 5]
+        assert all(r["description"] == TABLE2_RULES[r["rule"]] for r in rows)
+
+    def test_rule1_fires_on_taxi_data(self, study_result):
+        rows = {r["rule"]: r["hits"] for r in table2_rule_hits(study_result.clean)}
+        assert rows[1] > 0
+
+
+class TestTable3:
+    def test_rows_match_funnel(self, study_result):
+        rows = table3_funnel(study_result)
+        assert len(rows) == 7
+        for row, funnel in zip(rows, study_result.funnel):
+            assert row["car"] == funnel.car_id
+            assert row["post_filtered"] == funnel.post_filtered
+
+    def test_render(self, study_result):
+        text = render_funnel(study_result)
+        assert "Trip segments (total)" in text
+        assert len(text.splitlines()) == 9  # header + rule + 7 cars
+
+
+class TestTable4:
+    def test_metrics_present(self, study_result):
+        summaries = table4_route_summaries(study_result)
+        assert set(summaries) == {
+            "route_time_h", "route_distance_km", "low_speed_pct",
+            "normal_speed_pct", "n_traffic_lights", "n_junctions",
+            "n_pedestrian_crossings", "fuel_ml",
+        }
+
+    def test_six_numbers_ordered(self, study_result):
+        summaries = table4_route_summaries(study_result)
+        for metric in summaries.values():
+            for s in metric.values():
+                assert s.minimum <= s.q1 <= s.median <= s.q3 <= s.maximum
+
+    def test_low_speed_shape(self, study_result):
+        low = table4_route_summaries(study_result)["low_speed_pct"]
+        core = [low[d].mean for d in ("T-S", "S-T") if d in low]
+        bypass = [low[d].mean for d in ("T-L", "L-T") if d in low]
+        assert core and bypass
+        assert max(bypass) < max(core) + 25.0  # bypass never dominates
+
+    def test_render(self, study_result):
+        text = render_table4(table4_route_summaries(study_result))
+        assert "Low speed %" in text
+        assert "Fuel cons. (ml)" in text
+
+
+class TestTable5:
+    def test_strata_present(self, study_result):
+        strata = table5_cell_speed_strata(study_result)
+        assert set(strata) == {
+            "lights=0", "lights=0,bus=0", "lights>0,bus>0", "lights>0"
+        }
+
+    def test_lights_lower_mean_speed(self, study_result):
+        strata = table5_cell_speed_strata(study_result)
+        assert strata["lights>0"]["mean"] < strata["lights=0"]["mean"]
+
+    def test_lights_lower_variance(self, study_result):
+        strata = table5_cell_speed_strata(study_result)
+        assert strata["lights>0"]["var"] < strata["lights=0"]["var"]
+
+    def test_cell_counts_positive(self, study_result):
+        strata = table5_cell_speed_strata(study_result)
+        assert strata["lights=0"]["n_cells"] > 0
+        assert strata["lights>0"]["n_cells"] > 0
+
+    def test_render_handles_nan(self, study_result):
+        text = render_table5(table5_cell_speed_strata(study_result))
+        assert "mean" in text
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.34567], [10, 3.2]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.346" in lines[2]
+
+    def test_empty_rows(self):
+        text = format_table(["x"], [])
+        assert "x" in text

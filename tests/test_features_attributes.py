@@ -1,0 +1,127 @@
+"""Tests for repro.features.attributes and routestats on the study result."""
+
+import pytest
+
+from repro.features import fetch_route_attributes
+from repro.features.routestats import transition_route_stats
+
+
+class TestRouteAttributes:
+    def test_attributes_on_kept_transitions(self, study_result):
+        city = study_result.city
+        for transition, route in study_result.kept()[:10]:
+            attrs = fetch_route_attributes(route, city.graph, city.map_db)
+            assert attrs.n_traffic_lights >= 0
+            assert attrs.n_junctions >= 1           # downtown routes pass junctions
+            assert len(attrs.element_ids) >= 2
+
+    def test_core_route_sees_lights(self, study_result):
+        # At least one T-S/S-T transition must pass traffic lights.
+        city = study_result.city
+        core_lights = []
+        for transition, route in study_result.kept():
+            if transition.direction in ("T-S", "S-T"):
+                attrs = fetch_route_attributes(route, city.graph, city.map_db)
+                core_lights.append(attrs.n_traffic_lights)
+        assert core_lights, "no core transitions in study"
+        assert max(core_lights) >= 3
+
+    def test_objects_not_double_counted(self, study_result):
+        # The same light near a junction shared by two edges counts once:
+        # counts can never exceed the city total.
+        city = study_result.city
+        for __, route in study_result.kept()[:10]:
+            attrs = fetch_route_attributes(route, city.graph, city.map_db)
+            assert attrs.n_traffic_lights <= city.spec.n_traffic_lights
+            assert attrs.n_pedestrian_crossings <= city.spec.n_pedestrian_crossings
+
+
+class TestRouteStats:
+    def test_stats_fields_sane(self, study_result):
+        for stats in study_result.route_stats:
+            assert stats.direction in ("T-S", "S-T", "T-L", "L-T")
+            assert stats.route_time_h > 0.0
+            assert stats.route_distance_km > 1.0
+            assert 0.0 <= stats.low_speed_pct <= 100.0
+            assert 0.0 <= stats.normal_speed_pct <= 100.0
+            assert stats.fuel_ml >= 0.0
+            assert stats.season in ("winter", "spring", "summer", "autumn")
+
+    def test_distance_consistent_with_route_length(self, study_result):
+        city = study_result.city
+        for (transition, route), stats in zip(
+            study_result.kept(), study_result.route_stats
+        ):
+            assert stats.route_distance_km == pytest.approx(
+                route.length_m(city.graph) / 1000.0, rel=1e-9
+            )
+
+    def test_speed_shares_disjoint_thresholds(self, study_result):
+        # A point cannot be both below 10 km/h and at a >=30 km/h limit;
+        # shares may overlap only if some limit were below 10, which the
+        # city never uses.
+        for stats in study_result.route_stats:
+            assert stats.low_speed_pct + stats.normal_speed_pct <= 100.0 + 1e-9
+
+    def test_requires_two_points(self, study_result):
+        from repro.matching.types import MatchedRoute
+
+        transition, route = study_result.kept()[0]
+        empty = MatchedRoute(segment_id=1, car_id=1, matched=route.matched[:1])
+        city = study_result.city
+        with pytest.raises(ValueError):
+            transition_route_stats(transition, empty, city.graph, city.map_db)
+
+
+class TestDirectionalBusStops:
+    def test_directional_at_most_total(self, study_result):
+        from repro.features import directional_bus_stops, fetch_route_attributes
+
+        city = study_result.city
+        for __, route in study_result.kept()[:10]:
+            directional = directional_bus_stops(route, city.graph, city.map_db)
+            total = fetch_route_attributes(route, city.graph, city.map_db).n_bus_stops
+            assert 0 <= directional <= total
+
+    def test_opposite_directions_see_different_stops(self, study_result):
+        """The whole point of the serves_heading attribute: a route and
+        its reverse are served by different kerbs."""
+        from collections import defaultdict
+
+        from repro.features import directional_bus_stops
+
+        city = study_result.city
+        by_dir = defaultdict(list)
+        for t, route in study_result.kept():
+            by_dir[t.direction].append(
+                directional_bus_stops(route, city.graph, city.map_db)
+            )
+        forward = by_dir.get("T-S", []) + by_dir.get("T-L", [])
+        backward = by_dir.get("S-T", []) + by_dir.get("L-T", [])
+        if forward and backward:
+            mean_f = sum(forward) / len(forward)
+            mean_b = sum(backward) / len(backward)
+            assert mean_f != mean_b  # alternating kerbs, asymmetric routes
+
+    def test_stops_without_attribute_counted(self, city):
+        """Maps without direction info degrade to plain counting."""
+        from repro.features import directional_bus_stops
+        from repro.matching.types import MatchedPoint, MatchedRoute
+        from repro.roadnet.digiroad import MapDatabase
+        from repro.roadnet.elements import PointObject, PointObjectKind
+        from repro.traces.model import RoutePoint
+
+        db = MapDatabase()
+        for e in city.map_db.elements():
+            db.add_element(e)
+        edge = city.graph.edges()[0]
+        mid = edge.geometry.interpolate(edge.length / 2.0)
+        db.add_point_object(PointObject(1, PointObjectKind.BUS_STOP, mid))
+        route = MatchedRoute(segment_id=1, car_id=1, matched=[
+            MatchedPoint(point=RoutePoint(point_id=1, trip_id=1, lat=0, lon=0,
+                                          time_s=0.0),
+                         edge_id=edge.edge_id, arc_m=0.0,
+                         snapped_xy=(0.0, 0.0), match_distance_m=0.0),
+        ])
+        route.edge_sequence = [(edge.edge_id, edge.u)]
+        assert directional_bus_stops(route, city.graph, db) == 1

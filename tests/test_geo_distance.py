@@ -1,0 +1,111 @@
+"""Tests for repro.geo.distance."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.distance import (
+    EARTH_RADIUS_M,
+    bearing_deg,
+    destination_point,
+    equirectangular_m,
+    haversine_m,
+)
+
+OULU = (65.0121, 25.4651)
+HELSINKI = (60.1699, 24.9384)
+
+lat_st = st.floats(min_value=-85.0, max_value=85.0)
+lon_st = st.floats(min_value=-180.0, max_value=180.0)
+
+
+class TestHaversine:
+    def test_zero_distance_for_identical_points(self):
+        assert haversine_m(*OULU, *OULU) == 0.0
+
+    def test_known_oulu_helsinki_distance(self):
+        # Great-circle Oulu-Helsinki is roughly 540 km.
+        d = haversine_m(*OULU, *HELSINKI)
+        assert 530_000 < d < 550_000
+
+    def test_one_degree_latitude_is_about_111_km(self):
+        d = haversine_m(65.0, 25.0, 66.0, 25.0)
+        assert abs(d - 111_195) < 300
+
+    def test_symmetry(self):
+        d1 = haversine_m(*OULU, *HELSINKI)
+        d2 = haversine_m(*HELSINKI, *OULU)
+        assert d1 == pytest.approx(d2)
+
+    def test_antipodal_is_half_circumference(self):
+        d = haversine_m(0.0, 0.0, 0.0, 180.0)
+        assert d == pytest.approx(math.pi * EARTH_RADIUS_M, rel=1e-9)
+
+    @given(lat=lat_st, lon=lon_st)
+    @settings(max_examples=50, deadline=None)
+    def test_non_negative(self, lat, lon):
+        assert haversine_m(lat, lon, 65.0, 25.0) >= 0.0
+
+
+class TestEquirectangular:
+    def test_matches_haversine_at_city_scale(self):
+        lat2, lon2 = 65.03, 25.50
+        exact = haversine_m(*OULU, lat2, lon2)
+        approx = equirectangular_m(*OULU, lat2, lon2)
+        assert approx == pytest.approx(exact, rel=1e-3)
+
+    def test_zero_for_identical(self):
+        assert equirectangular_m(*OULU, *OULU) == 0.0
+
+    @given(
+        dlat=st.floats(min_value=-0.05, max_value=0.05),
+        dlon=st.floats(min_value=-0.05, max_value=0.05),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_relative_error_small_within_10km(self, dlat, dlon):
+        lat2 = OULU[0] + dlat
+        lon2 = OULU[1] + dlon
+        exact = haversine_m(*OULU, lat2, lon2)
+        approx = equirectangular_m(*OULU, lat2, lon2)
+        assert abs(approx - exact) <= max(1.0, exact * 0.002)
+
+
+class TestBearing:
+    def test_due_north(self):
+        assert bearing_deg(65.0, 25.0, 66.0, 25.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_due_south(self):
+        assert bearing_deg(66.0, 25.0, 65.0, 25.0) == pytest.approx(180.0, abs=1e-9)
+
+    def test_due_east_at_equator(self):
+        assert bearing_deg(0.0, 0.0, 0.0, 1.0) == pytest.approx(90.0, abs=1e-9)
+
+    def test_range(self):
+        b = bearing_deg(*OULU, *HELSINKI)
+        assert 0.0 <= b < 360.0
+
+
+class TestDestinationPoint:
+    def test_north_increases_latitude(self):
+        lat, lon = destination_point(65.0, 25.0, 0.0, 1000.0)
+        assert lat > 65.0
+        assert lon == pytest.approx(25.0, abs=1e-9)
+
+    def test_roundtrip_distance(self):
+        lat, lon = destination_point(*OULU, 47.0, 5000.0)
+        assert haversine_m(*OULU, lat, lon) == pytest.approx(5000.0, rel=1e-9)
+
+    @given(
+        bearing=st.floats(min_value=0.0, max_value=360.0),
+        dist=st.floats(min_value=1.0, max_value=50_000.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_distance_preserved(self, bearing, dist):
+        lat, lon = destination_point(*OULU, bearing, dist)
+        assert haversine_m(*OULU, lat, lon) == pytest.approx(dist, rel=1e-6)
+
+    def test_longitude_normalised(self):
+        __, lon = destination_point(0.0, 179.9, 90.0, 50_000.0)
+        assert -180.0 <= lon <= 180.0

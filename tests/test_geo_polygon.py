@@ -1,0 +1,116 @@
+"""Tests for repro.geo.polygon."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.geometry import LineString
+from repro.geo.polygon import Polygon, ThickLine, convex_hull, polygon_from_hull
+
+
+class TestPolygon:
+    def test_needs_three_vertices(self):
+        with pytest.raises(ValueError):
+            Polygon([(0, 0), (1, 1)])
+
+    def test_rectangle_contains(self):
+        rect = Polygon.rectangle(0, 0, 10, 10)
+        assert rect.contains((5, 5))
+        assert not rect.contains((15, 5))
+        assert not rect.contains((-1, 5))
+
+    def test_rectangle_validation(self):
+        with pytest.raises(ValueError):
+            Polygon.rectangle(10, 0, 0, 10)
+
+    def test_area(self):
+        rect = Polygon.rectangle(0, 0, 10, 20)
+        assert rect.area() == pytest.approx(200.0)
+
+    def test_concave_polygon(self):
+        # A "U" shape: point inside the notch is outside the polygon.
+        u = Polygon([(0, 0), (10, 0), (10, 10), (7, 10), (7, 3), (3, 3), (3, 10), (0, 10)])
+        assert u.contains((1.5, 5.0))
+        assert not u.contains((5.0, 5.0))
+        assert u.contains((5.0, 1.0))
+
+    def test_closed_ring_input_accepted(self):
+        p = Polygon([(0, 0), (10, 0), (10, 10), (0, 0)])
+        assert len(p) == 3
+
+    def test_bounds(self):
+        rect = Polygon.rectangle(-5, -2, 3, 7)
+        assert rect.bounds() == (-5, -2, 3, 7)
+
+    @given(
+        x=st.floats(min_value=0.5, max_value=9.5),
+        y=st.floats(min_value=0.5, max_value=9.5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_interior_points_inside_rectangle(self, x, y):
+        rect = Polygon.rectangle(0, 0, 10, 10)
+        assert rect.contains((x, y))
+
+
+class TestThickLine:
+    def setup_method(self):
+        self.gate = ThickLine(LineString([(0, 0), (100, 0)]), half_width=20.0)
+
+    def test_positive_width_required(self):
+        with pytest.raises(ValueError):
+            ThickLine(LineString([(0, 0), (1, 0)]), half_width=0.0)
+
+    def test_contains_inside_capsule(self):
+        assert self.gate.contains((50.0, 10.0))
+        assert self.gate.contains((50.0, -19.0))
+
+    def test_not_contains_outside(self):
+        assert not self.gate.contains((50.0, 25.0))
+        assert not self.gate.contains((150.0, 0.0))
+
+    def test_perpendicular_crossing_detected(self):
+        assert self.gate.crossed_by((50.0, -50.0), (50.0, 50.0), 45.0, 90.0)
+
+    def test_parallel_pass_not_a_crossing(self):
+        # Moving along the road inside the capsule: angle ~0, rejected.
+        assert not self.gate.crossed_by((10.0, 5.0), (90.0, 5.0), 45.0, 90.0)
+
+    def test_shallow_angle_rejected(self):
+        # 30 degree crossing with a 45 degree minimum.
+        assert not self.gate.crossed_by((0.0, -10.0), (60.0, 24.6), 45.0, 90.0)
+
+    def test_movement_ending_inside_counts(self):
+        assert self.gate.crossed_by((50.0, -60.0), (50.0, -5.0), 45.0, 90.0)
+
+    def test_zero_movement_is_no_crossing(self):
+        assert not self.gate.crossed_by((50.0, 0.0), (50.0, 0.0), 0.0, 90.0)
+
+    def test_bounds_include_width(self):
+        x0, y0, x1, y1 = self.gate.bounds()
+        assert (x0, y0, x1, y1) == (-20.0, -20.0, 120.0, 20.0)
+
+    def test_fast_long_hop_through_capsule(self):
+        # Both endpoints far outside, the segment pierces the capsule.
+        assert self.gate.crossed_by((50.0, -400.0), (50.0, 400.0), 45.0, 90.0)
+
+
+class TestConvexHull:
+    def test_square_hull(self):
+        pts = [(0, 0), (10, 0), (10, 10), (0, 10), (5, 5), (2, 3)]
+        hull = convex_hull(pts)
+        assert sorted(hull) == [(0, 0), (0, 10), (10, 0), (10, 10)]
+
+    def test_collinear_points(self):
+        hull = convex_hull([(0, 0), (5, 0), (10, 0)])
+        assert len(hull) <= 3
+
+    def test_polygon_from_hull_contains_inputs(self):
+        pts = [(0, 0), (10, 0), (10, 10), (0, 10)]
+        poly = polygon_from_hull(pts, pad=1.0)
+        assert poly.contains((5.0, 5.0))
+        # Padding pushes the boundary outward past the original corners.
+        assert poly.contains((10.2, 10.2))
+
+    def test_polygon_from_hull_needs_noncollinear(self):
+        with pytest.raises(ValueError):
+            polygon_from_hull([(0, 0), (1, 0), (2, 0)])

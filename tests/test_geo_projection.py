@@ -1,0 +1,102 @@
+"""Tests for repro.geo.projection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.distance import haversine_m
+from repro.geo.projection import LocalProjector, TransverseMercator
+
+OULU = (65.0121, 25.4651)
+
+
+class TestLocalProjector:
+    def setup_method(self):
+        self.proj = LocalProjector(*OULU)
+
+    def test_reference_maps_to_origin(self):
+        assert self.proj.to_xy(*OULU) == pytest.approx((0.0, 0.0), abs=1e-9)
+
+    def test_north_is_positive_y(self):
+        __, y = self.proj.to_xy(OULU[0] + 0.01, OULU[1])
+        assert y > 0
+
+    def test_east_is_positive_x(self):
+        x, __ = self.proj.to_xy(OULU[0], OULU[1] + 0.01)
+        assert x > 0
+
+    def test_roundtrip(self):
+        lat, lon = self.proj.to_latlon(*self.proj.to_xy(65.02, 25.47))
+        assert lat == pytest.approx(65.02, abs=1e-12)
+        assert lon == pytest.approx(25.47, abs=1e-12)
+
+    def test_planar_distance_matches_geodesic(self):
+        p1 = self.proj.to_xy(65.02, 25.48)
+        p2 = self.proj.to_xy(65.00, 25.45)
+        planar = ((p1[0] - p2[0]) ** 2 + (p1[1] - p2[1]) ** 2) ** 0.5
+        geo = haversine_m(65.02, 25.48, 65.00, 25.45)
+        assert planar == pytest.approx(geo, rel=2e-3)
+
+    @given(
+        dlat=st.floats(min_value=-0.1, max_value=0.1),
+        dlon=st.floats(min_value=-0.2, max_value=0.2),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, dlat, dlon):
+        lat = OULU[0] + dlat
+        lon = OULU[1] + dlon
+        back = self.proj.to_latlon(*self.proj.to_xy(lat, lon))
+        assert back[0] == pytest.approx(lat, abs=1e-10)
+        assert back[1] == pytest.approx(lon, abs=1e-10)
+
+
+class TestTransverseMercator:
+    def setup_method(self):
+        self.tm = TransverseMercator.tm35fin()
+
+    def test_central_meridian_false_easting(self):
+        e, __ = self.tm.to_xy(65.0, 27.0)
+        assert e == pytest.approx(500_000.0, abs=1e-6)
+
+    def test_known_helsinki_coordinates(self):
+        # ETRS-TM35FIN for Helsinki city centre (zone values are ~385.6 km
+        # east, ~6672 km north; sanity bounds, not survey-grade reference).
+        e, n = self.tm.to_xy(60.1699, 24.9384)
+        assert e == pytest.approx(385_600, abs=500)
+        assert n == pytest.approx(6_672_100, abs=500)
+
+    def test_roundtrip(self):
+        e, n = self.tm.to_xy(*OULU)
+        lat, lon = self.tm.to_latlon(e, n)
+        assert lat == pytest.approx(OULU[0], abs=1e-9)
+        assert lon == pytest.approx(OULU[1], abs=1e-9)
+
+    def test_scale_factor_on_central_meridian(self):
+        # One degree of latitude along the central meridian should measure
+        # k0 * meridian arc; check against the haversine at small scale.
+        e1, n1 = self.tm.to_xy(65.0, 27.0)
+        e2, n2 = self.tm.to_xy(65.01, 27.0)
+        projected = n2 - n1
+        geodesic = haversine_m(65.0, 27.0, 65.01, 27.0)
+        assert projected == pytest.approx(geodesic * 0.9996, rel=3e-3)
+
+    @given(
+        lat=st.floats(min_value=59.0, max_value=70.0),
+        lon=st.floats(min_value=20.0, max_value=31.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_over_finland(self, lat, lon):
+        e, n = self.tm.to_xy(lat, lon)
+        back_lat, back_lon = self.tm.to_latlon(e, n)
+        assert back_lat == pytest.approx(lat, abs=1e-8)
+        assert back_lon == pytest.approx(lon, abs=1e-8)
+
+    def test_agrees_with_local_projector_nearby(self):
+        local = LocalProjector(*OULU)
+        # Displacements measured in both projections should agree closely.
+        e0, n0 = self.tm.to_xy(*OULU)
+        e1, n1 = self.tm.to_xy(65.0221, 25.4851)
+        x1, y1 = local.to_xy(65.0221, 25.4851)
+        d_tm = ((e1 - e0) ** 2 + (n1 - n0) ** 2) ** 0.5
+        d_local = (x1**2 + y1**2) ** 0.5
+        assert d_tm == pytest.approx(d_local, rel=5e-3)

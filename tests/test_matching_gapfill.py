@@ -1,0 +1,148 @@
+"""Tests for repro.matching.gapfill on a controlled grid graph."""
+
+import pytest
+
+from repro.geo.geometry import LineString
+from repro.matching.gapfill import connect_matches
+from repro.matching.types import MatchedPoint, MatchedRoute
+from repro.roadnet.graph import ElementSpan, RoadEdge, RoadGraph, RoadNode
+from repro.traces.model import RoutePoint
+
+
+def build_line_graph(n=5, spacing=100.0):
+    """A simple chain: nodes 1..n, edges i connecting i and i+1."""
+    g = RoadGraph()
+    for i in range(1, n + 1):
+        g.add_node(RoadNode(i, ((i - 1) * spacing, 0.0)))
+    for i in range(1, n):
+        geom = LineString([((i - 1) * spacing, 0.0), (i * spacing, 0.0)])
+        g.add_edge(RoadEdge(i, i, i + 1, geom,
+                            (ElementSpan(i, 0.0, geom.length, False, 40.0),)))
+    return g
+
+
+def mp(point_id, edge_id, arc, t=None):
+    p = RoutePoint(point_id=point_id, trip_id=1, lat=0.0, lon=0.0,
+                   time_s=float(t if t is not None else point_id))
+    return MatchedPoint(point=p, edge_id=edge_id, arc_m=arc,
+                        snapped_xy=(0.0, 0.0), match_distance_m=0.0)
+
+
+class TestConnectMatches:
+    def test_empty(self):
+        g = build_line_graph()
+        route = MatchedRoute(segment_id=1, car_id=1, matched=[])
+        connect_matches(g, route)
+        assert route.edge_sequence == []
+
+    def test_single_edge_forward(self):
+        g = build_line_graph()
+        route = MatchedRoute(segment_id=1, car_id=1,
+                             matched=[mp(1, 2, 10.0), mp(2, 2, 90.0)])
+        connect_matches(g, route)
+        assert route.edge_sequence == [(2, 2)]
+
+    def test_single_edge_backward(self):
+        g = build_line_graph()
+        route = MatchedRoute(segment_id=1, car_id=1,
+                             matched=[mp(1, 2, 90.0), mp(2, 2, 10.0)])
+        connect_matches(g, route)
+        assert route.edge_sequence == [(2, 3)]
+
+    def test_adjacent_edges(self):
+        g = build_line_graph()
+        route = MatchedRoute(segment_id=1, car_id=1,
+                             matched=[mp(1, 1, 50.0), mp(2, 2, 50.0)])
+        connect_matches(g, route)
+        assert route.edge_sequence == [(1, 1), (2, 2)]
+        assert route.gaps_filled == 0
+
+    def test_gap_filled_with_dijkstra(self):
+        g = build_line_graph()
+        route = MatchedRoute(segment_id=1, car_id=1,
+                             matched=[mp(1, 1, 50.0), mp(2, 4, 50.0)])
+        connect_matches(g, route)
+        assert route.edge_ids == [1, 2, 3, 4]
+        assert route.gaps_filled == 1
+
+    def test_directions_consistent_along_chain(self):
+        g = build_line_graph()
+        route = MatchedRoute(segment_id=1, car_id=1,
+                             matched=[mp(1, 1, 50.0), mp(2, 4, 50.0)])
+        connect_matches(g, route)
+        # Every traversal starts at the node the previous one ended on.
+        prev_end = None
+        for edge_id, from_node in route.edge_sequence:
+            edge = g.edge(edge_id)
+            if prev_end is not None:
+                assert from_node == prev_end
+            prev_end = edge.other(from_node)
+
+    def test_reverse_drive_gap(self):
+        g = build_line_graph()
+        route = MatchedRoute(segment_id=1, car_id=1,
+                             matched=[mp(1, 4, 50.0), mp(2, 1, 50.0)])
+        connect_matches(g, route)
+        assert route.edge_ids == [4, 3, 2, 1]
+        assert route.edge_sequence[0] == (4, 5)
+
+    def test_oneway_respected_in_gap(self):
+        g = RoadGraph()
+        # Triangle where direct edge 1<-2 is one-way (cannot go 1->2).
+        for i, pos in enumerate([(0, 0), (100, 0), (50, 80)], start=1):
+            g.add_node(RoadNode(i, tuple(map(float, pos))))
+        geom12 = LineString([(0, 0), (100, 0)])
+        g.add_edge(RoadEdge(1, 1, 2, geom12,
+                            (ElementSpan(1, 0.0, geom12.length, False, 40.0),),
+                            forward_allowed=False, backward_allowed=True))
+        geom13 = LineString([(0, 0), (50, 80)])
+        g.add_edge(RoadEdge(2, 1, 3, geom13,
+                            (ElementSpan(2, 0.0, geom13.length, False, 40.0),)))
+        geom32 = LineString([(50, 80), (100, 0)])
+        g.add_edge(RoadEdge(3, 3, 2, geom32,
+                            (ElementSpan(3, 0.0, geom32.length, False, 40.0),)))
+        # Matched on edge 2 heading up, then on edge 3: no gap needed; but
+        # matched first on edge 2 then edge 1 must honour edge 1's one-way.
+        route = MatchedRoute(segment_id=1, car_id=1,
+                             matched=[mp(1, 2, 10.0), mp(2, 1, 50.0)])
+        connect_matches(g, route)
+        # Edge 1 may only be traversed from node 2.
+        traversal = dict(route.edge_sequence)
+        assert traversal[1] == 2
+
+    def test_unroutable_gap_does_not_crash(self):
+        g = build_line_graph()
+        g.add_node(RoadNode(99, (10_000.0, 10_000.0)))
+        g.add_node(RoadNode(100, (10_100.0, 10_000.0)))
+        geom = LineString([(10_000.0, 10_000.0), (10_100.0, 10_000.0)])
+        g.add_edge(RoadEdge(99, 99, 100, geom,
+                            (ElementSpan(99, 0.0, geom.length, False, 40.0),)))
+        route = MatchedRoute(segment_id=1, car_id=1,
+                             matched=[mp(1, 1, 50.0), mp(2, 99, 50.0)])
+        connect_matches(g, route, max_cost_m=500.0)
+        assert route.edge_ids[0] == 1
+        assert 99 in route.edge_ids
+
+
+class TestMatchedRouteProperties:
+    def test_length_trims_partial_ends(self):
+        g = build_line_graph()
+        route = MatchedRoute(segment_id=1, car_id=1,
+                             matched=[mp(1, 1, 50.0), mp(2, 4, 50.0)])
+        connect_matches(g, route)
+        # Full edges 2 and 3 plus half of edge 1 and half of edge 4.
+        assert route.length_m(g) == pytest.approx(300.0)
+
+    def test_element_ids_ordered(self):
+        g = build_line_graph()
+        route = MatchedRoute(segment_id=1, car_id=1,
+                             matched=[mp(1, 1, 50.0), mp(2, 3, 50.0)])
+        connect_matches(g, route)
+        assert route.element_ids(g) == [1, 2, 3]
+
+    def test_interior_nodes(self):
+        g = build_line_graph()
+        route = MatchedRoute(segment_id=1, car_id=1,
+                             matched=[mp(1, 1, 50.0), mp(2, 4, 50.0)])
+        connect_matches(g, route)
+        assert route.interior_nodes() == [2, 3, 4]

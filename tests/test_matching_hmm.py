@@ -1,0 +1,85 @@
+"""Tests for the HMM (Viterbi) matcher."""
+
+import pytest
+
+from repro.cleaning import CleaningPipeline
+from repro.matching import HmmMatcher, IncrementalMatcher
+from repro.matching.hmm import HmmConfig
+from repro.traces import FleetSpec, TaxiFleetSimulator
+from repro.traces.noise import NoiseSpec
+
+
+@pytest.fixture(scope="module")
+def small_segments(city):
+    spec = FleetSpec(
+        n_days=2, seed=31,
+        noise=NoiseSpec(gps_sigma_m=4.0, reorder_prob=0.0, glitch_prob=0.0,
+                        duplicate_prob=0.0),
+    )
+    fleet, runs = TaxiFleetSimulator(city, spec).simulate()
+    segments = CleaningPipeline().run(fleet).segments
+    return segments, runs
+
+
+class TestHmmConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HmmConfig(sigma_m=0.0)
+        with pytest.raises(ValueError):
+            HmmConfig(beta_m=-1.0)
+
+
+class TestHmmMatching:
+    def test_matches_all_segments(self, city, small_segments):
+        segments, __ = small_segments
+        matcher = HmmMatcher(city.graph)
+        for seg in segments[:25]:
+            route = matcher.match(
+                seg.points, lambda p: city.projector.to_xy(p.lat, p.lon),
+                seg.segment_id, seg.car_id,
+            )
+            assert route is not None
+            assert route.edge_sequence
+
+    def test_match_distance_small(self, city, small_segments):
+        segments, __ = small_segments
+        matcher = HmmMatcher(city.graph)
+        dists = []
+        for seg in segments[:25]:
+            route = matcher.match(
+                seg.points, lambda p: city.projector.to_xy(p.lat, p.lon))
+            dists.append(route.mean_match_distance_m)
+        assert sum(dists) / len(dists) < 8.0
+
+    def test_comparable_to_incremental(self, city, small_segments):
+        """Both matchers should agree on most of the route."""
+        segments, __ = small_segments
+        hmm = HmmMatcher(city.graph)
+        inc = IncrementalMatcher(city.graph)
+        agreements = []
+        for seg in segments[:20]:
+            to_xy = lambda p: city.projector.to_xy(p.lat, p.lon)
+            r1 = hmm.match(seg.points, to_xy)
+            r2 = inc.match(seg.points, to_xy)
+            e1, e2 = set(r1.edge_ids), set(r2.edge_ids)
+            agreements.append(len(e1 & e2) / len(e1 | e2))
+        assert sum(agreements) / len(agreements) > 0.75
+
+    def test_empty_returns_none(self, city):
+        assert HmmMatcher(city.graph).match([], lambda p: (0.0, 0.0)) is None
+
+    def test_viterbi_prefers_coherent_path(self, city, small_segments):
+        """The decoded path's edges must be mostly network-adjacent."""
+        segments, __ = small_segments
+        matcher = HmmMatcher(city.graph)
+        seg = max(segments[:25], key=lambda s: len(s.points))
+        route = matcher.match(
+            seg.points, lambda p: city.projector.to_xy(p.lat, p.lon))
+        # Consecutive traversals share a node (gap filling guarantees it
+        # unless the gap was unroutable, which must be rare here).
+        breaks = 0
+        for (e1, n1), (e2, n2) in zip(route.edge_sequence, route.edge_sequence[1:]):
+            edge1 = city.graph.edge(e1)
+            if n2 not in (edge1.u, edge1.v):
+                breaks += 1
+        assert breaks <= 1

@@ -1,0 +1,76 @@
+"""Tests for repro.od.gates."""
+
+import pytest
+
+from repro.geo.geometry import LineString
+from repro.od.gates import CrossingEvent, Gate, find_crossings
+
+
+@pytest.fixture()
+def gate():
+    return Gate(name="T", road=LineString([(-150.0, 0.0), (150.0, 0.0)]),
+                half_width_m=60.0)
+
+
+class TestGate:
+    def test_perpendicular_crossing(self, gate):
+        assert gate.crossed_by((0.0, -200.0), (0.0, 200.0))
+
+    def test_along_road_no_crossing(self, gate):
+        assert not gate.crossed_by((-100.0, 10.0), (100.0, 10.0))
+
+    def test_far_away_segment(self, gate):
+        assert not gate.crossed_by((5000.0, 5000.0), (5000.0, 5200.0))
+
+    def test_angle_window(self):
+        steep_only = Gate(
+            name="X", road=LineString([(-150.0, 0.0), (150.0, 0.0)]),
+            half_width_m=60.0, min_angle_deg=80.0,
+        )
+        # 45 degree crossing rejected, 90 degree accepted.
+        assert not steep_only.crossed_by((-100.0, -100.0), (100.0, 100.0))
+        assert steep_only.crossed_by((0.0, -100.0), (0.0, 100.0))
+
+    def test_distance_to(self, gate):
+        assert gate.distance_to((0.0, 100.0)) == pytest.approx(100.0)
+        assert gate.distance_to((0.0, 0.0)) == 0.0
+
+
+class TestFindCrossings:
+    def test_single_crossing_event(self, gate):
+        xys = [(0.0, -300.0), (0.0, -100.0), (0.0, 100.0), (0.0, 300.0)]
+        times = [0.0, 10.0, 20.0, 30.0]
+        events = find_crossings(xys, times, [gate])
+        assert len(events) == 1
+        assert events[0] == CrossingEvent(gate="T", index=1, time_s=10.0)
+
+    def test_slow_passage_counts_once(self, gate):
+        # Several consecutive fixes inside the thick region.
+        xys = [(0.0, -100.0), (0.0, -30.0), (0.0, 20.0), (0.0, 90.0)]
+        times = [0.0, 10.0, 20.0, 30.0]
+        events = find_crossings(xys, times, [gate])
+        assert len(events) == 1
+        assert events[0].index == 0
+
+    def test_double_crossing_detected(self, gate):
+        # Out and back through the same gate with a gap between passes.
+        xys = [(0.0, -100.0), (0.0, 100.0), (30.0, 400.0), (30.0, 100.0),
+               (30.0, -100.0)]
+        times = [0.0, 10.0, 20.0, 30.0, 40.0]
+        events = find_crossings(xys, times, [gate])
+        assert len(events) == 2
+
+    def test_multiple_gates_ordered_by_time(self):
+        g1 = Gate(name="A", road=LineString([(-50.0, 0.0), (50.0, 0.0)]),
+                  half_width_m=30.0)
+        g2 = Gate(name="B", road=LineString([(-50.0, 1000.0), (50.0, 1000.0)]),
+                  half_width_m=30.0)
+        xys = [(0.0, -100.0), (0.0, 100.0), (0.0, 900.0), (0.0, 1100.0)]
+        times = [0.0, 10.0, 20.0, 30.0]
+        events = find_crossings(xys, times, [g2, g1])
+        assert [e.gate for e in events] == ["A", "B"]
+
+    def test_no_crossings(self, gate):
+        xys = [(500.0, 0.0), (500.0, 100.0)]
+        events = find_crossings(xys, [0.0, 1.0], [gate])
+        assert events == []

@@ -1,0 +1,165 @@
+"""Tests for repro.od.transitions on constructed trajectories."""
+
+import pytest
+
+from repro.cleaning.segmentation import TripSegment
+from repro.geo.geometry import LineString
+from repro.geo.polygon import Polygon
+from repro.od import Gate, TransitionExtractor, post_filter_transition
+from repro.od.transitions import STUDIED_PAIRS, TransitionConfig
+from repro.traces.model import RoutePoint
+
+
+def gates():
+    return [
+        Gate(name="T", road=LineString([(-150.0, 1000.0), (150.0, 1000.0)]),
+             half_width_m=60.0),
+        Gate(name="S", road=LineString([(-150.0, -1000.0), (150.0, -1000.0)]),
+             half_width_m=60.0),
+        Gate(name="L", road=LineString([(850.0, -1000.0), (1150.0, -1000.0)]),
+             half_width_m=60.0),
+    ]
+
+
+def central():
+    return Polygon.rectangle(-1500.0, -1200.0, 1500.0, 1200.0)
+
+
+class FakeProjector:
+    """Identity projection: test points are already metric."""
+
+    @staticmethod
+    def to_xy(p):
+        return (p.lon, p.lat)   # lon=x, lat=y for these synthetic points
+
+
+def segment_from_xy(points_xy, car_id=1, segment_id=1, dt=20.0):
+    points = [
+        RoutePoint(point_id=i + 1, trip_id=1, lat=y, lon=x, time_s=i * dt,
+                   speed_kmh=30.0)
+        for i, (x, y) in enumerate(points_xy)
+    ]
+    return TripSegment(segment_id=segment_id, trip_id=1, car_id=car_id,
+                       index=0, points=points)
+
+
+def north_to_south(x=0.0):
+    """A straight drive from above gate T to below gate S."""
+    return [(x, y) for y in range(1200, -1300, -100)]
+
+
+class TestExtraction:
+    def setup_method(self):
+        self.extractor = TransitionExtractor(gates(), central())
+        self.to_xy = FakeProjector.to_xy
+
+    def test_t_to_s_transition_found(self):
+        seg = segment_from_xy(north_to_south())
+        result = self.extractor.extract([seg], self.to_xy)
+        assert len(result.transitions) == 1
+        tr = result.transitions[0]
+        assert tr.direction == "T-S"
+        assert tr.within_centre
+
+    def test_reverse_direction_is_s_t(self):
+        seg = segment_from_xy(list(reversed(north_to_south())))
+        result = self.extractor.extract([seg], self.to_xy)
+        assert result.transitions[0].direction == "S-T"
+
+    def test_no_gate_crossing_no_transition(self):
+        seg = segment_from_xy([(500.0, y) for y in range(-500, 600, 100)])
+        result = self.extractor.extract([seg], self.to_xy)
+        assert result.transitions == []
+        assert result.funnel[0].filtered_cleaned == 0
+
+    def test_single_gate_counts_as_filtered_only(self):
+        seg = segment_from_xy([(0.0, y) for y in range(1200, 700, -100)])
+        result = self.extractor.extract([seg], self.to_xy)
+        assert result.funnel[0].filtered_cleaned == 1
+        assert result.funnel[0].transitions_total == 0
+
+    def test_s_to_l_not_studied(self):
+        # Crosses S then L (both southern gates) — not among the 4 pairs.
+        path = [(0.0, -900.0), (0.0, -1100.0), (500.0, -1100.0),
+                (1000.0, -1100.0), (1000.0, -900.0)]
+        seg = segment_from_xy(path)
+        result = self.extractor.extract([seg], self.to_xy)
+        assert result.funnel[0].filtered_cleaned == 1
+        assert result.funnel[0].transitions_total == 0
+
+    def test_outside_centre_flagged(self):
+        # T to S via a detour through x=2000 (outside the central area).
+        path = [(0.0, 1200.0), (0.0, 1000.0), (0.0, 800.0), (2000.0, 500.0),
+                (2000.0, -500.0), (0.0, -800.0), (0.0, -1000.0), (0.0, -1200.0)]
+        seg = segment_from_xy(path)
+        result = self.extractor.extract([seg], self.to_xy)
+        assert result.funnel[0].transitions_total == 1
+        assert result.funnel[0].within_centre == 0
+        assert result.transitions == []
+
+    def test_funnel_rows_per_car(self):
+        segs = [
+            segment_from_xy(north_to_south(), car_id=1, segment_id=1),
+            segment_from_xy(north_to_south(), car_id=2, segment_id=2),
+            segment_from_xy([(500.0, 0.0), (500.0, 100.0), (500.0, 200.0)],
+                            car_id=2, segment_id=3),
+        ]
+        result = self.extractor.extract(segs, self.to_xy)
+        rows = {r.car_id: r for r in result.funnel}
+        assert rows[1].total_segments == 1
+        assert rows[2].total_segments == 2
+        assert rows[2].transitions_total == 1
+
+    def test_transition_points_straddle_crossings(self):
+        seg = segment_from_xy(north_to_south())
+        result = self.extractor.extract([seg], self.to_xy)
+        tr = result.transitions[0]
+        pts = tr.points()
+        ys = [p.lat for p in pts]
+        assert max(ys) >= 1000.0     # includes the fix before gate T
+        assert min(ys) <= -1000.0    # includes the fix after gate S
+
+    def test_first_studied_pair_wins(self):
+        # T -> S -> L: the T-S pair is reported, not T-L.
+        path = north_to_south() + [(x, -1100.0) for x in range(100, 1200, 200)]
+        seg = segment_from_xy(path)
+        result = self.extractor.extract([seg], self.to_xy)
+        assert result.transitions[0].direction == "T-S"
+
+
+class TestPostFilter:
+    def test_close_endpoints_pass(self):
+        extractor = TransitionExtractor(gates(), central())
+        seg = segment_from_xy(north_to_south())
+        tr = extractor.extract([seg], FakeProjector.to_xy).transitions[0]
+        ok = post_filter_transition(
+            tr, (0.0, 1050.0), (0.0, -1080.0), extractor.gates_by_name)
+        assert ok
+        assert tr.post_filtered_ok is True
+
+    def test_far_start_fails(self):
+        extractor = TransitionExtractor(gates(), central())
+        seg = segment_from_xy(north_to_south())
+        tr = extractor.extract([seg], FakeProjector.to_xy).transitions[0]
+        ok = post_filter_transition(
+            tr, (0.0, 1500.0), (0.0, -1010.0), extractor.gates_by_name)
+        assert not ok
+        assert tr.post_filtered_ok is False
+
+    def test_threshold_configurable(self):
+        extractor = TransitionExtractor(gates(), central())
+        seg = segment_from_xy(north_to_south())
+        tr = extractor.extract([seg], FakeProjector.to_xy).transitions[0]
+        tight = TransitionConfig(post_filter_distance_m=10.0)
+        assert not post_filter_transition(
+            tr, (0.0, 1090.0), (0.0, -1005.0), extractor.gates_by_name, tight)
+
+
+class TestConfig:
+    def test_studied_pairs_constant(self):
+        assert ("T", "S") in STUDIED_PAIRS
+        assert ("S", "L") not in STUDIED_PAIRS
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransitionConfig(post_filter_distance_m=0.0)

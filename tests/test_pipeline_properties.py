@@ -1,0 +1,144 @@
+"""Property-based invariants across pipeline stages.
+
+These tests generate randomised inputs with hypothesis and assert the
+structural guarantees the rest of the system builds on: cleaning never
+invents route points, segmentation partitions trips, ordering repair is
+idempotent, and gap filling always yields a node-contiguous traversal.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cleaning import CleaningPipeline
+from repro.cleaning.ordering import repair_ordering
+from repro.cleaning.segmentation import segment_trip
+from repro.geo.distance import destination_point
+from repro.traces.model import FleetData, RoutePoint, Trip
+from repro.traces.noise import NoiseSpec, apply_noise
+
+
+def random_trip(rng: random.Random, n_points: int, with_dwells: bool) -> Trip:
+    """A plausible random trip: bounded speeds, optional mid-trip dwells."""
+    lat, lon = 65.0, 25.0
+    t = 0.0
+    points = []
+    for i in range(n_points):
+        points.append(RoutePoint(point_id=i + 1, trip_id=1, lat=lat, lon=lon,
+                                 time_s=t, speed_kmh=rng.uniform(0, 50)))
+        step = rng.uniform(30.0, 250.0)
+        bearing = rng.uniform(0.0, 360.0)
+        lat, lon = destination_point(lat, lon, bearing, step)
+        t += rng.uniform(5.0, 45.0)
+        if with_dwells and rng.random() < 0.1:
+            t += rng.uniform(200.0, 900.0)
+    return Trip(trip_id=1, car_id=1, points=points)
+
+
+class TestCleaningInvariants:
+    @given(seed=st.integers(min_value=0, max_value=2000),
+           n=st.integers(min_value=6, max_value=40))
+    @settings(max_examples=25, deadline=None)
+    def test_pipeline_never_invents_points(self, seed, n):
+        rng = random.Random(seed)
+        trip = random_trip(rng, n, with_dwells=True)
+        noisy = apply_noise(trip, NoiseSpec(), rng)
+        result = CleaningPipeline().run(FleetData(trips=[noisy]))
+        input_positions = {(round(p.lat, 9), round(p.lon, 9))
+                           for p in noisy.points}
+        for seg in result.segments:
+            for p in seg.points:
+                assert (round(p.lat, 9), round(p.lon, 9)) in input_positions
+
+    @given(seed=st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=25, deadline=None)
+    def test_segments_time_ordered_and_disjoint(self, seed):
+        rng = random.Random(seed)
+        trip = random_trip(rng, 30, with_dwells=True)
+        segments, __ = segment_trip(trip)
+        for seg in segments:
+            times = [p.time_s for p in seg.points]
+            assert times == sorted(times)
+        for a, b in zip(segments, segments[1:]):
+            assert a.end_time_s <= b.start_time_s
+
+    @given(seed=st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=25, deadline=None)
+    def test_segmentation_partitions_points(self, seed):
+        """Every input point lands in at most one segment (boundary points
+        between stop gaps may be dropped from short fragments)."""
+        rng = random.Random(seed)
+        trip = random_trip(rng, 25, with_dwells=True)
+        segments, __ = segment_trip(trip)
+        seen_ids: set[int] = set()
+        for seg in segments:
+            for p in seg.points:
+                assert p.point_id not in seen_ids
+                seen_ids.add(p.point_id)
+        assert seen_ids <= {p.point_id for p in trip.points}
+
+    @given(seed=st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=25, deadline=None)
+    def test_ordering_repair_idempotent_and_monotone(self, seed):
+        rng = random.Random(seed)
+        trip = random_trip(rng, 15, with_dwells=False)
+        noisy = apply_noise(
+            trip, NoiseSpec(reorder_prob=1.0, gps_sigma_m=0.0,
+                            glitch_prob=0.0, duplicate_prob=0.0), rng)
+        once, __ = repair_ordering(noisy)
+        twice, report = repair_ordering(once)
+        assert report.was_consistent
+        ids = [p.point_id for p in once.points]
+        times = [p.time_s for p in once.points]
+        assert ids == sorted(ids)
+        assert times == sorted(times)
+        assert [p.lat for p in twice.points] == [p.lat for p in once.points]
+
+    @given(seed=st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=20, deadline=None)
+    def test_pipeline_deterministic(self, seed):
+        rng = random.Random(seed)
+        trip = random_trip(rng, 20, with_dwells=True)
+        noisy = apply_noise(trip, NoiseSpec(), random.Random(seed))
+        r1 = CleaningPipeline().run(FleetData(trips=[noisy]))
+        r2 = CleaningPipeline().run(FleetData(trips=[noisy]))
+        assert len(r1.segments) == len(r2.segments)
+        assert r1.report.duplicates_removed == r2.report.duplicates_removed
+
+
+class TestGapfillInvariant:
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=15, deadline=None)
+    def test_traversal_contiguous_for_random_edge_pairs(self, seed, city):
+        """Any two matched edges yield a node-contiguous traversal chain."""
+        from repro.matching.gapfill import connect_matches
+        from repro.matching.types import MatchedPoint, MatchedRoute
+
+        rng = random.Random(seed)
+        edges = city.graph.edges()
+        e1, e2 = rng.choice(edges), rng.choice(edges)
+        matched = [
+            MatchedPoint(
+                point=RoutePoint(point_id=1, trip_id=1, lat=0, lon=0, time_s=0.0),
+                edge_id=e1.edge_id, arc_m=e1.length / 2.0,
+                snapped_xy=(0.0, 0.0), match_distance_m=0.0),
+            MatchedPoint(
+                point=RoutePoint(point_id=2, trip_id=1, lat=0, lon=0, time_s=60.0),
+                edge_id=e2.edge_id, arc_m=e2.length / 2.0,
+                snapped_xy=(0.0, 0.0), match_distance_m=0.0),
+        ]
+        route = MatchedRoute(segment_id=1, car_id=1, matched=matched)
+        connect_matches(city.graph, route, max_cost_m=10_000.0)
+        assert route.edge_sequence
+        prev_end = None
+        breaks = 0
+        for edge_id, from_node in route.edge_sequence:
+            edge = city.graph.edge(edge_id)
+            assert from_node in (edge.u, edge.v)
+            if prev_end is not None and from_node != prev_end:
+                breaks += 1
+            prev_end = edge.other(from_node)
+        # Only unroutable gaps may break the chain; within the connected
+        # city with a 10 km budget there must be none.
+        assert breaks == 0

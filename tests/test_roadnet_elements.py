@@ -1,0 +1,153 @@
+"""Tests for repro.roadnet.elements and repro.roadnet.digiroad."""
+
+import pytest
+
+from repro.geo.geometry import LineString
+from repro.roadnet.digiroad import MapDatabase
+from repro.roadnet.elements import (
+    FlowDirection,
+    FunctionalClass,
+    PointObject,
+    PointObjectKind,
+    SegmentedAttribute,
+    TrafficElement,
+)
+
+
+def element(eid=1, coords=((0, 0), (100, 0)), **kwargs):
+    return TrafficElement(element_id=eid, geometry=LineString(coords), **kwargs)
+
+
+class TestTrafficElement:
+    def test_length(self):
+        assert element().length_m == pytest.approx(100.0)
+
+    def test_endpoints(self):
+        e = element()
+        assert e.start() == (0.0, 0.0)
+        assert e.end() == (100.0, 0.0)
+
+    def test_positive_speed_limit_required(self):
+        with pytest.raises(ValueError):
+            element(speed_limit_kmh=0.0)
+
+    def test_flow_reversal(self):
+        assert FlowDirection.FORWARD.reversed() is FlowDirection.BACKWARD
+        assert FlowDirection.BACKWARD.reversed() is FlowDirection.FORWARD
+        assert FlowDirection.BOTH.reversed() is FlowDirection.BOTH
+
+
+class TestSegmentedAttribute:
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            SegmentedAttribute(1, "speed_limit", 50.0, 50.0, 30)
+
+    def test_covers(self):
+        attr = SegmentedAttribute(1, "speed_limit", 10.0, 20.0, 30)
+        assert attr.covers(15.0)
+        assert attr.covers(10.0)
+        assert not attr.covers(25.0)
+
+
+class TestPointObject:
+    def test_attribute_lookup(self):
+        obj = PointObject(
+            1, PointObjectKind.BUS_STOP, (0.0, 0.0),
+            attributes=(("route", "20A"),),
+        )
+        assert obj.attribute("route") == "20A"
+        assert obj.attribute("missing", "dflt") == "dflt"
+
+
+class TestMapDatabase:
+    def setup_method(self):
+        self.db = MapDatabase()
+        self.db.add_element(element(1, ((0, 0), (100, 0)), speed_limit_kmh=40.0))
+        self.db.add_element(element(2, ((100, 0), (200, 0)), speed_limit_kmh=50.0))
+
+    def test_element_lookup(self):
+        assert self.db.element(1).speed_limit_kmh == 40.0
+        assert self.db.element_count() == 2
+
+    def test_duplicate_element_rejected(self):
+        with pytest.raises(Exception):
+            self.db.add_element(element(1))
+
+    def test_elements_near(self):
+        found = self.db.elements_near((50.0, 5.0), 10.0)
+        assert [e.element_id for e in found] == [1]
+
+    def test_nearest_element(self):
+        e = self.db.nearest_element((150.0, 30.0))
+        assert e.element_id == 2
+
+    def test_nearest_element_respects_radius(self):
+        assert self.db.nearest_element((50.0, 900.0), max_radius=100.0) is None
+
+    def test_point_objects_by_kind(self):
+        self.db.add_point_object(
+            PointObject(1, PointObjectKind.TRAFFIC_LIGHT, (50.0, 0.0), element_id=1)
+        )
+        self.db.add_point_object(
+            PointObject(2, PointObjectKind.BUS_STOP, (150.0, 0.0), element_id=2)
+        )
+        assert self.db.count_objects(PointObjectKind.TRAFFIC_LIGHT) == 1
+        assert len(self.db.point_objects()) == 2
+        assert len(self.db.point_objects(PointObjectKind.BUS_STOP)) == 1
+
+    def test_objects_near_with_kind(self):
+        self.db.add_point_object(
+            PointObject(1, PointObjectKind.TRAFFIC_LIGHT, (50.0, 0.0))
+        )
+        self.db.add_point_object(
+            PointObject(2, PointObjectKind.BUS_STOP, (52.0, 0.0))
+        )
+        lights = self.db.objects_near((50.0, 0.0), 10.0, PointObjectKind.TRAFFIC_LIGHT)
+        assert [o.object_id for o in lights] == [1]
+
+    def test_objects_on_element(self):
+        self.db.add_point_object(
+            PointObject(1, PointObjectKind.TRAFFIC_LIGHT, (50.0, 0.0), element_id=1)
+        )
+        assert len(self.db.objects_on_element(1)) == 1
+        assert self.db.objects_on_element(2) == []
+
+    def test_speed_limit_default(self):
+        assert self.db.speed_limit_at(1, 50.0) == 40.0
+
+    def test_segmented_restriction_overrides(self):
+        self.db.add_segmented_attribute(
+            SegmentedAttribute(1, "speed_limit", 20.0, 80.0, 30.0)
+        )
+        assert self.db.speed_limit_at(1, 50.0) == 30.0
+        assert self.db.speed_limit_at(1, 10.0) == 40.0
+
+    def test_most_restrictive_wins(self):
+        self.db.add_segmented_attribute(
+            SegmentedAttribute(1, "speed_limit", 0.0, 100.0, 30.0)
+        )
+        self.db.add_segmented_attribute(
+            SegmentedAttribute(1, "speed_limit", 40.0, 60.0, 20.0)
+        )
+        assert self.db.speed_limit_at(1, 50.0) == 20.0
+
+    def test_segmented_attribute_requires_known_element(self):
+        with pytest.raises(KeyError):
+            self.db.add_segmented_attribute(
+                SegmentedAttribute(99, "speed_limit", 0.0, 10.0, 30.0)
+            )
+
+    def test_attribute_at(self):
+        self.db.add_segmented_attribute(
+            SegmentedAttribute(1, "road_address", 0.0, 100.0, "Kirkkokatu 1-20")
+        )
+        assert self.db.attribute_at(1, "road_address", 5.0) == "Kirkkokatu 1-20"
+        assert self.db.attribute_at(1, "road_address", 150.0) is None
+
+    def test_feature_census(self):
+        self.db.add_point_object(
+            PointObject(1, PointObjectKind.TRAFFIC_LIGHT, (50.0, 0.0))
+        )
+        census = self.db.feature_census()
+        assert census["traffic_light"] == 1
+        assert census["bus_stop"] == 0

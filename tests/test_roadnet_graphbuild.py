@@ -1,0 +1,151 @@
+"""Tests for repro.roadnet.graphbuild — the paper's map preparation."""
+
+import pytest
+
+from repro.geo.geometry import LineString
+from repro.roadnet.elements import FlowDirection, TrafficElement
+from repro.roadnet.graphbuild import build_road_graph, classify_endpoints
+
+
+def element(eid, coords, flow=FlowDirection.BOTH, limit=40.0):
+    return TrafficElement(
+        element_id=eid, geometry=LineString(coords), flow=flow, speed_limit_kmh=limit
+    )
+
+
+def cross_elements():
+    """A + junction at (0,0) with four 100 m arms, each arm split in two."""
+    arms = [
+        [(0, 0), (50, 0), (100, 0)],
+        [(0, 0), (-50, 0), (-100, 0)],
+        [(0, 0), (0, 50), (0, 100)],
+        [(0, 0), (0, -50), (0, -100)],
+    ]
+    elements = []
+    eid = 1
+    for arm in arms:
+        for a, b in zip(arm, arm[1:]):
+            elements.append(element(eid, [a, b]))
+            eid += 1
+    return elements
+
+
+class TestClassifyEndpoints:
+    def test_junction_and_intermediate_and_deadend(self):
+        table = classify_endpoints(cross_elements())
+        degrees = {info.degree for info in table.values()}
+        centre = next(i for i in table.values() if i.position == (0.0, 0.0))
+        assert centre.degree == 4
+        assert centre.is_junction
+        mid = next(i for i in table.values() if i.position == (50.0, 0.0))
+        assert mid.degree == 2
+        assert not mid.is_junction
+        tip = next(i for i in table.values() if i.position == (100.0, 0.0))
+        assert tip.degree == 1
+        assert tip.is_junction  # dead ends are graph vertices
+
+    def test_tolerates_tiny_coordinate_jitter(self):
+        a = element(1, [(0, 0), (100, 0)])
+        b = element(2, [(100.0 + 1e-4, 0), (200, 0)])
+        table = classify_endpoints([a, b])
+        shared = [i for i in table.values() if i.degree == 2]
+        assert len(shared) == 1
+
+
+class TestBuildRoadGraph:
+    def test_cross_becomes_four_edges(self):
+        graph, pairs = build_road_graph(cross_elements())
+        # One centre junction + four dead ends; four merged edges.
+        assert graph.node_count == 5
+        assert graph.edge_count == 4
+        assert len(pairs) == 4
+        # Every edge merged exactly two elements.
+        assert all(len(p.element_ids) == 2 for p in pairs)
+
+    def test_every_element_in_exactly_one_edge(self):
+        elements = cross_elements()
+        graph, pairs = build_road_graph(elements)
+        used = [eid for p in pairs for eid in p.element_ids]
+        assert sorted(used) == [e.element_id for e in elements]
+
+    def test_duplicate_element_ids_rejected(self):
+        e = element(1, [(0, 0), (10, 0)])
+        with pytest.raises(ValueError):
+            build_road_graph([e, e])
+
+    def test_merged_geometry_length(self):
+        graph, __ = build_road_graph(cross_elements())
+        for edge in graph.edges():
+            assert edge.length == pytest.approx(100.0)
+
+    def test_digitization_reversal_handled(self):
+        # Second element digitized against the walk direction.
+        a = element(1, [(0, 0), (100, 0)])
+        b = element(2, [(200, 0), (100, 0)])       # reversed digitization
+        c = element(3, [(0, 100), (0, 0)])         # anchor junction at origin
+        d = element(4, [(0, 0), (0, -100)])
+        graph, pairs = build_road_graph([a, b, c, d])
+        long_edge = next(p for p in pairs if len(p.element_ids) == 2)
+        assert set(long_edge.element_ids) == {1, 2}
+        edge = next(e for e in graph.edges() if set(e.element_ids) == {1, 2})
+        assert edge.length == pytest.approx(200.0)
+        # The reversed element's span knows it was flipped.
+        spans = {s.element_id: s for s in edge.spans}
+        assert spans[2].reversed_ != spans[1].reversed_
+
+    def test_oneway_chain_direction(self):
+        # Two forward-only elements forming one chain: edge is one-way.
+        a = element(1, [(0, 0), (100, 0)], flow=FlowDirection.FORWARD)
+        b = element(2, [(100, 0), (200, 0)], flow=FlowDirection.FORWARD)
+        anchor1 = element(3, [(0, 0), (0, 100)])
+        anchor2 = element(4, [(0, 0), (0, -100)])
+        graph, __ = build_road_graph([a, b, anchor1, anchor2])
+        edge = next(e for e in graph.edges() if set(e.element_ids) == {1, 2})
+        u_pos = graph.node(edge.u).position
+        # Orientation depends on walk direction; exactly one way is allowed.
+        assert edge.forward_allowed != edge.backward_allowed
+        if u_pos == (0.0, 0.0):
+            assert edge.forward_allowed
+        else:
+            assert edge.backward_allowed
+
+    def test_oneway_with_reversed_digitization(self):
+        # Forward-only element digitized backwards within the chain: the
+        # merged edge must still allow exactly the legal direction.
+        a = element(1, [(0, 0), (100, 0)], flow=FlowDirection.FORWARD)
+        b = element(2, [(200, 0), (100, 0)], flow=FlowDirection.BACKWARD)
+        anchor1 = element(3, [(0, 0), (0, 100)])
+        anchor2 = element(4, [(0, 0), (0, -100)])
+        graph, __ = build_road_graph([a, b, anchor1, anchor2])
+        edge = next(e for e in graph.edges() if set(e.element_ids) == {1, 2})
+        assert edge.forward_allowed != edge.backward_allowed
+
+    def test_isolated_cycle_gets_synthetic_junction(self):
+        square = [
+            element(1, [(0, 0), (10, 0)]),
+            element(2, [(10, 0), (10, 10)]),
+            element(3, [(10, 10), (0, 10)]),
+            element(4, [(0, 10), (0, 0)]),
+        ]
+        graph, pairs = build_road_graph(square)
+        assert graph.edge_count == 1
+        edge = graph.edges()[0]
+        assert edge.u == edge.v
+        assert len(edge.element_ids) == 4
+        assert edge.length == pytest.approx(40.0)
+
+    def test_junction_pair_table_structure(self):
+        __, pairs = build_road_graph(cross_elements())
+        for pair in pairs:
+            assert isinstance(pair.element_ids, tuple)
+            assert len(pair.junction1) == 2
+            assert len(pair.junction2) == 2
+
+    def test_travel_time_uses_per_element_limits(self):
+        a = element(1, [(0, 0), (100, 0)], limit=36.0)   # 10 m/s -> 10 s
+        b = element(2, [(100, 0), (200, 0)], limit=72.0)  # 20 m/s -> 5 s
+        anchor1 = element(3, [(0, 0), (0, 100)])
+        anchor2 = element(4, [(0, 0), (0, -100)])
+        graph, __ = build_road_graph([a, b, anchor1, anchor2])
+        edge = next(e for e in graph.edges() if set(e.element_ids) == {1, 2})
+        assert edge.travel_time_s == pytest.approx(15.0)

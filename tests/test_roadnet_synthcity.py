@@ -1,0 +1,104 @@
+"""Tests for repro.roadnet.synthcity."""
+
+import pytest
+
+from repro.roadnet import CitySpec, build_synthetic_oulu
+from repro.roadnet.elements import PointObjectKind
+
+
+class TestCityStructure:
+    def test_feature_census_matches_spec(self, city):
+        census = city.feature_census()
+        assert census["traffic_light"] == city.spec.n_traffic_lights
+        assert census["pedestrian_crossing"] == city.spec.n_pedestrian_crossings
+        assert census["bus_stop"] == city.spec.n_bus_stops
+
+    def test_graph_nontrivial(self, city):
+        assert city.graph.node_count > 100
+        assert city.graph.edge_count > 150
+
+    def test_every_edge_has_elements(self, city):
+        for edge in city.graph.edges():
+            assert len(edge.spans) >= 1
+
+    def test_multi_element_edges_exist(self, city):
+        multi = [p for p in city.junction_pairs if len(p.element_ids) > 1]
+        assert len(multi) > 50  # Table 1 structure: edges merge elements
+
+    def test_gates_present(self, city):
+        assert set(city.gate_roads) == {"T", "S", "L"}
+
+    def test_gates_cross_their_arterials(self, city):
+        # Each gate road must intersect a road edge (its arterial).
+        for name, road in city.gate_roads.items():
+            mid = road.interpolate(road.length / 2.0)
+            assert city.graph.edges_near(mid, 10.0), f"gate {name} floats in space"
+
+    def test_central_area_contains_gates_s_l_and_core(self, city):
+        assert city.central_area.contains((0.0, 0.0))
+        assert city.central_area.contains((600.0, -1400.0))
+        assert city.central_area.contains((-600.0, -1400.0))
+
+    def test_east_outer_outside_central_area(self, city):
+        assert not city.central_area.contains((1400.0, 0.0))
+
+    def test_hotspot_near_centre(self, city):
+        assert city.in_hotspot((0.0, 100.0))
+        assert not city.in_hotspot((900.0, 900.0))
+
+    def test_dead_ends_exist(self, city):
+        dead = [n for n in city.graph.nodes() if city.graph.degree(n.node_id) == 1]
+        assert len(dead) >= 6
+
+    def test_oneway_edges_exist(self, city):
+        oneway = [
+            e for e in city.graph.edges()
+            if e.forward_allowed != e.backward_allowed
+        ]
+        assert oneway, "the one-way street pair should survive graph building"
+
+    def test_lights_concentrated_in_core(self, city):
+        lights = city.map_db.point_objects(PointObjectKind.TRAFFIC_LIGHT)
+        assert all(
+            max(abs(o.position[0]), abs(o.position[1])) <= 900.0 for o in lights
+        )
+
+    def test_bypass_corridor_unlit(self, city):
+        lights = city.map_db.point_objects(PointObjectKind.TRAFFIC_LIGHT)
+        assert not any(abs(o.position[0] + 1000.0) < 50.0 for o in lights)
+
+
+class TestDeterminismAndSpec:
+    def test_same_seed_same_city(self):
+        a = build_synthetic_oulu()
+        b = build_synthetic_oulu()
+        assert a.map_db.element_count() == b.map_db.element_count()
+        ea = sorted(e.element_id for e in a.map_db.elements())
+        eb = sorted(e.element_id for e in b.map_db.elements())
+        assert ea == eb
+        ga = [(p.junction1, p.element_ids) for p in a.junction_pairs]
+        gb = [(p.junction1, p.element_ids) for p in b.junction_pairs]
+        assert ga == gb
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            CitySpec(grid_half_m=0.0)
+        with pytest.raises(ValueError):
+            CitySpec(grid_half_m=1000.0, grid_spacing_m=300.0)
+
+    def test_custom_feature_counts(self):
+        spec = CitySpec(n_traffic_lights=10, n_bus_stops=5, n_pedestrian_crossings=20)
+        city = build_synthetic_oulu(spec)
+        census = city.feature_census()
+        assert census["traffic_light"] == 10
+        assert census["bus_stop"] == 5
+        assert census["pedestrian_crossing"] == 20
+
+    def test_elements_respect_max_length(self, city):
+        for e in city.map_db.elements():
+            assert e.length_m <= city.spec.max_element_length_m + 1e-6
+
+    def test_projector_anchored_at_oulu(self, city):
+        lat, lon = city.projector.to_latlon(0.0, 0.0)
+        assert lat == pytest.approx(city.spec.ref_lat)
+        assert lon == pytest.approx(city.spec.ref_lon)

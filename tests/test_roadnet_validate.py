@@ -1,0 +1,128 @@
+"""Tests for repro.roadnet.validate."""
+
+import pytest
+
+from repro.geo.geometry import LineString
+from repro.roadnet import validate_map
+from repro.roadnet.digiroad import MapDatabase
+from repro.roadnet.elements import (
+    FlowDirection,
+    PointObject,
+    PointObjectKind,
+    TrafficElement,
+)
+from repro.roadnet.graphbuild import build_road_graph
+
+
+def element(eid, coords, flow=FlowDirection.BOTH, limit=40.0):
+    return TrafficElement(element_id=eid, geometry=LineString(coords),
+                          flow=flow, speed_limit_kmh=limit)
+
+
+def build(elements, objects=()):
+    db = MapDatabase()
+    db.add_elements(elements)
+    for obj in objects:
+        db.add_point_object(obj)
+    graph, __ = build_road_graph(elements)
+    return db, graph
+
+
+class TestCleanMap:
+    def test_synthetic_city_validates(self, city):
+        report = validate_map(city.map_db, city.graph)
+        assert report.ok
+        assert report.n_elements == city.map_db.element_count()
+        assert report.counts() == {}
+
+
+class TestDefectDetection:
+    def test_degenerate_element(self):
+        db, graph = build([
+            element(1, [(0, 0), (100, 0)]),
+            element(2, [(100, 0), (100.1, 0)]),   # 10 cm sliver
+            element(3, [(100.1, 0), (200, 0)]),
+            element(4, [(0, 0), (0, 100)]),
+        ])
+        report = validate_map(db, graph)
+        kinds = report.counts()
+        assert kinds.get("degenerate_element") == 1
+        assert report.by_kind()["degenerate_element"][0].subject == 2
+
+    def test_implausible_speed_limit(self):
+        db, graph = build([
+            element(1, [(0, 0), (100, 0)], limit=200.0),
+            element(2, [(100, 0), (200, 0)]),
+            element(3, [(0, 0), (0, 100)]),
+        ])
+        report = validate_map(db, graph)
+        assert report.counts().get("implausible_speed_limit") == 1
+
+    def test_detached_object(self):
+        db, graph = build(
+            [element(1, [(0, 0), (100, 0)]), element(2, [(0, 0), (0, 100)]),
+             element(3, [(100, 0), (200, 0)])],
+            objects=[PointObject(1, PointObjectKind.BUS_STOP, (5000.0, 5000.0))],
+        )
+        report = validate_map(db, graph)
+        assert report.counts().get("detached_object") == 1
+
+    def test_dangling_object_reference(self):
+        db, graph = build(
+            [element(1, [(0, 0), (100, 0)]), element(2, [(0, 0), (0, 100)]),
+             element(3, [(100, 0), (200, 0)])],
+            objects=[PointObject(1, PointObjectKind.TRAFFIC_LIGHT, (50.0, 0.0),
+                                 element_id=999)],
+        )
+        report = validate_map(db, graph)
+        assert report.counts().get("dangling_object_reference") == 1
+
+    def test_disconnected_component(self):
+        db, graph = build([
+            element(1, [(0, 0), (100, 0)]),
+            element(2, [(0, 0), (0, 100)]),
+            # An island far away, unconnected to the first cluster.
+            element(3, [(10_000, 0), (10_100, 0)]),
+            element(4, [(10_000, 0), (10_000, 100)]),
+        ])
+        report = validate_map(db, graph)
+        assert report.counts().get("disconnected_component") == 1
+
+    def test_oneway_trap(self):
+        # Three one-way elements all pointing INTO the junction at
+        # (100, 0): a vehicle can arrive but never leave.
+        db, graph = build([
+            element(1, [(0, 0), (100, 0)], flow=FlowDirection.FORWARD),
+            element(2, [(200, 0), (100, 0)], flow=FlowDirection.FORWARD),
+            element(3, [(100, 100), (100, 0)], flow=FlowDirection.FORWARD),
+            element(4, [(0, 0), (0, 100)]),
+            element(5, [(200, 0), (200, 100)]),
+        ])
+        report = validate_map(db, graph)
+        assert report.counts().get("oneway_trap", 0) >= 1
+
+    def test_impassable_edge_from_conflicting_oneways(self):
+        # Opposed one-way elements merged into one chain: no legal
+        # traversal direction survives the merge.
+        db, graph = build([
+            element(1, [(0, 0), (100, 0)], flow=FlowDirection.FORWARD),
+            element(2, [(200, 0), (100, 0)], flow=FlowDirection.FORWARD),
+            element(3, [(0, 0), (0, 100)]),
+            element(4, [(200, 0), (200, 100)]),
+        ])
+        report = validate_map(db, graph)
+        assert report.counts().get("impassable_edge", 0) >= 1
+
+    def test_multiple_defects_reported_together(self):
+        db, graph = build(
+            [
+                element(1, [(0, 0), (100, 0)], limit=300.0),
+                element(2, [(0, 0), (0, 100)]),
+                element(3, [(5000, 5000), (5100, 5000)]),
+                element(4, [(5000, 5000), (5000, 5100)]),
+            ],
+            objects=[PointObject(1, PointObjectKind.BUS_STOP, (9999.0, -9999.0))],
+        )
+        report = validate_map(db, graph)
+        assert not report.ok
+        assert len(report.counts()) >= 3

@@ -1,0 +1,79 @@
+"""Tests for repro.stats.descriptive against NumPy references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.descriptive import SixNumber, mean, quantile, six_number_summary, variance
+
+values_st = st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=60)
+
+
+class TestMeanVariance:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_variance_matches_numpy(self):
+        vals = [3.1, 4.1, 5.9, 2.6, 5.3]
+        assert variance(vals) == pytest.approx(np.var(vals, ddof=1))
+
+    def test_variance_short(self):
+        assert variance([5.0]) == 0.0
+        assert variance([]) == 0.0
+
+
+class TestQuantile:
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+
+    def test_singleton(self):
+        assert quantile([7.0], 0.25) == 7.0
+
+    @given(values=values_st, q=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_numpy_type7(self, values, q):
+        ours = quantile(values, q)
+        ref = float(np.quantile(values, q))  # NumPy default = type 7
+        assert ours == pytest.approx(ref, rel=1e-9, abs=1e-9)
+
+    def test_median_of_even_sample(self):
+        assert quantile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.5
+
+
+class TestSixNumberSummary:
+    def test_known_values(self):
+        s = six_number_summary([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s.minimum == 1.0
+        assert s.q1 == 2.0
+        assert s.median == 3.0
+        assert s.mean == 3.0
+        assert s.q3 == 4.0
+        assert s.maximum == 5.0
+        assert s.n == 5
+
+    def test_as_row_order(self):
+        s = six_number_summary([2.0, 1.0, 3.0])
+        assert s.as_row() == (1.0, 1.5, 2.0, 2.0, 2.5, 3.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            six_number_summary([])
+
+    @given(values=values_st)
+    @settings(max_examples=40, deadline=None)
+    def test_ordering_invariant(self, values):
+        s = six_number_summary(values)
+        assert s.minimum <= s.q1 <= s.median <= s.q3 <= s.maximum
+        # The mean is computed by summation; allow one float ulp of slack.
+        tol = 1e-9 * max(abs(s.minimum), abs(s.maximum), 1.0)
+        assert s.minimum - tol <= s.mean <= s.maximum + tol

@@ -1,0 +1,169 @@
+"""Tests for repro.stats.mixed — the REML random-intercept model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.mixed import RandomInterceptModel
+
+
+def simulate(seed, k=60, sigma_u=4.0, sigma=6.0, mu=20.0, n_range=(3, 50)):
+    rng = np.random.default_rng(seed)
+    truth = rng.normal(0.0, sigma_u, k)
+    y, groups = [], []
+    for i in range(k):
+        n_i = int(rng.integers(*n_range))
+        y.extend(rng.normal(mu + truth[i], sigma, n_i))
+        groups.extend([i] * n_i)
+    return np.array(y), groups, truth
+
+
+class TestRemlEstimation:
+    def test_recovers_variance_components(self):
+        y, groups, __ = simulate(0, k=120)
+        result = RandomInterceptModel().fit(y, groups)
+        assert result.sigma2 == pytest.approx(36.0, rel=0.25)
+        assert result.sigma2_u == pytest.approx(16.0, rel=0.5)
+
+    def test_recovers_grand_mean(self):
+        y, groups, __ = simulate(1)
+        result = RandomInterceptModel().fit(y, groups)
+        assert result.intercept == pytest.approx(20.0, abs=1.5)
+
+    def test_balanced_case_matches_anova_estimator(self):
+        # For balanced one-way data REML equals the classical ANOVA
+        # moment estimator (when it is positive).
+        rng = np.random.default_rng(2)
+        k, n = 40, 20
+        truth = rng.normal(0.0, 3.0, k)
+        y = np.concatenate([rng.normal(10.0 + t, 2.0, n) for t in truth])
+        groups = np.repeat(np.arange(k), n).tolist()
+        result = RandomInterceptModel().fit(y, groups)
+        means = y.reshape(k, n).mean(axis=1)
+        msb = n * np.var(means, ddof=1)
+        msw = np.mean([np.var(y.reshape(k, n)[i], ddof=1) for i in range(k)])
+        anova_sigma_u = (msb - msw) / n
+        assert result.sigma2 == pytest.approx(msw, rel=0.05)
+        assert result.sigma2_u == pytest.approx(anova_sigma_u, rel=0.1)
+
+    def test_no_group_effect_shrinks_to_zero(self):
+        rng = np.random.default_rng(3)
+        y = rng.normal(0.0, 1.0, 600)
+        groups = (np.arange(600) % 30).tolist()
+        result = RandomInterceptModel().fit(y, groups)
+        assert result.sigma2_u < 0.05
+        assert result.sigma2 == pytest.approx(1.0, rel=0.2)
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            RandomInterceptModel().fit([1.0, 2.0], [0])
+
+    def test_minimum_observations(self):
+        with pytest.raises(ValueError):
+            RandomInterceptModel().fit([1.0], [0])
+
+
+class TestBlup:
+    def test_blups_correlate_with_truth(self):
+        y, groups, truth = simulate(4, k=80)
+        result = RandomInterceptModel().fit(y, groups)
+        blups = np.array([result.blup[i] for i in range(80)])
+        assert np.corrcoef(blups, truth)[0, 1] > 0.85
+
+    def test_blups_shrink_toward_zero(self):
+        """|BLUP| never exceeds |raw group residual mean| (shrinkage)."""
+        y, groups, __ = simulate(5)
+        result = RandomInterceptModel().fit(y, groups)
+        y_arr = np.asarray(y)
+        g_arr = np.asarray(groups)
+        for g in result.groups:
+            raw = y_arr[g_arr == g].mean() - result.intercept
+            assert abs(result.blup[g]) <= abs(raw) + 1e-9
+
+    def test_small_groups_shrink_more(self):
+        y, groups, __ = simulate(6, n_range=(2, 60))
+        result = RandomInterceptModel().fit(y, groups)
+        small = [g for g in result.groups if result.group_sizes[g] <= 4]
+        big = [g for g in result.groups if result.group_sizes[g] >= 40]
+        if small and big:
+            mean_small = np.mean([result.shrinkage(g) for g in small])
+            mean_big = np.mean([result.shrinkage(g) for g in big])
+            assert mean_small < mean_big
+
+    def test_blup_intervals_contain_point(self):
+        y, groups, __ = simulate(7)
+        result = RandomInterceptModel().fit(y, groups)
+        for g in result.groups:
+            lo, hi = result.blup_interval(g)
+            assert lo <= result.blup[g] <= hi
+
+    def test_interval_width_shrinks_with_group_size(self):
+        y, groups, __ = simulate(8, n_range=(2, 80))
+        result = RandomInterceptModel().fit(y, groups)
+        sizes = [(result.group_sizes[g], result.blup_se[g]) for g in result.groups]
+        small_se = np.mean([se for n, se in sizes if n <= 4])
+        big_se = np.mean([se for n, se in sizes if n >= 50])
+        assert big_se < small_se
+
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=15, deadline=None)
+    def test_blup_sum_weighted_near_zero(self, seed):
+        """Residual-weighted BLUPs balance around the GLS mean."""
+        y, groups, __ = simulate(seed, k=30)
+        result = RandomInterceptModel().fit(y, groups)
+        blups = np.array([result.blup[g] for g in result.groups])
+        assert abs(np.mean(blups)) < 2.0
+
+
+class TestCovariates:
+    def test_fixed_effect_recovered_alongside_intercepts(self):
+        rng = np.random.default_rng(9)
+        k = 50
+        truth = rng.normal(0.0, 3.0, k)
+        y, groups, xs = [], [], []
+        for i in range(k):
+            n_i = int(rng.integers(5, 30))
+            x = rng.normal(0.0, 1.0, n_i)
+            y.extend(10.0 + truth[i] + 1.8 * x + rng.normal(0, 1.0, n_i))
+            xs.extend(x)
+            groups.extend([i] * n_i)
+        result = RandomInterceptModel().fit(y, groups, covariates={"x": xs})
+        assert result.fixed_effect("x") == pytest.approx(1.8, abs=0.15)
+        assert result.sigma2_u == pytest.approx(9.0, rel=0.5)
+
+
+class TestOnStudyData:
+    def test_study_mixed_model_fits(self, study_result):
+        mixed = study_result.mixed
+        assert mixed is not None
+        assert mixed.sigma2 > 0.0
+        assert mixed.sigma2_u > 0.0
+        # The paper reports cell intercepts roughly in [-15, +20].
+        blups = list(mixed.blup.values())
+        assert min(blups) < -3.0
+        assert max(blups) > 3.0
+
+
+class TestGeographyLrt:
+    def test_real_effect_is_significant(self):
+        y, groups, __ = simulate(11, k=60)
+        result = RandomInterceptModel().fit(y, groups)
+        assert result.lrt_statistic > 10.0
+        assert result.lrt_pvalue < 0.001
+
+    def test_null_effect_not_significant(self):
+        rng = np.random.default_rng(12)
+        y = rng.normal(0.0, 1.0, 300)
+        groups = (np.arange(300) % 20).tolist()
+        result = RandomInterceptModel().fit(y, groups)
+        assert result.lrt_pvalue > 0.01
+
+    def test_pvalue_bounds(self):
+        y, groups, __ = simulate(13)
+        result = RandomInterceptModel().fit(y, groups)
+        assert 0.0 <= result.lrt_pvalue <= 1.0
+
+    def test_study_geography_effect_significant(self, study_result):
+        """The paper: 'strong evidence of the effect of geography'."""
+        assert study_result.mixed.lrt_pvalue < 1e-6

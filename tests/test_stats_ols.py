@@ -1,0 +1,78 @@
+"""Tests for repro.stats.ols."""
+
+import numpy as np
+import pytest
+
+from repro.stats.ols import fit_ols
+
+
+class TestFitOls:
+    def test_recovers_coefficients(self):
+        rng = np.random.default_rng(0)
+        x1 = rng.normal(0, 1, 400)
+        x2 = rng.normal(0, 1, 400)
+        y = 1.5 + 2.0 * x1 - 3.0 * x2 + rng.normal(0, 0.1, 400)
+        r = fit_ols(y, {"x1": x1, "x2": x2})
+        assert r.coefficient("(intercept)") == pytest.approx(1.5, abs=0.05)
+        assert r.coefficient("x1") == pytest.approx(2.0, abs=0.05)
+        assert r.coefficient("x2") == pytest.approx(-3.0, abs=0.05)
+        assert r.r_squared > 0.99
+
+    def test_no_intercept(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        y = 2.0 * x
+        r = fit_ols(y, {"x": x}, intercept=False)
+        assert r.names == ("x",)
+        assert r.coefficient("x") == pytest.approx(2.0)
+
+    def test_standard_errors_shrink_with_n(self):
+        rng = np.random.default_rng(1)
+
+        def se_at(n):
+            x = rng.normal(0, 1, n)
+            y = 1.0 + x + rng.normal(0, 1, n)
+            return fit_ols(y, {"x": x}).std_error("x")
+
+        assert se_at(2000) < se_at(50)
+
+    def test_t_values(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(0, 1, 300)
+        noise = rng.normal(0, 1, 300)
+        y = 5.0 * x + noise
+        r = fit_ols(y, {"x": x, "noise_col": rng.normal(0, 1, 300)})
+        assert abs(r.t_values[r.names.index("x")]) > 10.0
+        assert abs(r.t_values[r.names.index("noise_col")]) < 4.0
+
+    def test_misaligned_covariate_rejected(self):
+        with pytest.raises(ValueError):
+            fit_ols([1.0, 2.0], {"x": [1.0, 2.0, 3.0]})
+
+    def test_underdetermined_rejected(self):
+        with pytest.raises(ValueError):
+            fit_ols([1.0, 2.0], {"x": [1.0, 2.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fit_ols([], {})
+
+    def test_perfect_fit_r2_one(self):
+        x = np.arange(10.0)
+        r = fit_ols(3.0 + 2.0 * x, {"x": x})
+        assert r.r_squared == pytest.approx(1.0)
+        assert r.sigma2 == pytest.approx(0.0, abs=1e-18)
+
+    def test_speed_vs_lights_association(self, study_result):
+        """OLS on the study grid: lights associate with lower cell speed."""
+        cells = study_result.grid.cells()
+        if len(cells) < 10:
+            pytest.skip("too few cells in study fixture")
+        y = []
+        lights = []
+        for key, stats in cells.items():
+            y.append(stats.mean)
+            lights.append(
+                float(study_result.cell_features.get(key, {}).get("traffic_lights", 0))
+            )
+        r = fit_ols(y, {"lights": lights})
+        assert r.coefficient("lights") < 0.0

@@ -1,0 +1,70 @@
+"""Tests for repro.stats.qq against SciPy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as scipy_stats
+
+from repro.stats.qq import normal_qq, normal_quantile, qq_correlation
+
+
+class TestNormalQuantile:
+    def test_median(self):
+        assert normal_quantile(0.5) == pytest.approx(0.0, abs=1e-12)
+
+    def test_symmetry(self):
+        assert normal_quantile(0.2) == pytest.approx(-normal_quantile(0.8), abs=1e-12)
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            normal_quantile(0.0)
+        with pytest.raises(ValueError):
+            normal_quantile(1.0)
+
+    @given(p=st.floats(min_value=1e-10, max_value=1.0 - 1e-10))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_scipy(self, p):
+        assert normal_quantile(p) == pytest.approx(
+            float(scipy_stats.norm.ppf(p)), rel=1e-10, abs=1e-10
+        )
+
+    def test_tails(self):
+        assert normal_quantile(1e-9) == pytest.approx(
+            float(scipy_stats.norm.ppf(1e-9)), rel=1e-9
+        )
+
+
+class TestNormalQq:
+    def test_empty(self):
+        assert normal_qq([]) == []
+
+    def test_pairs_sorted(self):
+        pairs = normal_qq([3.0, 1.0, 2.0])
+        assert [v for __, v in pairs] == [1.0, 2.0, 3.0]
+        theo = [t for t, __ in pairs]
+        assert theo == sorted(theo)
+        assert theo[0] == pytest.approx(-theo[-1])
+
+    def test_gaussian_sample_lies_on_line(self):
+        rng = np.random.default_rng(0)
+        sample = rng.normal(10.0, 2.0, 500)
+        pairs = normal_qq(sample)
+        slope, intercept = np.polyfit([t for t, __ in pairs], [v for __, v in pairs], 1)
+        assert slope == pytest.approx(2.0, rel=0.1)
+        assert intercept == pytest.approx(10.0, abs=0.3)
+
+
+class TestQqCorrelation:
+    def test_gaussian_near_one(self):
+        rng = np.random.default_rng(1)
+        assert qq_correlation(rng.normal(0, 1, 400)) > 0.995
+
+    def test_heavy_tailed_lower(self):
+        rng = np.random.default_rng(2)
+        gauss = qq_correlation(rng.normal(0, 1, 400))
+        cauchy = qq_correlation(rng.standard_cauchy(400))
+        assert cauchy < gauss
+
+    def test_tiny_sample(self):
+        assert qq_correlation([1.0, 2.0]) == 1.0

@@ -1,0 +1,141 @@
+"""Tests for repro.store.index."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store.index import HashIndex, SortedIndex
+from repro.store.table import Column, Table
+
+
+def make_table():
+    return Table(
+        "points",
+        [Column("trip_id", int), Column("t", float, nullable=True)],
+    )
+
+
+class TestHashIndex:
+    def test_unknown_column_rejected(self):
+        with pytest.raises(KeyError):
+            HashIndex(make_table(), "missing")
+
+    def test_lookup(self):
+        t = make_table()
+        idx = HashIndex(t, "trip_id")
+        t.insert({"trip_id": 1, "t": 0.0})
+        t.insert({"trip_id": 1, "t": 1.0})
+        t.insert({"trip_id": 2, "t": 2.0})
+        assert len(idx.lookup(1)) == 2
+        assert len(idx.lookup(2)) == 1
+        assert idx.lookup(3) == []
+
+    def test_existing_rows_indexed_on_attach(self):
+        t = make_table()
+        t.insert({"trip_id": 7, "t": 0.0})
+        idx = HashIndex(t, "trip_id")
+        assert len(idx.lookup(7)) == 1
+
+    def test_delete_maintains_index(self):
+        t = make_table()
+        idx = HashIndex(t, "trip_id")
+        k = t.insert({"trip_id": 1, "t": 0.0})
+        t.delete(k)
+        assert idx.lookup(1) == []
+        assert len(idx) == 0
+
+    def test_update_moves_bucket(self):
+        t = make_table()
+        idx = HashIndex(t, "trip_id")
+        k = t.insert({"trip_id": 1, "t": 0.0})
+        t.update(k, trip_id=2)
+        assert idx.lookup(1) == []
+        assert len(idx.lookup(2)) == 1
+
+    def test_none_values_indexed(self):
+        t = make_table()
+        idx = HashIndex(t, "t")
+        t.insert({"trip_id": 1, "t": None})
+        assert len(idx.lookup(None)) == 1
+
+    def test_distinct_values(self):
+        t = make_table()
+        idx = HashIndex(t, "trip_id")
+        t.insert({"trip_id": 1, "t": 0.0})
+        t.insert({"trip_id": 5, "t": 0.0})
+        assert sorted(idx.distinct_values()) == [1, 5]
+
+
+class TestSortedIndex:
+    def test_range_inclusive(self):
+        t = make_table()
+        idx = SortedIndex(t, "t")
+        for v in (5.0, 1.0, 3.0, 2.0, 4.0):
+            t.insert({"trip_id": 1, "t": v})
+        got = [r["t"] for r in idx.range(2.0, 4.0)]
+        assert got == [2.0, 3.0, 4.0]
+
+    def test_range_exclusive_bounds(self):
+        t = make_table()
+        idx = SortedIndex(t, "t")
+        for v in (1.0, 2.0, 3.0):
+            t.insert({"trip_id": 1, "t": v})
+        got = [r["t"] for r in idx.range(1.0, 3.0, include_low=False, include_high=False)]
+        assert got == [2.0]
+
+    def test_open_ranges(self):
+        t = make_table()
+        idx = SortedIndex(t, "t")
+        for v in (1.0, 2.0, 3.0):
+            t.insert({"trip_id": 1, "t": v})
+        assert len(list(idx.range(None, None))) == 3
+        assert [r["t"] for r in idx.range(2.0, None)] == [2.0, 3.0]
+        assert [r["t"] for r in idx.range(None, 2.0)] == [1.0, 2.0]
+
+    def test_min_max(self):
+        t = make_table()
+        idx = SortedIndex(t, "t")
+        assert idx.min() is None and idx.max() is None
+        for v in (3.0, 1.0, 2.0):
+            t.insert({"trip_id": 1, "t": v})
+        assert idx.min() == 1.0
+        assert idx.max() == 3.0
+
+    def test_delete_with_duplicate_keys(self):
+        t = make_table()
+        idx = SortedIndex(t, "t")
+        k1 = t.insert({"trip_id": 1, "t": 2.0})
+        k2 = t.insert({"trip_id": 2, "t": 2.0})
+        t.delete(k1)
+        remaining = list(idx.range(2.0, 2.0))
+        assert len(remaining) == 1
+        assert remaining[0]["trip_id"] == 2
+
+    def test_none_not_indexed(self):
+        t = make_table()
+        idx = SortedIndex(t, "t")
+        t.insert({"trip_id": 1, "t": None})
+        assert len(idx) == 0
+
+    @given(seed=st.integers(min_value=0, max_value=9999))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_brute_force_after_churn(self, seed):
+        rng = random.Random(seed)
+        t = make_table()
+        idx = SortedIndex(t, "t")
+        alive = {}
+        for __ in range(80):
+            if alive and rng.random() < 0.3:
+                k = rng.choice(list(alive))
+                t.delete(k)
+                del alive[k]
+            else:
+                v = round(rng.uniform(0, 100), 1)
+                k = t.insert({"trip_id": 1, "t": v})
+                alive[k] = v
+        lo, hi = sorted((rng.uniform(0, 100), rng.uniform(0, 100)))
+        got = sorted(r["t"] for r in idx.range(lo, hi))
+        expected = sorted(v for v in alive.values() if lo <= v <= hi)
+        assert got == expected

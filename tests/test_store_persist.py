@@ -1,0 +1,87 @@
+"""Tests for repro.store.persist."""
+
+import pytest
+
+from repro.geo.geometry import LineString
+from repro.store import Column, Database, HashIndex, Table
+from repro.store.persist import load_database, load_table, save_database, save_table
+
+
+def make_table():
+    t = Table(
+        "roads",
+        [Column("name", str), Column("pos", tuple, nullable=True),
+         Column("geom", LineString, nullable=True), Column("n", int)],
+    )
+    t.insert({"name": "a", "pos": (1.0, 2.0), "geom": LineString([(0, 0), (10, 0)]),
+              "n": 1})
+    t.insert({"name": "b", "pos": None, "geom": None, "n": 2})
+    return t
+
+
+class TestTableRoundtrip:
+    def test_schema_and_rows_survive(self, tmp_path):
+        path = tmp_path / "t.json"
+        n = save_table(make_table(), path)
+        assert n == 2
+        back = load_table(path)
+        assert back.name == "roads"
+        assert list(back.columns) == ["name", "pos", "geom", "n", "id"]
+        rows = sorted(back.rows(), key=lambda r: r["n"])
+        assert rows[0]["pos"] == (1.0, 2.0)
+        assert isinstance(rows[0]["geom"], LineString)
+        assert rows[0]["geom"].length == pytest.approx(10.0)
+        assert rows[1]["geom"] is None
+
+    def test_auto_pk_continues_after_restore(self, tmp_path):
+        path = tmp_path / "t.json"
+        save_table(make_table(), path)
+        back = load_table(path)
+        new_key = back.insert({"name": "c", "pos": None, "geom": None, "n": 3})
+        assert new_key == 3
+
+    def test_explicit_pk_preserved(self, tmp_path):
+        t = Table("k", [Column("key", int), Column("v", str)], pk="key")
+        t.insert({"key": 42, "v": "x"})
+        path = tmp_path / "k.json"
+        save_table(t, path)
+        back = load_table(path)
+        assert back.pk == "key"
+        assert back.get(42)["v"] == "x"
+
+    def test_unpersistable_value_rejected(self, tmp_path):
+        t = Table("bad", [Column("obj", object)])
+        t.insert({"obj": object()})
+        with pytest.raises(TypeError):
+            save_table(t, tmp_path / "bad.json")
+
+    def test_restored_table_supports_indexes(self, tmp_path):
+        path = tmp_path / "t.json"
+        save_table(make_table(), path)
+        back = load_table(path)
+        idx = HashIndex(back, "name")
+        assert len(idx.lookup("a")) == 1
+
+
+class TestDatabaseRoundtrip:
+    def test_multi_table_snapshot(self, tmp_path):
+        db = Database("snapshot")
+        t1 = db.create_table("a", [Column("x", int)])
+        t1.insert({"x": 1})
+        t1.insert({"x": 2})
+        t2 = db.create_table("b", [Column("s", str)], pk="s")
+        t2.insert({"s": "hello"})
+        path = tmp_path / "db.json"
+        total = save_database(db, path)
+        assert total == 3
+        back = load_database(path)
+        assert back.name == "snapshot"
+        assert back.table_names() == ["a", "b"]
+        assert len(back.table("a")) == 2
+        assert back.table("b").get("hello")["s"] == "hello"
+
+    def test_empty_database(self, tmp_path):
+        path = tmp_path / "empty.json"
+        save_database(Database("none"), path)
+        back = load_database(path)
+        assert len(back) == 0

@@ -1,0 +1,148 @@
+"""Tests for the index-aware query planner."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store import (
+    Column,
+    HashIndex,
+    Query,
+    SortedIndex,
+    Table,
+    and_,
+    between,
+    eq,
+    ge,
+    gt,
+    in_,
+    le,
+    lt,
+    ne,
+)
+
+
+def make_table(n=200, seed=0, index=None):
+    rng = random.Random(seed)
+    t = Table("points", [Column("trip", int), Column("t", float),
+                         Column("tag", str, nullable=True)])
+    idx = None
+    if index == "hash":
+        idx = HashIndex(t, "trip")
+    elif index == "sorted":
+        idx = SortedIndex(t, "t")
+    for i in range(n):
+        t.insert({"trip": rng.randint(0, 9), "t": round(rng.uniform(0, 100), 2),
+                  "tag": rng.choice(["a", "b", None])})
+    return t, idx
+
+
+class TestPlan:
+    def test_full_scan_without_index(self):
+        t, __ = make_table(10)
+        plan = Query(t).where(eq("trip", 3)).plan()
+        assert plan == "full scan of 'points'"
+
+    def test_hash_index_plan(self):
+        t, __ = make_table(10, index="hash")
+        plan = Query(t).where(eq("trip", 3)).plan()
+        assert "HashIndex" in plan
+        assert "trip = 3" in plan
+
+    def test_sorted_index_plan(self):
+        t, __ = make_table(10, index="sorted")
+        plan = Query(t).where(between("t", 10.0, 20.0)).plan()
+        assert "SortedIndex" in plan
+        assert "BETWEEN" in plan
+
+    def test_hash_index_not_used_for_ranges(self):
+        t, __ = make_table(10, index="hash")
+        plan = Query(t).where(gt("trip", 3)).plan()
+        assert plan == "full scan of 'points'"
+
+    def test_in_uses_hash_index(self):
+        t, __ = make_table(10, index="hash")
+        plan = Query(t).where(in_("trip", [1, 2])).plan()
+        assert "HashIndex" in plan
+
+
+class TestPlannerCorrectness:
+    """The planner must be invisible: indexed answers == scan answers."""
+
+    @given(seed=st.integers(min_value=0, max_value=500),
+           key=st.integers(min_value=0, max_value=9))
+    @settings(max_examples=25, deadline=None)
+    def test_hash_eq_matches_scan(self, seed, key):
+        plain, __ = make_table(seed=seed)
+        indexed, __ = make_table(seed=seed, index="hash")
+        expected = sorted(r["t"] for r in Query(plain).where(eq("trip", key)).all())
+        got = sorted(r["t"] for r in Query(indexed).where(eq("trip", key)).all())
+        assert got == expected
+
+    @given(seed=st.integers(min_value=0, max_value=500),
+           lo=st.floats(min_value=0, max_value=100),
+           hi=st.floats(min_value=0, max_value=100))
+    @settings(max_examples=25, deadline=None)
+    def test_sorted_ranges_match_scan(self, seed, lo, hi):
+        lo, hi = sorted((lo, hi))
+        plain, __ = make_table(seed=seed)
+        indexed, __ = make_table(seed=seed, index="sorted")
+        for pred in (between("t", lo, hi), lt("t", hi), le("t", hi),
+                     gt("t", lo), ge("t", lo)):
+            expected = sorted(r["t"] for r in Query(plain).where(pred).all())
+            got = sorted(r["t"] for r in Query(indexed).where(pred).all())
+            assert got == expected
+
+    def test_residual_predicates_still_applied(self):
+        t, __ = make_table(index="hash")
+        rows = Query(t).where(eq("trip", 3)).where(eq("tag", "a")).all()
+        assert all(r["trip"] == 3 and r["tag"] == "a" for r in rows)
+
+    def test_isnull_via_hash_index(self):
+        t = Table("x", [Column("v", int, nullable=True)])
+        HashIndex(t, "v")
+        t.insert({"v": None})
+        t.insert({"v": 1})
+        rows = Query(t).where(eq("v", None)).all()
+        assert len(rows) == 1
+
+    def test_order_and_limit_after_index(self):
+        t, __ = make_table(index="sorted")
+        rows = Query(t).where(ge("t", 50.0)).order_by("t", desc=True).limit(5).all()
+        assert len(rows) == 5
+        values = [r["t"] for r in rows]
+        assert values == sorted(values, reverse=True)
+
+
+class TestPlannerAvoidsScans:
+    def test_index_path_does_not_scan_table(self):
+        t, __ = make_table(index="hash")
+        before = t.stats.scans
+        Query(t).where(eq("trip", 3)).all()
+        assert t.stats.scans == before
+
+    def test_full_scan_counted(self):
+        t, __ = make_table()
+        before = t.stats.scans
+        Query(t).where(eq("trip", 3)).all()
+        assert t.stats.scans == before + 1
+
+    def test_ne_never_uses_index(self):
+        t, __ = make_table(index="hash")
+        before = t.stats.scans
+        rows = Query(t).where(ne("trip", 3)).all()
+        assert t.stats.scans == before + 1
+        assert all(r["trip"] != 3 for r in rows)
+
+    def test_register_index_validates_column(self):
+        t, __ = make_table()
+        with pytest.raises(Exception):
+            t.register_index("missing", object())
+
+    def test_latest_index_wins(self):
+        t = Table("x", [Column("v", int)])
+        h = HashIndex(t, "v")
+        s = SortedIndex(t, "v")
+        assert t.index_for("v") is s

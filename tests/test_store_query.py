@@ -1,0 +1,115 @@
+"""Tests for repro.store.query."""
+
+import pytest
+
+from repro.store.query import (
+    Query,
+    and_,
+    between,
+    eq,
+    ge,
+    gt,
+    in_,
+    le,
+    lt,
+    ne,
+    not_,
+    or_,
+    where,
+)
+from repro.store.table import Column, Table
+
+
+@pytest.fixture()
+def table():
+    t = Table(
+        "segments",
+        [Column("car", int), Column("dist", float, nullable=True), Column("dir", str)],
+    )
+    t.insert_many(
+        [
+            {"car": 1, "dist": 2.0, "dir": "T-S"},
+            {"car": 1, "dist": 3.5, "dir": "S-T"},
+            {"car": 2, "dist": 1.0, "dir": "T-S"},
+            {"car": 2, "dist": None, "dir": "T-L"},
+            {"car": 3, "dist": 5.0, "dir": "L-T"},
+        ]
+    )
+    return t
+
+
+class TestPredicates:
+    def test_eq(self, table):
+        assert len(where(table, eq("car", 1))) == 2
+
+    def test_eq_none_matches_null(self, table):
+        assert len(where(table, eq("dist", None))) == 1
+
+    def test_null_never_matches_comparison(self, table):
+        assert all(r["dist"] is not None for r in where(table, gt("dist", 0.0)))
+
+    def test_ne(self, table):
+        assert len(where(table, ne("car", 1))) == 3
+
+    def test_lt_le_gt_ge(self, table):
+        assert len(where(table, lt("dist", 2.0))) == 1
+        assert len(where(table, le("dist", 2.0))) == 2
+        assert len(where(table, gt("dist", 2.0))) == 2
+        assert len(where(table, ge("dist", 2.0))) == 3
+
+    def test_in(self, table):
+        assert len(where(table, in_("dir", {"T-S", "S-T"}))) == 3
+
+    def test_between(self, table):
+        assert len(where(table, between("dist", 1.0, 3.5))) == 3
+
+    def test_and_or_not(self, table):
+        both = where(table, and_(eq("car", 1), eq("dir", "T-S")))
+        assert len(both) == 1
+        either = where(table, or_(eq("car", 1), eq("car", 3)))
+        assert len(either) == 3
+        inverted = where(table, not_(eq("car", 1)))
+        assert len(inverted) == 3
+
+
+class TestQuery:
+    def test_order_by(self, table):
+        rows = Query(table).where(ne("dist", None)).order_by("dist").all()
+        dists = [r["dist"] for r in rows if r["dist"] is not None]
+        assert dists == sorted(dists)
+
+    def test_order_by_desc(self, table):
+        rows = Query(table).where(gt("dist", 0)).order_by("dist", desc=True).all()
+        assert rows[0]["dist"] == 5.0
+
+    def test_limit(self, table):
+        assert len(Query(table).limit(2).all()) == 2
+        with pytest.raises(ValueError):
+            Query(table).limit(-1)
+
+    def test_first(self, table):
+        row = Query(table).where(eq("car", 3)).first()
+        assert row["dir"] == "L-T"
+        assert Query(table).where(eq("car", 99)).first() is None
+
+    def test_count(self, table):
+        assert Query(table).where(eq("dir", "T-S")).count() == 2
+
+    def test_values(self, table):
+        cars = Query(table).order_by("car").values("car")
+        assert cars == [1, 1, 2, 2, 3]
+
+    def test_sum_skips_nulls(self, table):
+        assert Query(table).sum("dist") == pytest.approx(11.5)
+
+    def test_avg(self, table):
+        assert Query(table).avg("dist") == pytest.approx(11.5 / 4)
+        assert Query(table).where(eq("car", 99)).avg("dist") is None
+
+    def test_group_by(self, table):
+        groups = Query(table).group_by("car")
+        assert {k: len(v) for k, v in groups.items()} == {1: 2, 2: 2, 3: 1}
+
+    def test_chained_where_is_conjunction(self, table):
+        rows = Query(table).where(eq("car", 2)).where(eq("dir", "T-S")).all()
+        assert len(rows) == 1

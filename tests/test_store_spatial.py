@@ -1,0 +1,107 @@
+"""Tests for repro.store.spatial and repro.store.database."""
+
+import math
+
+import pytest
+
+from repro.geo.geometry import LineString
+from repro.store import Column, Database, SpatialColumn, Table
+
+
+def make_table():
+    return Table(
+        "objects",
+        [Column("name", str), Column("pos", tuple, nullable=True)],
+    )
+
+
+class TestSpatialColumnPoints:
+    def test_unknown_column(self):
+        with pytest.raises(KeyError):
+            SpatialColumn(make_table(), "missing")
+
+    def test_within_radius_exact(self):
+        t = make_table()
+        col = SpatialColumn(t, "pos", cell_size=50.0)
+        t.insert({"name": "a", "pos": (0.0, 0.0)})
+        t.insert({"name": "b", "pos": (30.0, 40.0)})   # 50 m away
+        t.insert({"name": "c", "pos": (100.0, 100.0)})
+        names = {r["name"] for r in col.within_radius((0.0, 0.0), 50.0)}
+        assert names == {"a", "b"}
+
+    def test_null_geometry_unindexed(self):
+        t = make_table()
+        col = SpatialColumn(t, "pos")
+        t.insert({"name": "a", "pos": None})
+        assert len(col) == 0
+
+    def test_delete_removes_from_index(self):
+        t = make_table()
+        col = SpatialColumn(t, "pos")
+        k = t.insert({"name": "a", "pos": (0.0, 0.0)})
+        t.delete(k)
+        assert col.within_radius((0.0, 0.0), 10.0) == []
+
+    def test_nearest(self):
+        t = make_table()
+        col = SpatialColumn(t, "pos", cell_size=50.0)
+        t.insert({"name": "near", "pos": (10.0, 0.0)})
+        t.insert({"name": "far", "pos": (400.0, 0.0)})
+        assert col.nearest((0.0, 0.0))["name"] == "near"
+
+    def test_nearest_with_max_radius(self):
+        t = make_table()
+        col = SpatialColumn(t, "pos", cell_size=50.0)
+        t.insert({"name": "far", "pos": (400.0, 0.0)})
+        assert col.nearest((0.0, 0.0), max_radius=100.0) is None
+
+    def test_in_box(self):
+        t = make_table()
+        col = SpatialColumn(t, "pos")
+        t.insert({"name": "a", "pos": (5.0, 5.0)})
+        t.insert({"name": "b", "pos": (50.0, 50.0)})
+        names = {r["name"] for r in col.in_box(0.0, 0.0, 10.0, 10.0)}
+        assert names == {"a"}
+
+
+class TestSpatialColumnLines:
+    def test_linestring_geometry(self):
+        t = Table("roads", [Column("name", str), Column("geom", LineString, nullable=True)])
+        col = SpatialColumn(t, "geom", cell_size=50.0)
+        t.insert({"name": "road", "geom": LineString([(0.0, 0.0), (200.0, 0.0)])})
+        hits = col.within_radius((100.0, 10.0), 15.0)
+        assert len(hits) == 1
+        assert col.within_radius((100.0, 40.0), 15.0) == []
+
+
+class TestDatabase:
+    def test_create_and_lookup(self):
+        db = Database("test")
+        t = db.create_table("a", [Column("x", int)])
+        assert db.table("a") is t
+        assert "a" in db
+        assert len(db) == 1
+
+    def test_duplicate_table_rejected(self):
+        db = Database()
+        db.create_table("a", [Column("x", int)])
+        with pytest.raises(ValueError):
+            db.create_table("a", [Column("x", int)])
+
+    def test_missing_table(self):
+        db = Database()
+        with pytest.raises(KeyError):
+            db.table("nope")
+
+    def test_drop(self):
+        db = Database()
+        db.create_table("a", [Column("x", int)])
+        db.drop_table("a")
+        assert "a" not in db
+
+    def test_iteration(self):
+        db = Database()
+        db.create_table("a", [Column("x", int)])
+        db.create_table("b", [Column("x", int)])
+        assert {t.name for t in db} == {"a", "b"}
+        assert db.table_names() == ["a", "b"]

@@ -1,0 +1,157 @@
+"""Tests for repro.store.table."""
+
+import pytest
+
+from repro.store.table import Column, ConstraintError, SchemaError, Table
+
+
+def make_table(pk=None):
+    return Table(
+        "trips",
+        [Column("trip_id", int), Column("name", str, nullable=True),
+         Column("length", float, check=lambda v: v >= 0)],
+        pk=pk,
+    )
+
+
+class TestSchema:
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", [Column("a", int), Column("a", str)])
+
+    def test_unknown_pk_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", [Column("a", int)], pk="missing")
+
+    def test_auto_pk_column_added(self):
+        t = Table("t", [Column("a", int)])
+        assert "id" in t.columns
+
+    def test_type_validation(self):
+        t = make_table()
+        with pytest.raises(SchemaError):
+            t.insert({"trip_id": "not-an-int", "length": 1.0})
+
+    def test_check_validation(self):
+        t = make_table()
+        with pytest.raises(SchemaError):
+            t.insert({"trip_id": 1, "length": -5.0})
+
+    def test_not_nullable_enforced(self):
+        t = make_table()
+        with pytest.raises(SchemaError):
+            t.insert({"trip_id": 1, "length": None})
+
+    def test_nullable_column_defaults_to_none(self):
+        t = make_table()
+        key = t.insert({"trip_id": 1, "length": 2.0})
+        assert t.get(key)["name"] is None
+
+    def test_unknown_column_rejected(self):
+        t = make_table()
+        with pytest.raises(SchemaError):
+            t.insert({"trip_id": 1, "length": 1.0, "bogus": 3})
+
+
+class TestCrud:
+    def test_auto_increment_pk(self):
+        t = make_table()
+        k1 = t.insert({"trip_id": 1, "length": 1.0})
+        k2 = t.insert({"trip_id": 2, "length": 2.0})
+        assert k2 == k1 + 1
+
+    def test_explicit_pk(self):
+        t = make_table(pk="trip_id")
+        t.insert({"trip_id": 42, "length": 1.0})
+        assert t.get(42)["length"] == 1.0
+
+    def test_duplicate_pk_rejected(self):
+        t = make_table(pk="trip_id")
+        t.insert({"trip_id": 1, "length": 1.0})
+        with pytest.raises(ConstraintError):
+            t.insert({"trip_id": 1, "length": 2.0})
+
+    def test_explicit_auto_key_advances_counter(self):
+        t = make_table()
+        t.insert({"id": 10, "trip_id": 1, "length": 1.0})
+        k = t.insert({"trip_id": 2, "length": 1.0})
+        assert k == 11
+
+    def test_delete(self):
+        t = make_table()
+        k = t.insert({"trip_id": 1, "length": 1.0})
+        row = t.delete(k)
+        assert row["trip_id"] == 1
+        assert len(t) == 0
+        with pytest.raises(KeyError):
+            t.delete(k)
+
+    def test_update(self):
+        t = make_table()
+        k = t.insert({"trip_id": 1, "length": 1.0})
+        t.update(k, length=9.0)
+        assert t.get(k)["length"] == 9.0
+
+    def test_update_pk_forbidden(self):
+        t = make_table()
+        k = t.insert({"trip_id": 1, "length": 1.0})
+        with pytest.raises(ConstraintError):
+            t.update(k, id=99)
+
+    def test_update_validates(self):
+        t = make_table()
+        k = t.insert({"trip_id": 1, "length": 1.0})
+        with pytest.raises(SchemaError):
+            t.update(k, length=-1.0)
+
+    def test_get_or_none(self):
+        t = make_table()
+        assert t.get_or_none(999) is None
+
+    def test_clear(self):
+        t = make_table()
+        t.insert_many([{"trip_id": i, "length": float(i)} for i in range(5)])
+        t.clear()
+        assert len(t) == 0
+
+    def test_iteration_snapshot(self):
+        t = make_table()
+        t.insert_many([{"trip_id": i, "length": float(i)} for i in range(3)])
+        rows = list(t)
+        assert len(rows) == 3
+
+
+class TestObservers:
+    class Recorder:
+        def __init__(self):
+            self.events = []
+
+        def on_insert(self, pk, row):
+            self.events.append(("ins", pk))
+
+        def on_delete(self, pk, row):
+            self.events.append(("del", pk))
+
+    def test_replay_on_attach(self):
+        t = make_table()
+        k = t.insert({"trip_id": 1, "length": 1.0})
+        rec = self.Recorder()
+        t.attach_observer(rec)
+        assert rec.events == [("ins", k)]
+
+    def test_update_fires_delete_then_insert(self):
+        t = make_table()
+        k = t.insert({"trip_id": 1, "length": 1.0})
+        rec = self.Recorder()
+        t.attach_observer(rec)
+        t.update(k, length=2.0)
+        assert rec.events == [("ins", k), ("del", k), ("ins", k)]
+
+    def test_stats_tracked(self):
+        t = make_table()
+        k = t.insert({"trip_id": 1, "length": 1.0})
+        t.update(k, length=2.0)
+        t.delete(k)
+        assert t.stats.inserts == 1
+        assert t.stats.updates == 1
+        assert t.stats.deletes == 1

@@ -1,0 +1,75 @@
+"""Tests for repro.experiments.svgmap."""
+
+import pytest
+
+from repro.experiments.svgmap import (
+    SvgCanvas,
+    diverging_colour,
+    render_cells_svg,
+    render_fig3_svg,
+    render_fig6_svg,
+    render_fig9_svg,
+    speed_colour,
+)
+
+
+class TestCanvas:
+    def test_transform_corners(self):
+        c = SvgCanvas(-100.0, -100.0, 100.0, 100.0, width=400)
+        assert c.to_px(-100.0, 100.0) == (0.0, 0.0)      # top-left
+        assert c.to_px(100.0, -100.0) == (400.0, 400.0)  # bottom-right
+        assert c.height == 400
+
+    def test_y_axis_flipped(self):
+        c = SvgCanvas(0.0, 0.0, 100.0, 100.0)
+        __, py_north = c.to_px(50.0, 90.0)
+        __, py_south = c.to_px(50.0, 10.0)
+        assert py_north < py_south
+
+
+class TestColours:
+    def test_speed_ramp_endpoints(self):
+        assert speed_colour(0.0) == "rgb(220,40,40)"
+        assert speed_colour(60.0) == "rgb(40,220,40)"
+
+    def test_speed_clamped(self):
+        assert speed_colour(-5.0) == speed_colour(0.0)
+        assert speed_colour(500.0) == speed_colour(60.0)
+
+    def test_diverging_sign(self):
+        assert diverging_colour(0.0) == "rgb(255,255,255)"
+        assert diverging_colour(-15.0) == "rgb(0,0,255)"
+        assert diverging_colour(15.0) == "rgb(255,0,0)"
+
+
+class TestRendering:
+    def test_fig3_svg_valid(self, study_result):
+        cars = sorted({t.segment.car_id for t, __ in study_result.kept()})
+        svg = render_fig3_svg(study_result, cars[0])
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert "<circle" in svg
+        assert "gate T" in svg
+
+    def test_fig6_svg_valid(self, study_result):
+        directions = {t.direction for t, __ in study_result.kept()}
+        svg = render_fig6_svg(study_result, sorted(directions)[0])
+        assert "<rect" in svg
+        assert "Fig. 6" in svg
+
+    def test_fig9_svg_valid(self, study_result):
+        svg = render_fig9_svg(study_result)
+        assert svg.count("<rect") >= len(study_result.mixed.groups)
+        assert "Fig. 9" in svg
+
+    def test_fig9_requires_mixed_model(self, study_result):
+        import copy
+
+        hollow = copy.copy(study_result)
+        hollow.mixed = None
+        with pytest.raises(ValueError):
+            render_fig9_svg(hollow)
+
+    def test_cells_svg_tooltips(self, study_result):
+        svg = render_cells_svg(study_result, {(0, 0): 12.3}, "test")
+        assert "<title>(0, 0): 12.3</title>" in svg

@@ -1,0 +1,30 @@
+"""Tests for tools/gen_api_doc.py."""
+
+import runpy
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+class TestApiDocGenerator:
+    def test_generates_reference(self, tmp_path, monkeypatch, capsys):
+        # Run the tool in-place; it writes docs/api.md.
+        runpy.run_path(str(REPO / "tools" / "gen_api_doc.py"),
+                       run_name="__main__")
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        text = (REPO / "docs" / "api.md").read_text()
+        assert "# API reference" in text
+        for anchor in ("## `repro.geo`", "## `repro.stats`",
+                       "`OuluStudy`", "`RandomInterceptModel`",
+                       "`TaxiFleetSimulator`", "`IncrementalMatcher`"):
+            assert anchor in text, f"missing {anchor}"
+
+    def test_every_package_documented(self):
+        text = (REPO / "docs" / "api.md").read_text()
+        for pkg in ("repro.geo", "repro.store", "repro.roadnet",
+                    "repro.traces", "repro.cleaning", "repro.matching",
+                    "repro.od", "repro.features", "repro.stats",
+                    "repro.weather", "repro.analysis", "repro.experiments"):
+            assert f"## `{pkg}`" in text

@@ -1,0 +1,105 @@
+"""Tests for repro.traces.noise."""
+
+import random
+
+import pytest
+
+from repro.traces.model import RoutePoint, Trip
+from repro.traces.noise import NoiseSpec, apply_noise, reordering_damage
+
+
+def clean_trip(n=20):
+    points = [
+        RoutePoint(point_id=i, trip_id=1, lat=65.0 + i * 1e-3, lon=25.0,
+                   time_s=float(i * 30), speed_kmh=30.0, fuel_ml=float(i))
+        for i in range(1, n + 1)
+    ]
+    return Trip(trip_id=1, car_id=1, points=points)
+
+
+class TestNoiseSpec:
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            NoiseSpec(reorder_prob=1.5)
+        with pytest.raises(ValueError):
+            NoiseSpec(glitch_prob=-0.1)
+
+
+class TestApplyNoise:
+    def test_deterministic_given_rng(self):
+        spec = NoiseSpec()
+        a = apply_noise(clean_trip(), spec, random.Random(5))
+        b = apply_noise(clean_trip(), spec, random.Random(5))
+        assert [(p.point_id, p.lat, p.time_s) for p in a.points] == [
+            (p.point_id, p.lat, p.time_s) for p in b.points
+        ]
+
+    def test_gps_jitter_moves_points_slightly(self):
+        spec = NoiseSpec(gps_sigma_m=5.0, reorder_prob=0.0, glitch_prob=0.0,
+                         duplicate_prob=0.0)
+        noisy = apply_noise(clean_trip(), spec, random.Random(1))
+        from repro.geo.distance import haversine_m
+
+        moved = [
+            haversine_m(a.lat, a.lon, b.lat, b.lon)
+            for a, b in zip(clean_trip().points, noisy.points)
+        ]
+        assert all(d < 50.0 for d in moved)
+        assert any(d > 0.1 for d in moved)
+
+    def test_no_noise_is_identity_ordering(self):
+        spec = NoiseSpec(gps_sigma_m=0.0, reorder_prob=0.0, glitch_prob=0.0,
+                         duplicate_prob=0.0)
+        noisy = apply_noise(clean_trip(), spec, random.Random(2))
+        assert reordering_damage(noisy) == 0
+        assert [p.point_id for p in noisy.points] == list(range(1, 21))
+
+    def test_reordering_desynchronises_orderings(self):
+        spec = NoiseSpec(gps_sigma_m=0.0, reorder_prob=1.0, reorder_swaps=4,
+                         glitch_prob=0.0, duplicate_prob=0.0)
+        damaged = 0
+        for seed in range(20):
+            noisy = apply_noise(clean_trip(), spec, random.Random(seed))
+            if reordering_damage(noisy) > 0:
+                damaged += 1
+        assert damaged >= 15  # swaps occasionally cancel; usually they bite
+
+    def test_duplicates_appended(self):
+        spec = NoiseSpec(gps_sigma_m=0.0, reorder_prob=0.0, glitch_prob=0.0,
+                         duplicate_prob=1.0)
+        noisy = apply_noise(clean_trip(5), spec, random.Random(3))
+        assert len(noisy.points) == 10
+
+    def test_glitch_moves_point_far(self):
+        spec = NoiseSpec(gps_sigma_m=0.0, reorder_prob=0.0, glitch_prob=1.0,
+                         glitch_distance_m=500.0, duplicate_prob=0.0)
+        noisy = apply_noise(clean_trip(5), spec, random.Random(4))
+        from repro.geo.distance import haversine_m
+
+        moved = [
+            haversine_m(a.lat, a.lon, b.lat, b.lon)
+            for a, b in zip(clean_trip(5).points, noisy.points)
+        ]
+        assert all(d == pytest.approx(500.0, rel=0.01) for d in moved)
+
+    def test_short_trip_never_reordered(self):
+        spec = NoiseSpec(reorder_prob=1.0)
+        noisy = apply_noise(clean_trip(3), spec, random.Random(6))
+        assert reordering_damage(noisy) == 0
+
+
+class TestReorderingDamage:
+    def test_zero_on_consistent(self):
+        assert reordering_damage(clean_trip()) == 0
+
+    def test_counts_disagreements(self):
+        trip = clean_trip(4)
+        pts = trip.points
+        # Swap the timestamps of the middle pair.
+        from dataclasses import replace
+
+        pts[1], pts[2] = (
+            replace(pts[1], time_s=pts[2].time_s),
+            replace(pts[2], time_s=pts[1].time_s),
+        )
+        assert reordering_damage(trip) > 0

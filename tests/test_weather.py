@@ -1,0 +1,95 @@
+"""Tests for repro.weather."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.weather import (
+    SEASON_SPEED_FACTOR,
+    RoadWeatherModel,
+    Season,
+    season_of,
+    season_speed_factor,
+    temperature_class,
+)
+from repro.weather.roadweather import TEMPERATURE_CLASSES
+
+
+def ts(year, month, day):
+    return datetime(year, month, day, 12, 0, tzinfo=timezone.utc).timestamp()
+
+
+class TestSeasons:
+    def test_month_mapping(self):
+        assert season_of(ts(2013, 1, 15)) is Season.WINTER
+        assert season_of(ts(2012, 12, 15)) is Season.WINTER
+        assert season_of(ts(2013, 4, 15)) is Season.SPRING
+        assert season_of(ts(2013, 7, 15)) is Season.SUMMER
+        assert season_of(ts(2012, 10, 15)) is Season.AUTUMN
+
+    def test_speed_factor_ordering_matches_paper(self):
+        # winter < spring < summer < autumn (paper Sec. VI.A deltas).
+        assert (
+            SEASON_SPEED_FACTOR[Season.WINTER]
+            < SEASON_SPEED_FACTOR[Season.SPRING]
+            < SEASON_SPEED_FACTOR[Season.SUMMER]
+            < SEASON_SPEED_FACTOR[Season.AUTUMN]
+        )
+
+    def test_factor_lookup(self):
+        assert season_speed_factor(ts(2013, 7, 1)) == SEASON_SPEED_FACTOR[Season.SUMMER]
+
+
+class TestTemperatureClass:
+    def test_banding(self):
+        assert temperature_class(-15.0) == "<=-10"
+        assert temperature_class(-10.0) == "<=-10"
+        assert temperature_class(-5.0) == "-10..0"
+        assert temperature_class(0.0) == "-10..0"
+        assert temperature_class(5.0) == "0..+10"
+        assert temperature_class(15.0) == ">+10"
+
+    def test_classes_ordered(self):
+        assert TEMPERATURE_CLASSES == ("<=-10", "-10..0", "0..+10", ">+10")
+
+
+class TestRoadWeatherModel:
+    def setup_method(self):
+        self.model = RoadWeatherModel(seed=1)
+
+    def test_deterministic(self):
+        t = ts(2013, 2, 1)
+        assert self.model.temperature_c(t) == RoadWeatherModel(seed=1).temperature_c(t)
+
+    def test_seed_changes_dailies(self):
+        t = ts(2013, 2, 1)
+        other = RoadWeatherModel(seed=2)
+        assert self.model.temperature_c(t) != other.temperature_c(t)
+
+    def test_winter_colder_than_summer(self):
+        jan = [self.model.temperature_c(ts(2013, 1, d)) for d in range(1, 28)]
+        jul = [self.model.temperature_c(ts(2013, 7, d)) for d in range(1, 28)]
+        assert max(jan) < min(jul)
+
+    def test_oulu_january_is_freezing(self):
+        jan = [self.model.temperature_c(ts(2013, 1, d)) for d in range(1, 28)]
+        assert sum(jan) / len(jan) < -5.0
+
+    def test_oulu_july_is_mild(self):
+        jul = [self.model.temperature_c(ts(2013, 7, d)) for d in range(1, 28)]
+        assert 10.0 < sum(jul) / len(jul) < 25.0
+
+    def test_grip_factor_bounds(self):
+        for month in range(1, 13):
+            g = self.model.grip_factor(ts(2013, month, 10))
+            assert 0.9 <= g <= 1.0
+
+    def test_grip_above_freezing_is_one(self):
+        assert self.model.grip_factor(ts(2013, 7, 10)) == 1.0
+
+    def test_study_year_covers_all_classes(self):
+        classes = {
+            self.model.temperature_class(ts(2012, 10, 1) + d * 86_400)
+            for d in range(365)
+        }
+        assert classes == set(TEMPERATURE_CLASSES)
