@@ -4,10 +4,15 @@ The bench study runs at a larger scale than the test suite (60 simulated
 days, deterministic seed).  Every table/figure bench renders the same rows
 the paper reports, asserts the reproduction's *shape*, and persists the
 rendered artefact under ``benchmarks/out/``.
+
+Perf benches additionally dump their timing stats as ``BENCH_<name>.json``
+files under ``benchmarks/out/`` (one per bench module), so the perf
+trajectory accumulates across PRs and regressions are diffable.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -51,3 +56,30 @@ def save_artifact():
         print(text)
 
     return save
+
+
+#: Timing fields exported per benchmark into the BENCH_*.json dumps.
+_STAT_FIELDS = ("min", "max", "mean", "median", "stddev", "rounds", "iterations")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist every collected benchmark's timings as BENCH_<module>.json."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not getattr(bench_session, "benchmarks", None):
+        return
+    by_module: dict[str, list[dict]] = {}
+    for bench in bench_session.benchmarks:
+        stats = getattr(bench, "stats", None)
+        if stats is None:
+            continue
+        module = Path(bench.fullname.split("::")[0]).stem.removeprefix("test_")
+        entry = {"name": bench.name, "fullname": bench.fullname}
+        for field in _STAT_FIELDS:
+            value = getattr(stats, field, None)
+            if value is not None:
+                entry[field] = value
+        by_module.setdefault(module, []).append(entry)
+    OUT_DIR.mkdir(exist_ok=True)
+    for module, entries in by_module.items():
+        path = OUT_DIR / f"BENCH_{module}.json"
+        path.write_text(json.dumps({"benchmarks": entries}, indent=2) + "\n")

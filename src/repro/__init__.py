@@ -21,7 +21,9 @@ The package rebuilds the paper's full pipeline on synthetic substrates:
   intercept mixed model;
 * :mod:`repro.weather` — seasons and the FMI road-weather substitute;
 * :mod:`repro.experiments` — the end-to-end study plus generators for
-  every table and figure of the evaluation.
+  every table and figure of the evaluation;
+* :mod:`repro.obs` — structured logging, the metrics registry and stage
+  tracing that make every pipeline run auditable.
 
 Quickstart::
 

@@ -17,6 +17,7 @@ otherwise effecting the analysis" is only auditable with such a report.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.cleaning.filters import (
     FilterConfig,
@@ -26,6 +27,7 @@ from repro.cleaning.filters import (
     within_bounds,
 )
 from repro.cleaning.ordering import repair_ordering
+from repro.obs import get_logger, get_registry, span
 from repro.cleaning.segmentation import (
     SegmentationConfig,
     SegmentationReport,
@@ -33,6 +35,18 @@ from repro.cleaning.segmentation import (
     segment_trip,
 )
 from repro.traces.model import FleetData
+
+_log = get_logger(__name__)
+
+#: Order of the pipeline stages as they appear in reports.
+STAGES = (
+    "ordering",
+    "duplicates",
+    "outliers",
+    "bounds",
+    "segmentation",
+    "segment_filter",
+)
 
 
 @dataclass
@@ -51,6 +65,8 @@ class CleaningReport:
     segments_dropped_long: int = 0
     segments_out: int = 0
     points_out: int = 0
+    #: Cumulative wall time per stage (keys from :data:`STAGES`).
+    stage_seconds: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -80,34 +96,99 @@ class CleaningPipeline:
     def run(self, fleet: FleetData) -> CleanResult:
         """Clean and segment a whole fleet's raw trips."""
         report = CleaningReport(trips_in=len(fleet), points_in=fleet.point_count)
+        stage_s = dict.fromkeys(STAGES, 0.0)
         segments: list[TripSegment] = []
         next_segment_id = 1
-        for trip in fleet.trips:
-            if self.repair:
-                trip, ordering = repair_ordering(trip)
-                if not ordering.was_consistent:
-                    report.reordered_trips += 1
-                    report.reordering_saved_m += ordering.saved_m
-            points = trip.points
-            before = len(points)
-            points = drop_duplicates(points, self.filter_config)
-            report.duplicates_removed += before - len(points)
-            before = len(points)
-            points = remove_position_outliers(points, self.filter_config)
-            report.outliers_removed += before - len(points)
-            before = len(points)
-            points = within_bounds(points, self.filter_config)
-            report.out_of_bounds_removed += before - len(points)
-            trip = trip.with_points(points)
-            trip_segments, seg_report = segment_trip(
-                trip, self.segmentation_config, first_segment_id=next_segment_id
+        with span("clean"):
+            for trip in fleet.trips:
+                if self.repair:
+                    t0 = perf_counter()
+                    trip, ordering = repair_ordering(trip)
+                    stage_s["ordering"] += perf_counter() - t0
+                    if not ordering.was_consistent:
+                        report.reordered_trips += 1
+                        report.reordering_saved_m += ordering.saved_m
+                points = trip.points
+                before = len(points)
+                t0 = perf_counter()
+                points = drop_duplicates(points, self.filter_config)
+                stage_s["duplicates"] += perf_counter() - t0
+                report.duplicates_removed += before - len(points)
+                before = len(points)
+                t0 = perf_counter()
+                points = remove_position_outliers(points, self.filter_config)
+                stage_s["outliers"] += perf_counter() - t0
+                report.outliers_removed += before - len(points)
+                before = len(points)
+                t0 = perf_counter()
+                points = within_bounds(points, self.filter_config)
+                stage_s["bounds"] += perf_counter() - t0
+                report.out_of_bounds_removed += before - len(points)
+                trip = trip.with_points(points)
+                t0 = perf_counter()
+                trip_segments, seg_report = segment_trip(
+                    trip, self.segmentation_config, first_segment_id=next_segment_id
+                )
+                stage_s["segmentation"] += perf_counter() - t0
+                report.segmentation.merge(seg_report)
+                next_segment_id += len(trip_segments)
+                segments.extend(trip_segments)
+            t0 = perf_counter()
+            kept, dropped_short, dropped_long = filter_segments(
+                segments, self.filter_config
             )
-            report.segmentation.merge(seg_report)
-            next_segment_id += len(trip_segments)
-            segments.extend(trip_segments)
-        kept, dropped_short, dropped_long = filter_segments(segments, self.filter_config)
+            stage_s["segment_filter"] += perf_counter() - t0
         report.segments_dropped_short = dropped_short
         report.segments_dropped_long = dropped_long
         report.segments_out = len(kept)
         report.points_out = sum(len(s.points) for s in kept)
+        report.stage_seconds = stage_s
+        self._publish(report)
         return CleanResult(segments=kept, report=report)
+
+    def _publish(self, report: CleaningReport) -> None:
+        """Feed the run's accounting to the metrics registry and logger."""
+        registry = get_registry()
+        for name, value in (
+            ("clean.trips_in", report.trips_in),
+            ("clean.points_in", report.points_in),
+            ("clean.reordered_trips", report.reordered_trips),
+            ("clean.duplicates_removed", report.duplicates_removed),
+            ("clean.outliers_removed", report.outliers_removed),
+            ("clean.out_of_bounds_removed", report.out_of_bounds_removed),
+            ("clean.segments_dropped_short", report.segments_dropped_short),
+            ("clean.segments_dropped_long", report.segments_dropped_long),
+            ("clean.segments_out", report.segments_out),
+            ("clean.points_out", report.points_out),
+        ):
+            registry.counter(name).inc(value)
+        for stage, seconds in report.stage_seconds.items():
+            registry.gauge(f"clean.stage_seconds.{stage}").set(seconds)
+        if _log.isEnabledFor(20):  # INFO
+            dropped = {
+                "ordering": report.reordered_trips,
+                "duplicates": report.duplicates_removed,
+                "outliers": report.outliers_removed,
+                "bounds": report.out_of_bounds_removed,
+                "segmentation": report.segmentation.segments_created,
+                "segment_filter": report.segments_dropped_short
+                + report.segments_dropped_long,
+            }
+            for stage in STAGES:
+                _log.info(
+                    "cleaning stage complete",
+                    extra={
+                        "stage": stage,
+                        "affected": dropped[stage],
+                        "seconds": round(report.stage_seconds[stage], 4),
+                    },
+                )
+            _log.info(
+                "cleaning complete",
+                extra={
+                    "trips_in": report.trips_in,
+                    "points_in": report.points_in,
+                    "segments_out": report.segments_out,
+                    "points_out": report.points_out,
+                },
+            )

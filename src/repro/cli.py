@@ -5,17 +5,25 @@
 * ``simulate`` — build the synthetic city, run the fleet simulator and
   dump raw route points (CSV) and trip headers (JSONL);
 * ``clean`` — run the cleaning pipeline over a route-point CSV and print
-  the per-stage report;
+  the per-stage report (counts and wall time);
 * ``study`` — run the full end-to-end study and write every table and
   figure artefact (text, optionally SVG) into an output directory.
+
+Observability: every command accepts ``--log-level``/``--log-json``
+(structured logs on stderr), and ``clean``/``study`` accept
+``--metrics-out FILE`` to dump the run's metrics registry (counters,
+latency histograms, stage-timing tree) as JSON.  ``study`` always writes
+a ``metrics.json`` artefact next to the tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
+from repro import obs
 from repro.cleaning import CleaningPipeline
 from repro.experiments import (
     OuluStudy,
@@ -35,11 +43,28 @@ from repro.traces import FleetSpec, TaxiFleetSimulator
 from repro.traces.io import read_points_csv, write_points_csv, write_trips_jsonl
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Logging flags, accepted both before and after the subcommand.
+
+    ``SUPPRESS`` keeps a subparser from clobbering a value already parsed
+    by the root parser (the classic argparse default-override gotcha).
+    """
+    parser.add_argument(
+        "--log-level", default=argparse.SUPPRESS, metavar="LEVEL",
+        help="enable pipeline logging at LEVEL (DEBUG/INFO/WARNING/...)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true", default=argparse.SUPPRESS,
+        help="emit logs as one JSON object per line",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Taxi-trace cleaning, map fusion and information discovery",
     )
+    _add_obs_flags(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
     sim = sub.add_parser("simulate", help="simulate the taxi fleet and dump traces")
@@ -48,9 +73,13 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--points", type=Path, default=Path("points.csv"))
     sim.add_argument("--trips", type=Path, default=None,
                      help="optional trips JSONL output")
+    _add_obs_flags(sim)
 
     clean = sub.add_parser("clean", help="clean and segment a route-point CSV")
     clean.add_argument("points", type=Path)
+    clean.add_argument("--metrics-out", type=Path, default=None,
+                       help="write the run's metrics registry as JSON")
+    _add_obs_flags(clean)
 
     study = sub.add_parser("study", help="run the full study, write artefacts")
     study.add_argument("--days", type=int, default=30)
@@ -60,11 +89,16 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="also render Figs. 3/6/9 as SVG")
     study.add_argument("--geojson", action="store_true",
                        help="also export roads/gates/routes/cells as GeoJSON")
+    study.add_argument("--metrics-out", type=Path, default=None,
+                       help="also write the metrics JSON to this path "
+                            "(a metrics.json is always written to --out)")
+    _add_obs_flags(study)
 
     report = sub.add_parser("report", help="run a study and write REPORT.md")
     report.add_argument("--days", type=int, default=30)
     report.add_argument("--seed", type=int, default=42)
     report.add_argument("--out", type=Path, default=Path("REPORT.md"))
+    _add_obs_flags(report)
     return parser
 
 
@@ -85,23 +119,39 @@ def _cmd_clean(args: argparse.Namespace) -> int:
     if not len(fleet):
         print(f"no trips in {args.points}", file=sys.stderr)
         return 1
-    result = CleaningPipeline().run(fleet)
+    registry = obs.MetricsRegistry()
+    with obs.use_registry(registry):
+        result = CleaningPipeline().run(fleet)
     r = result.report
+
+    def sec(stage: str) -> str:
+        return format(r.stage_seconds.get(stage, 0.0), ".3f")
+
     print(format_table(
-        ["Stage", "Count"],
+        ["Stage", "Count", "Seconds"],
         [
-            ["trips in", r.trips_in],
-            ["points in", r.points_in],
-            ["reordered trips repaired", r.reordered_trips],
-            ["duplicates removed", r.duplicates_removed],
-            ["glitches removed", r.outliers_removed],
-            ["segments out", r.segments_out],
-            ["dropped (<5 points)", r.segments_dropped_short],
-            ["dropped (>30 km)", r.segments_dropped_long],
+            ["trips in", r.trips_in, "-"],
+            ["points in", r.points_in, "-"],
+            ["reordered trips repaired", r.reordered_trips, sec("ordering")],
+            ["duplicates removed", r.duplicates_removed, sec("duplicates")],
+            ["glitches removed", r.outliers_removed, sec("outliers")],
+            ["out-of-bounds removed", r.out_of_bounds_removed, sec("bounds")],
+            ["segments out", r.segments_out, sec("segmentation")],
+            ["dropped (<5 points)", r.segments_dropped_short, sec("segment_filter")],
+            ["dropped (>30 km)", r.segments_dropped_long, "-"],
+            ["points out", r.points_out, "-"],
         ],
     ))
     print("rule firings:", dict(r.segmentation.rule_hits))
+    if args.metrics_out is not None:
+        _write_metrics(args.metrics_out, registry.to_json())
+        print(f"wrote metrics to {args.metrics_out}")
     return 0
+
+
+def _write_metrics(path: Path, text: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text + "\n")
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
@@ -131,6 +181,10 @@ def _cmd_study(args: argparse.Namespace) -> int:
         [[cls, *(("-" if v is None else round(v, 1)) for v in groups.values())]
          for cls, groups in weather.items()],
     ))
+    metrics_json = json.dumps(result.metrics, indent=2)
+    save("metrics.json", metrics_json)
+    if args.metrics_out is not None:
+        _write_metrics(args.metrics_out, metrics_json)
     if args.svg:
         from repro.experiments.svgmap import (
             render_fig3_svg,
@@ -148,8 +202,6 @@ def _cmd_study(args: argparse.Namespace) -> int:
         if result.mixed is not None:
             save("fig9.svg", render_fig9_svg(result))
     if args.geojson:
-        import json
-
         from repro.experiments.geojson import study_geojson
 
         for name, fc in study_geojson(result).items():
@@ -173,6 +225,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    log_level = getattr(args, "log_level", None)
+    log_json = getattr(args, "log_json", False)
+    if log_level is not None or log_json:
+        try:
+            obs.configure(level=log_level or "INFO", json_mode=log_json)
+        except ValueError as exc:
+            print(f"repro: {exc}", file=sys.stderr)
+            return 2
     handlers = {
         "simulate": _cmd_simulate,
         "clean": _cmd_clean,

@@ -13,11 +13,14 @@ from repro.cleaning import CleaningPipeline, CleanResult
 from repro.features import GridAccumulator, GridSpec, cell_feature_counts
 from repro.features.routestats import RouteStats, transition_route_stats
 from repro.matching import HmmMatcher, IncrementalMatcher, MatchedRoute
+from repro.obs import MetricsRegistry, get_logger, span, use_registry
 from repro.od import Gate, TransitionExtractor, post_filter_transition
 from repro.od.transitions import ExtractionResult, FunnelRow, Transition, TransitionConfig
 from repro.roadnet import CitySpec, SyntheticCity, build_synthetic_oulu
 from repro.stats import MixedModelResult, RandomInterceptModel
 from repro.traces import CustomerRun, FleetData, FleetSpec, TaxiFleetSimulator
+
+_log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -52,6 +55,9 @@ class StudyResult:
     cell_features: dict
     mixed: MixedModelResult | None
     funnel: list[FunnelRow]
+    #: Metrics snapshot of the run (counters, histograms, stage spans);
+    #: what ``repro study --metrics-out`` serialises.
+    metrics: dict = field(default_factory=dict)
 
     def transitions(self) -> list[Transition]:
         return self.extraction.transitions
@@ -77,11 +83,30 @@ class OuluStudy:
         self.config = config or StudyConfig()
 
     def run(self) -> StudyResult:
-        """Execute all stages and return the artefact bundle."""
+        """Execute all stages and return the artefact bundle.
+
+        Each run records into a fresh :class:`~repro.obs.MetricsRegistry`;
+        its snapshot (per-stage counters, latency histograms and the
+        nested stage-timing tree) is attached as ``result.metrics``.
+        """
+        registry = MetricsRegistry()
+        with use_registry(registry), span("study"):
+            result = self._run_stages()
+        result.metrics = registry.snapshot()
+        return result
+
+    def _run_stages(self) -> StudyResult:
         config = self.config
-        city = build_synthetic_oulu(config.city)
-        simulator = TaxiFleetSimulator(city, config.fleet)
-        fleet, runs = simulator.simulate()
+        with span("build_city"):
+            city = build_synthetic_oulu(config.city)
+        with span("simulate"):
+            simulator = TaxiFleetSimulator(city, config.fleet)
+            fleet, runs = simulator.simulate()
+        _log.info(
+            "fleet simulated",
+            extra={"trips": len(fleet), "points": fleet.point_count,
+                   "days": config.fleet.n_days},
+        )
 
         clean = CleaningPipeline().run(fleet)
 
@@ -95,7 +120,8 @@ class OuluStudy:
             for name, road in city.gate_roads.items()
         ]
         extractor = TransitionExtractor(gates, city.central_area, config.transition)
-        extraction = extractor.extract(clean.segments, to_xy)
+        with span("extract"):
+            extraction = extractor.extract(clean.segments, to_xy)
 
         if config.matcher == "hmm":
             matcher = HmmMatcher(city.graph)
@@ -105,27 +131,33 @@ class OuluStudy:
         matched: dict[int, MatchedRoute] = {}
         kept: list[int] = []
         post_per_car: dict[int, int] = {}
-        for i, transition in enumerate(extraction.transitions):
-            route = matcher.match(
-                transition.points(), to_xy, transition.segment.segment_id,
-                transition.segment.car_id,
-            )
-            if route is None or not route.edge_sequence:
-                transition.post_filtered_ok = False
-                continue
-            matched[i] = route
-            ok = post_filter_transition(
-                transition,
-                route.matched[0].snapped_xy,
-                route.matched[-1].snapped_xy,
-                extractor.gates_by_name,
-                config.transition,
-            )
-            if ok:
-                kept.append(i)
-                post_per_car[transition.segment.car_id] = (
-                    post_per_car.get(transition.segment.car_id, 0) + 1
+        with span("match"):
+            for i, transition in enumerate(extraction.transitions):
+                route = matcher.match(
+                    transition.points(), to_xy, transition.segment.segment_id,
+                    transition.segment.car_id,
                 )
+                if route is None or not route.edge_sequence:
+                    transition.post_filtered_ok = False
+                    continue
+                matched[i] = route
+                ok = post_filter_transition(
+                    transition,
+                    route.matched[0].snapped_xy,
+                    route.matched[-1].snapped_xy,
+                    extractor.gates_by_name,
+                    config.transition,
+                )
+                if ok:
+                    kept.append(i)
+                    post_per_car[transition.segment.car_id] = (
+                        post_per_car.get(transition.segment.car_id, 0) + 1
+                    )
+        _log.info(
+            "matching complete",
+            extra={"transitions": len(extraction.transitions),
+                   "matched": len(matched), "kept": len(kept)},
+        )
         funnel = [
             FunnelRow(
                 car_id=row.car_id,
@@ -143,24 +175,26 @@ class OuluStudy:
         grid = GridAccumulator(config.grid)
         speeds: list[float] = []
         cells: list = []
-        for i in kept:
-            transition = extraction.transitions[i]
-            route = matched[i]
-            route_stats.append(
-                transition_route_stats(transition, route, city.graph, city.map_db)
-            )
-            for m in route.matched:
-                key = grid.add_point(m.snapped_xy, m.point.speed_kmh)
-                speeds.append(m.point.speed_kmh)
-                cells.append(key)
+        with span("features"):
+            for i in kept:
+                transition = extraction.transitions[i]
+                route = matched[i]
+                route_stats.append(
+                    transition_route_stats(transition, route, city.graph, city.map_db)
+                )
+                for m in route.matched:
+                    key = grid.add_point(m.snapped_xy, m.point.speed_kmh)
+                    speeds.append(m.point.speed_kmh)
+                    cells.append(key)
 
-        cell_features = cell_feature_counts(
-            config.grid, city.map_db, city.graph, list(grid.cells())
-        )
+            cell_features = cell_feature_counts(
+                config.grid, city.map_db, city.graph, list(grid.cells())
+            )
 
         mixed: MixedModelResult | None = None
-        if len(set(cells)) >= 3 and len(speeds) >= 10:
-            mixed = RandomInterceptModel().fit(speeds, cells)
+        with span("mixed_model"):
+            if len(set(cells)) >= 3 and len(speeds) >= 10:
+                mixed = RandomInterceptModel().fit(speeds, cells)
 
         return StudyResult(
             config=config,

@@ -14,6 +14,7 @@ import math
 from dataclasses import dataclass
 
 from repro.matching.types import MatchedRoute
+from repro.obs import get_registry
 from repro.roadnet.graph import RoadEdge, RoadGraph
 from repro.roadnet.routing import shortest_path
 
@@ -71,6 +72,8 @@ def connect_matches(
     graph: RoadGraph, route: MatchedRoute, max_cost_m: float = 2_000.0
 ) -> MatchedRoute:
     """Fill the matched route's edge sequence in place and return it."""
+    registry = get_registry()
+    registry.counter("matching.gapfill_calls").inc()
     runs = _compress(route)
     if not runs:
         route.edge_sequence = []
@@ -114,6 +117,7 @@ def connect_matches(
             sequence.append((e1.edge_id, from_node))
             entry_node = None
             gaps += 1
+            registry.counter("matching.unroutable_gaps").inc()
             continue
         __, exit1, entry2, path_nodes, path_edges = best
         sequence.append((e1.edge_id, e1.other(exit1)))
@@ -130,6 +134,7 @@ def connect_matches(
     sequence.append((last.edge_id, from_node))
     route.edge_sequence = _dedupe(sequence)
     route.gaps_filled = gaps
+    registry.counter("matching.gaps_filled").inc(gaps)
     return route
 
 

@@ -11,13 +11,17 @@ algorithm the paper uses, enhanced with one-way information from the map
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.geo.geometry import Point
 from repro.matching.candidates import Candidate, CandidateConfig, candidates_for_point
 from repro.matching.gapfill import connect_matches
 from repro.matching.types import MatchedPoint, MatchedRoute
+from repro.obs import get_logger, get_registry
 from repro.roadnet.graph import RoadGraph
 from repro.traces.model import RoutePoint
+
+_log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -80,6 +84,7 @@ class IncrementalMatcher:
         ``projector.to_xy(p.lat, p.lon)`` partial).  Returns None when no
         point finds any candidate (off-network data).
         """
+        t0 = perf_counter()
         xys = [to_xy(p) for p in points]
         movements = _movements(xys)
         all_candidates: list[list[Candidate]] = [
@@ -106,10 +111,32 @@ class IncrementalMatcher:
                 )
             )
             prev_edge_id = best.edge.edge_id
+        registry = get_registry()
+        registry.counter("matching.calls").inc()
+        registry.counter("matching.points_in").inc(len(points))
+        registry.counter("matching.points_matched").inc(len(matched))
+        registry.counter("matching.candidates_evaluated").inc(
+            sum(len(c) for c in all_candidates)
+        )
         if not matched:
+            registry.counter("matching.unmatched_sequences").inc()
+            registry.histogram("matching.match_seconds").observe(
+                perf_counter() - t0
+            )
             return None
         route = MatchedRoute(segment_id=segment_id, car_id=car_id, matched=matched)
         connect_matches(self.graph, route, max_cost_m=self.config.max_gap_cost_m)
+        registry.histogram("matching.match_seconds").observe(perf_counter() - t0)
+        _log.debug(
+            "matched segment",
+            extra={
+                "segment_id": segment_id,
+                "points": len(points),
+                "matched": len(matched),
+                "edges": len(route.edge_sequence),
+                "gaps_filled": route.gaps_filled,
+            },
+        )
         return route
 
     def _decision_score(

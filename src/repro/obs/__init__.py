@@ -1,0 +1,49 @@
+"""Observability: structured logging, metrics and stage tracing.
+
+The pipeline's audit spine.  Every preparation stage of the paper filters
+data; this package makes those effects observable without a debugger:
+
+* :mod:`repro.obs.log` — one :func:`configure` call turns on structured
+  (optionally JSON) logging for every ``repro.*`` logger;
+* :mod:`repro.obs.metrics` — a process-local :class:`MetricsRegistry` of
+  counters/gauges/histograms with a JSON snapshot;
+* :mod:`repro.obs.tracing` — :class:`span` context manager/decorator
+  building a nested stage-timing tree that feeds the registry.
+
+Typical orchestration::
+
+    from repro import obs
+
+    obs.configure(level="INFO")
+    registry = obs.MetricsRegistry()
+    with obs.use_registry(registry), obs.span("my-pipeline"):
+        ...                       # instrumented stages record into registry
+    print(registry.to_json())     # counters + histograms + stage tree
+"""
+
+from repro.obs.log import configure, get_logger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.tracing import SpanRecord, current_span, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecord",
+    "configure",
+    "current_span",
+    "get_logger",
+    "get_registry",
+    "set_registry",
+    "span",
+    "use_registry",
+]

@@ -1,0 +1,109 @@
+"""Structured logging for the pipeline.
+
+Every repro module logs through a child of the ``repro`` root logger
+(:func:`get_logger`), so one :func:`configure` call controls the whole
+pipeline.  Two output modes:
+
+* human mode (default) — ``HH:MM:SS LEVEL logger message k=v ...``;
+* JSON mode — one JSON object per line (``ts``, ``level``, ``logger``,
+  ``event`` plus any ``extra={...}`` fields), ready for ingestion.
+
+Until :func:`configure` is called nothing below WARNING is emitted, so
+library users who never opt in pay only a disabled-level check.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO
+
+#: Name of the package root logger every repro logger hangs under.
+ROOT_LOGGER = "repro"
+
+#: Handler name used to find/replace our handler on re-configuration.
+_HANDLER_NAME = "repro-obs"
+
+#: Attributes present on every LogRecord; anything else came via ``extra``.
+_RESERVED = frozenset(
+    vars(logging.LogRecord("", 0, "", 0, "", (), None)).keys()
+) | {"message", "asctime", "taskName"}
+
+
+def _extra_fields(record: logging.LogRecord) -> dict:
+    return {
+        k: v
+        for k, v in record.__dict__.items()
+        if k not in _RESERVED and not k.startswith("_")
+    }
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per log line; ``extra`` fields are inlined."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": round(record.created, 3),
+            "level": record.levelname,
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        for key, value in _extra_fields(record).items():
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            payload[key] = value
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload)
+
+
+class KeyValueFormatter(logging.Formatter):
+    """Human-readable line with trailing ``key=value`` extras."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        head = (
+            f"{self.formatTime(record, '%H:%M:%S')} "
+            f"{record.levelname:<7} {record.name} {record.getMessage()}"
+        )
+        extras = " ".join(f"{k}={v}" for k, v in _extra_fields(record).items())
+        line = f"{head} {extras}" if extras else head
+        if record.exc_info:
+            line += "\n" + self.formatException(record.exc_info)
+        return line
+
+
+def configure(
+    level: int | str = "INFO",
+    json_mode: bool = False,
+    stream: IO[str] | None = None,
+) -> logging.Logger:
+    """(Re)configure pipeline logging and return the root logger.
+
+    Idempotent: calling again replaces the previous handler, so tests and
+    CLI runs can flip level/mode freely.  Logs go to ``stream`` (default
+    stderr, keeping stdout clean for artefacts and tables).
+    """
+    root = logging.getLogger(ROOT_LOGGER)
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level: {level!r}")
+        level = resolved
+    root.setLevel(level)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.set_name(_HANDLER_NAME)
+    handler.setFormatter(JsonFormatter() if json_mode else KeyValueFormatter())
+    root.handlers = [h for h in root.handlers if h.get_name() != _HANDLER_NAME]
+    root.addHandler(handler)
+    root.propagate = False
+    return root
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Child logger under the ``repro`` root (``get_logger(__name__)``)."""
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")

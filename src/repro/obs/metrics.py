@@ -1,0 +1,222 @@
+"""Process-local metrics: counters, gauges and histograms.
+
+A :class:`MetricsRegistry` is a named bag of instruments the pipeline
+stages write into while they run; :meth:`MetricsRegistry.snapshot` /
+:meth:`MetricsRegistry.to_json` turn the run into one machine-readable
+document (this is what ``repro study --metrics-out`` writes).
+
+Instrumented code never holds a registry — it calls :func:`get_registry`
+at use time, which resolves the ambient registry (a :class:`contextvars`
+binding, so concurrent studies in different contexts do not mix).
+Orchestrators isolate a run with::
+
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        ...run the pipeline...
+    print(registry.to_json())
+
+A registry created with ``enabled=False`` hands out no-op instruments,
+reducing instrumentation to a dictionary lookup.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins value (sizes, per-stage seconds, ratios)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming distribution: count/mean/min/max exactly, quantiles from
+    a bounded reservoir (deterministic replacement, no RNG)."""
+
+    __slots__ = ("name", "max_samples", "count", "total", "min", "max", "_samples")
+
+    def __init__(self, name: str, max_samples: int = 4096) -> None:
+        self.name = name
+        self.max_samples = max_samples
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._samples) < self.max_samples:
+            self._samples.append(value)
+        else:
+            # Deterministic Knuth-hash slot: long-run uniform coverage
+            # without random state (keeps study runs reproducible).
+            self._samples[(self.count * 2654435761) % self.max_samples] = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile over the retained samples."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def summary(self) -> dict:
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+
+class _NullCounter(Counter):
+    def inc(self, amount: int = 1) -> None:  # noqa: ARG002 - intentional no-op
+        pass
+
+
+class _NullGauge(Gauge):
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter("null")
+_NULL_GAUGE = _NullGauge("null")
+_NULL_HISTOGRAM = _NullHistogram("null")
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms plus completed stage-span trees."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self.spans: list = []  # completed root SpanRecords, in finish order
+
+    # -- instrument access (get-or-create) ---------------------------------
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return _NULL_COUNTER
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return _NULL_GAUGE
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str, max_samples: int = 4096) -> Histogram:
+        if not self.enabled:
+            return _NULL_HISTOGRAM
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, max_samples)
+        return instrument
+
+    def record_span(self, record) -> None:
+        """Called by :mod:`repro.obs.tracing` when a root span finishes."""
+        if self.enabled:
+            self.spans.append(record)
+
+    # -- export -------------------------------------------------------------
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self.spans.clear()
+
+    def snapshot(self) -> dict:
+        """The whole registry as one JSON-serialisable document."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.summary() for n, h in sorted(self._histograms.items())
+            },
+            "spans": [s.to_dict() for s in self.spans],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+
+#: Fallback registry used when no ``use_registry`` scope is active.  It is
+#: enabled (cheap: counters are plain attribute adds) so ad-hoc library use
+#: still accumulates numbers a caller can inspect via ``get_registry()``.
+_global_registry = MetricsRegistry()
+
+_active_registry: ContextVar[MetricsRegistry] = ContextVar("repro_obs_registry")
+
+
+def get_registry() -> MetricsRegistry:
+    """The ambient registry instrumented code writes into."""
+    registry = _active_registry.get(None)
+    return registry if registry is not None else _global_registry
+
+
+def set_registry(registry: MetricsRegistry) -> None:
+    """Bind ``registry`` as ambient for the current context (no scope)."""
+    _active_registry.set(registry)
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Scope ``registry`` as ambient; restores the previous one on exit."""
+    token = _active_registry.set(registry)
+    try:
+        yield registry
+    finally:
+        _active_registry.reset(token)

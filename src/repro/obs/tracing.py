@@ -1,0 +1,103 @@
+"""Stage tracing — nested wall-time spans feeding the metrics registry.
+
+:class:`span` is both a context manager and a decorator::
+
+    with span("match"):
+        with span("candidates"):
+            ...
+
+    @span("extract")
+    def extract(...): ...
+
+Spans nest per thread: a span opened inside another becomes its child,
+building a stage tree.  When a *root* span closes, its finished
+:class:`SpanRecord` tree is attached to the ambient registry
+(:func:`repro.obs.get_registry`), and every span also feeds a
+``stage.<name>.seconds`` histogram so repeated stages get latency
+quantiles for free.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import get_registry
+
+
+@dataclass
+class SpanRecord:
+    """One finished (or running) stage timing node."""
+
+    name: str
+    duration_s: float = 0.0
+    children: list["SpanRecord"] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        out: dict = {"name": self.name, "seconds": round(self.duration_s, 6)}
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def find(self, name: str) -> "SpanRecord | None":
+        """Depth-first lookup of a descendant (or self) by name."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+
+class _SpanStack(threading.local):
+    def __init__(self) -> None:
+        self.stack: list[SpanRecord] = []
+
+
+_stack = _SpanStack()
+
+
+def current_span() -> SpanRecord | None:
+    """The innermost open span of this thread, if any."""
+    return _stack.stack[-1] if _stack.stack else None
+
+
+class span:
+    """Time a stage; use as ``with span("x"):`` or ``@span("x")``."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.record: SpanRecord | None = None
+        self._t0 = 0.0
+
+    def __enter__(self) -> SpanRecord:
+        self.record = SpanRecord(name=self.name)
+        _stack.stack.append(self.record)
+        self._t0 = time.perf_counter()
+        return self.record
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        record = self.record
+        assert record is not None
+        record.duration_s = time.perf_counter() - self._t0
+        _stack.stack.pop()
+        registry = get_registry()
+        registry.histogram(f"stage.{record.name}.seconds").observe(record.duration_s)
+        if _stack.stack:
+            _stack.stack[-1].children.append(record)
+        else:
+            registry.record_span(record)
+        self.record = None
+
+    def __call__(self, fn):
+        name = self.name
+
+        @functools.wraps(fn)
+        def wrapped(*args, **kwargs):
+            with span(name):
+                return fn(*args, **kwargs)
+
+        return wrapped

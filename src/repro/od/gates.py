@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.geo.geometry import LineString, Point
 from repro.geo.polygon import ThickLine
+from repro.obs import get_registry
 
 
 @dataclass(frozen=True)
@@ -74,4 +75,6 @@ def find_crossings(xys: list[Point], times: list[float], gates: list[Gate]) -> l
                     events.append(CrossingEvent(gate=gate.name, index=i, time_s=times[i]))
                 last_hit = i
     events.sort(key=lambda e: (e.time_s, e.index))
+    if events:
+        get_registry().counter("od.crossings_detected").inc(len(events))
     return events

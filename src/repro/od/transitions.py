@@ -21,7 +21,10 @@ from dataclasses import dataclass, field
 
 from repro.cleaning.segmentation import TripSegment
 from repro.geo.polygon import Polygon
+from repro.obs import get_logger, get_registry
 from repro.od.gates import CrossingEvent, Gate, find_crossings
+
+_log = get_logger(__name__)
 
 #: The ordered OD pairs the paper studies.
 STUDIED_PAIRS = (("T", "L"), ("L", "T"), ("T", "S"), ("S", "T"))
@@ -149,6 +152,21 @@ class TransitionExtractor:
             )
             for car, s in sorted(per_car.items())
         ]
+        # Mirror the fleet-level Table 3 funnel into the metrics registry.
+        registry = get_registry()
+        totals = {
+            "od.segments_total": sum(r.total_segments for r in funnel),
+            "od.filtered_cleaned": sum(r.filtered_cleaned for r in funnel),
+            "od.transitions_total": sum(r.transitions_total for r in funnel),
+            "od.within_centre": sum(r.within_centre for r in funnel),
+        }
+        for name, value in totals.items():
+            registry.counter(name).inc(value)
+        _log.info(
+            "transition extraction complete",
+            extra={**{k.split(".")[1]: v for k, v in totals.items()},
+                   "cars": len(funnel)},
+        )
         return ExtractionResult(transitions=transitions, funnel=funnel)
 
     def _first_studied_pair(
@@ -200,4 +218,7 @@ def post_filter_transition(
         and d1 <= dest_gate.half_width_m + config.post_filter_distance_m
     )
     transition.post_filtered_ok = ok
+    get_registry().counter(
+        "od.post_filter_kept" if ok else "od.post_filter_rejected"
+    ).inc()
     return ok

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Literal
 
 from repro.geo.geometry import LineString
+from repro.obs import get_registry
 from repro.roadnet.graph import RoadEdge, RoadGraph
 
 Weight = Literal["length", "time"]
@@ -86,6 +87,9 @@ def dijkstra(
             if current is None or new_cost < current[0]:
                 dist[other] = (new_cost, node, edge.edge_id)
                 heapq.heappush(heap, (new_cost, other))
+    registry = get_registry()
+    registry.counter("routing.dijkstra_calls").inc()
+    registry.counter("routing.settled_nodes").inc(len(settled))
     return {n: v for n, v in dist.items() if n in settled or target is None}
 
 
@@ -164,6 +168,9 @@ def astar(
             if current is None or new_cost < current[0]:
                 dist[other] = (new_cost, node, edge.edge_id)
                 heapq.heappush(heap, (new_cost + h(other), other))
+    registry = get_registry()
+    registry.counter("routing.astar_calls").inc()
+    registry.counter("routing.settled_nodes").inc(len(settled))
     return _reconstruct(dist, source, target)
 
 
@@ -242,6 +249,11 @@ def bidirectional_dijkstra(
         if frontier >= best_cost:
             break
 
+    registry = get_registry()
+    registry.counter("routing.bidirectional_calls").inc()
+    registry.counter("routing.settled_nodes").inc(
+        len(fwd_settled) + len(bwd_settled)
+    )
     if meeting is None:
         return PathResult(nodes=(), edges=(), cost=math.inf)
 

@@ -30,6 +30,23 @@ class TestClean:
         out = capsys.readouterr().out
         assert "segments out" in out
         assert "rule firings" in out
+        # Full accounting: bounds filter, points out, and a time column.
+        assert "out-of-bounds removed" in out
+        assert "points out" in out
+        assert "Seconds" in out
+
+    def test_metrics_out_writes_json(self, tmp_path, capsys):
+        import json
+
+        points = tmp_path / "p.csv"
+        metrics = tmp_path / "clean_metrics.json"
+        assert main(["simulate", "--days", "1", "--seed", "3",
+                     "--points", str(points)]) == 0
+        assert main(["clean", str(points), "--metrics-out", str(metrics)]) == 0
+        doc = json.loads(metrics.read_text())
+        assert doc["counters"]["clean.trips_in"] > 0
+        assert "clean.out_of_bounds_removed" in doc["counters"]
+        assert [s["name"] for s in doc["spans"]] == ["clean"]
 
     def test_empty_csv_fails(self, tmp_path, capsys):
         empty = tmp_path / "empty.csv"
@@ -56,6 +73,41 @@ class TestStudy:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+    def test_metrics_out_and_log_level(self, tmp_path, capsys):
+        import json
+        import logging
+
+        out = tmp_path / "study"
+        metrics = tmp_path / "m.json"
+        code = main([
+            "study", "--days", "4", "--seed", "9", "--out", str(out),
+            "--metrics-out", str(metrics), "--log-level", "INFO",
+        ])
+        # Leave global logging unconfigured for subsequent tests.
+        root = logging.getLogger("repro")
+        root.handlers = []
+        root.setLevel(logging.NOTSET)
+        root.propagate = True
+        assert code == 0
+        # Always written next to the tables, and to --metrics-out.
+        assert (out / "metrics.json").exists()
+        doc = json.loads(metrics.read_text())
+        assert doc == json.loads((out / "metrics.json").read_text())
+        counters = doc["counters"]
+        assert counters["clean.trips_in"] > 0
+        assert counters["od.segments_total"] > 0
+        assert "od.within_centre" in counters
+        latency = doc["histograms"]["matching.match_seconds"]
+        assert latency["count"] > 0 and "p99" in latency
+        (root_span,) = doc["spans"]
+        assert root_span["name"] == "study"
+        assert {c["name"] for c in root_span["children"]} >= {
+            "simulate", "clean", "extract", "match",
+        }
+        # Per-stage log lines went to stderr.
+        err = capsys.readouterr().err
+        assert "cleaning stage complete" in err
 
 
 class TestStudyGeojson:

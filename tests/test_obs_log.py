@@ -1,0 +1,66 @@
+"""Tests for structured logging configuration."""
+
+import io
+import json
+import logging
+
+from repro.obs import configure, get_logger
+from repro.obs.log import ROOT_LOGGER
+
+
+def teardown_function(function):
+    # Leave the process in the "unconfigured" default state between tests.
+    root = logging.getLogger(ROOT_LOGGER)
+    root.handlers = []
+    root.setLevel(logging.NOTSET)
+    root.propagate = True
+
+
+class TestGetLogger:
+    def test_prefixes_repro(self):
+        assert get_logger("matching").name == "repro.matching"
+
+    def test_keeps_existing_prefix(self):
+        assert get_logger("repro.od.gates").name == "repro.od.gates"
+        assert get_logger("repro").name == "repro"
+
+
+class TestConfigure:
+    def test_human_mode_includes_extras(self):
+        buf = io.StringIO()
+        configure(level="INFO", stream=buf)
+        get_logger("test").info("stage complete", extra={"stage": "clean", "n": 3})
+        line = buf.getvalue().strip()
+        assert "repro.test" in line
+        assert "stage complete" in line
+        assert "stage=clean" in line and "n=3" in line
+
+    def test_json_mode_emits_parseable_lines(self):
+        buf = io.StringIO()
+        configure(level="DEBUG", json_mode=True, stream=buf)
+        get_logger("test").debug("evt", extra={"count": 2, "weird": object()})
+        doc = json.loads(buf.getvalue())
+        assert doc["event"] == "evt"
+        assert doc["logger"] == "repro.test"
+        assert doc["level"] == "DEBUG"
+        assert doc["count"] == 2
+        assert isinstance(doc["weird"], str)  # repr fallback for non-JSON values
+        assert isinstance(doc["ts"], float)
+
+    def test_level_filters(self):
+        buf = io.StringIO()
+        configure(level="WARNING", stream=buf)
+        get_logger("test").info("hidden")
+        get_logger("test").warning("shown")
+        assert "hidden" not in buf.getvalue()
+        assert "shown" in buf.getvalue()
+
+    def test_reconfigure_replaces_handler(self):
+        a, b = io.StringIO(), io.StringIO()
+        configure(level="INFO", stream=a)
+        configure(level="INFO", stream=b)
+        root = logging.getLogger(ROOT_LOGGER)
+        assert len(root.handlers) == 1
+        get_logger("test").info("once")
+        assert a.getvalue() == ""
+        assert b.getvalue().count("once") == 1

@@ -1,0 +1,153 @@
+"""Tests for the metrics registry (counters, gauges, histograms)."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, get_registry, use_registry
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("x")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+
+class TestHistogram:
+    def test_summary_math(self):
+        h = Histogram("lat")
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        s = h.summary()
+        assert s["count"] == 100
+        assert s["min"] == 1.0
+        assert s["max"] == 100.0
+        assert s["mean"] == pytest.approx(50.5)
+        assert s["p50"] == pytest.approx(50.0, abs=1.0)
+        assert s["p90"] == pytest.approx(90.0, abs=1.0)
+        assert s["p99"] == pytest.approx(99.0, abs=1.0)
+
+    def test_empty_summary(self):
+        assert Histogram("e").summary() == {"count": 0}
+
+    def test_reservoir_caps_samples_but_not_exact_stats(self):
+        h = Histogram("r", max_samples=64)
+        for v in range(1000):
+            h.observe(float(v))
+        assert h.count == 1000
+        assert h.min == 0.0 and h.max == 999.0
+        assert len(h._samples) == 64
+        # Quantiles come from the reservoir: still within the value range.
+        assert 0.0 <= h.quantile(0.5) <= 999.0
+
+    def test_single_observation_quantiles(self):
+        h = Histogram("one")
+        h.observe(7.0)
+        s = h.summary()
+        assert s["p50"] == s["p99"] == 7.0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+        assert reg.gauge("g") is reg.gauge("g")
+
+    def test_snapshot_and_json_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs").inc(3)
+        reg.gauge("ratio").set(0.5)
+        reg.histogram("lat").observe(1.0)
+        doc = json.loads(reg.to_json())
+        assert doc["counters"] == {"jobs": 3}
+        assert doc["gauges"] == {"ratio": 0.5}
+        assert doc["histograms"]["lat"]["count"] == 1
+        assert doc["spans"] == []
+        assert doc == reg.snapshot()
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.reset()
+        assert reg.snapshot()["counters"] == {}
+
+    def test_disabled_registry_records_nothing(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("a").inc(10)
+        reg.gauge("g").set(1)
+        reg.histogram("h").observe(2.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["histograms"] == {}
+
+
+class TestAmbientRegistry:
+    def test_use_registry_scopes_and_restores(self):
+        outer = get_registry()
+        mine = MetricsRegistry()
+        with use_registry(mine):
+            assert get_registry() is mine
+            get_registry().counter("seen").inc()
+        assert get_registry() is outer
+        assert mine.snapshot()["counters"] == {"seen": 1}
+
+    def test_nested_scopes(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        with use_registry(a):
+            with use_registry(b):
+                get_registry().counter("x").inc()
+            assert get_registry() is a
+        assert b.counter("x").value == 1
+        assert a.snapshot()["counters"] == {}
+
+
+class TestPipelineIntegration:
+    def test_cleaning_pipeline_records_counters(self):
+        from repro.cleaning import CleaningPipeline
+        from repro.traces import FleetSpec, TaxiFleetSimulator
+        from repro.roadnet import build_synthetic_oulu
+
+        city = build_synthetic_oulu()
+        fleet, __ = TaxiFleetSimulator(city, FleetSpec(n_days=1, seed=5)).simulate()
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            result = CleaningPipeline().run(fleet)
+        counters = reg.snapshot()["counters"]
+        assert counters["clean.trips_in"] == result.report.trips_in
+        assert counters["clean.segments_out"] == result.report.segments_out
+        assert set(result.report.stage_seconds) == {
+            "ordering", "duplicates", "outliers", "bounds",
+            "segmentation", "segment_filter",
+        }
+        # A stage span tree was recorded too.
+        assert any(s.name == "clean" for s in reg.spans)
+
+    def test_study_attaches_metrics_snapshot(self):
+        from repro.experiments import OuluStudy, StudyConfig
+        from repro.traces import FleetSpec
+
+        result = OuluStudy(
+            StudyConfig(fleet=FleetSpec(n_days=2, seed=11))
+        ).run()
+        m = result.metrics
+        assert m["counters"]["od.segments_total"] > 0
+        assert m["counters"]["routing.dijkstra_calls"] > 0
+        assert m["histograms"]["matching.match_seconds"]["count"] > 0
+        (root,) = m["spans"]
+        assert root["name"] == "study"
+        child_names = {c["name"] for c in root["children"]}
+        assert {"simulate", "clean", "extract", "match"} <= child_names

@@ -1,0 +1,86 @@
+"""Tests for stage tracing spans."""
+
+from repro.obs import MetricsRegistry, current_span, span, use_registry
+from repro.obs.tracing import SpanRecord
+
+
+class TestSpanNesting:
+    def test_root_span_lands_in_registry(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            with span("root"):
+                pass
+        assert len(reg.spans) == 1
+        assert reg.spans[0].name == "root"
+        assert reg.spans[0].duration_s >= 0.0
+
+    def test_children_nest_under_parent(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            with span("outer"):
+                with span("inner-a"):
+                    with span("leaf"):
+                        pass
+                with span("inner-b"):
+                    pass
+        (root,) = reg.spans
+        assert [c.name for c in root.children] == ["inner-a", "inner-b"]
+        assert [c.name for c in root.children[0].children] == ["leaf"]
+
+    def test_current_span_tracks_stack(self):
+        assert current_span() is None
+        with span("a") as rec:
+            assert current_span() is rec
+        assert current_span() is None
+
+    def test_spans_feed_stage_histograms(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            for __ in range(3):
+                with span("repeated"):
+                    pass
+        summary = reg.snapshot()["histograms"]["stage.repeated.seconds"]
+        assert summary["count"] == 3
+
+    def test_exception_still_closes_span(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            try:
+                with span("boom"):
+                    raise ValueError("x")
+            except ValueError:
+                pass
+        assert current_span() is None
+        assert reg.spans[0].name == "boom"
+
+
+class TestSpanDecorator:
+    def test_decorator_wraps_each_call(self):
+        reg = MetricsRegistry()
+
+        @span("unit")
+        def work(x):
+            return x * 2
+
+        with use_registry(reg):
+            assert work(3) == 6
+            assert work(4) == 8
+        assert [s.name for s in reg.spans] == ["unit", "unit"]
+        assert work.__name__ == "work"
+
+
+class TestSpanRecord:
+    def test_to_dict_tree(self):
+        root = SpanRecord("a", 1.0, [SpanRecord("b", 0.5)])
+        d = root.to_dict()
+        assert d["name"] == "a"
+        assert d["seconds"] == 1.0
+        assert d["children"][0] == {"name": "b", "seconds": 0.5}
+
+    def test_leaf_to_dict_omits_children(self):
+        assert "children" not in SpanRecord("leaf").to_dict()
+
+    def test_find(self):
+        root = SpanRecord("a", children=[SpanRecord("b", children=[SpanRecord("c")])])
+        assert root.find("c").name == "c"
+        assert root.find("missing") is None
