@@ -4,14 +4,7 @@ The paper's conclusions point at these follow-on analyses; each bench
 runs one on the study output and asserts its headline finding.
 """
 
-from repro.analysis import (
-    DrivingCoach,
-    PedestrianModel,
-    TrafficStateEstimator,
-    detect_hotspots,
-    eco_route_comparison,
-    extract_dwells,
-)
+from repro.analysis import DrivingCoach, TrafficStateEstimator, detect_hotspots, eco_route_comparison, extract_dwells
 from repro.experiments import format_table
 from repro.experiments.extensions import pedestrian_fusion
 

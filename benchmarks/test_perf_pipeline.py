@@ -2,10 +2,16 @@
 
 import random
 
+from repro.experiments import OuluStudy, StudyConfig
 from repro.features import GridAccumulator, GridSpec
+from repro.parallel import ExecutorConfig
 from repro.roadnet import build_synthetic_oulu
 from repro.stats import RandomInterceptModel
 from repro.traces import FleetSpec, TaxiFleetSimulator
+
+#: Scale of the serial-vs-parallel study benches below; big enough that
+#: per-trip work dominates, small enough to keep the bench job quick.
+_PAR_DAYS = 3
 
 
 def test_perf_city_build(benchmark):
@@ -53,6 +59,32 @@ def test_perf_reml_fit(benchmark):
 
     result = benchmark(RandomInterceptModel().fit, y, groups)
     assert result.sigma2_u > 1.0
+
+
+def _study_transitions(workers: int) -> int:
+    config = StudyConfig(
+        fleet=FleetSpec(n_days=_PAR_DAYS, seed=31),
+        executor=ExecutorConfig(workers=workers),
+    )
+    return len(OuluStudy(config).run().kept_transitions)
+
+
+def test_perf_study_serial(benchmark):
+    """Baseline for the parallel bench: the same study, one process."""
+    kept = benchmark.pedantic(_study_transitions, args=(0,), rounds=3, iterations=1)
+    assert kept > 0
+
+
+def test_perf_study_workers4(benchmark):
+    """Per-trip stages fanned over 4 workers (pool startup included).
+
+    The speedup over ``test_perf_study_serial`` only materialises on a
+    multi-core runner; the bench records both timings rather than
+    asserting a ratio, and ``tools/bench_compare.py`` gates each against
+    its own committed baseline.
+    """
+    kept = benchmark.pedantic(_study_transitions, args=(4,), rounds=3, iterations=1)
+    assert kept == _study_transitions(0)
 
 
 def test_perf_spatial_edge_queries(benchmark, bench_city):

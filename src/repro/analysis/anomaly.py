@@ -20,7 +20,7 @@ from repro.analysis.routefreq import (
 )
 from repro.matching.types import MatchedRoute
 from repro.od.transitions import Transition
-from repro.stats.descriptive import mean, quantile
+from repro.stats.descriptive import quantile
 
 
 @dataclass(frozen=True)

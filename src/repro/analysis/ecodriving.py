@@ -12,14 +12,13 @@ Two follow-ons the paper points at:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.features.routestats import RouteStats
 from repro.roadnet.digiroad import MapDatabase
 from repro.roadnet.elements import PointObjectKind
 from repro.roadnet.graph import RoadEdge, RoadGraph
-from repro.roadnet.routing import PathResult, dijkstra
+from repro.roadnet.routing import dijkstra
 
 #: Fuel model shared with the simulator (ml/s idle, ml per stop).
 IDLE_FUEL_ML_S = 0.35

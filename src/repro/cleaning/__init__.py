@@ -30,7 +30,12 @@ from repro.cleaning.interpolation import (
     strip_interpolated,
 )
 from repro.cleaning.ordering import OrderingReport, repair_ordering
-from repro.cleaning.pipeline import CleaningPipeline, CleaningReport, CleanResult
+from repro.cleaning.pipeline import (
+    CleaningPipeline,
+    CleaningReport,
+    CleanResult,
+    TripCleanResult,
+)
 from repro.cleaning.segmentation import (
     SegmentationConfig,
     SegmentationReport,
@@ -47,6 +52,7 @@ __all__ = [
     "OrderingReport",
     "SegmentationConfig",
     "SegmentationReport",
+    "TripCleanResult",
     "TripSegment",
     "drop_duplicates",
     "filter_segments",

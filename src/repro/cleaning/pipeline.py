@@ -70,6 +70,25 @@ class CleaningReport:
 
 
 @dataclass
+class TripCleanResult:
+    """One trip's worth of cleaning output — the pipeline's unit of work.
+
+    Segment ids are local (1-based within the trip); :meth:`CleaningPipeline.run`
+    renumbers them fleet-sequentially in trip order, so chunked parallel
+    execution produces exactly the serial ids.
+    """
+
+    segments: list[TripSegment]
+    reordered: bool = False
+    reordering_saved_m: float = 0.0
+    duplicates_removed: int = 0
+    outliers_removed: int = 0
+    out_of_bounds_removed: int = 0
+    segmentation: SegmentationReport = field(default_factory=SegmentationReport)
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
 class CleanResult:
     """Pipeline output: analysable trip segments plus the report."""
 
@@ -93,46 +112,77 @@ class CleaningPipeline:
         self.segmentation_config = segmentation_config or SegmentationConfig()
         self.repair = repair
 
-    def run(self, fleet: FleetData) -> CleanResult:
-        """Clean and segment a whole fleet's raw trips."""
+    def clean_trip(self, trip) -> TripCleanResult:
+        """Clean and segment one trip — a pure, parallelisable unit.
+
+        Stages 1-5 run per trip; the fleet-level segment filter (stage 6)
+        and sequential segment-id assignment happen in :meth:`run`, so the
+        result is independent of which process handles the trip.
+        """
+        stage_s = dict.fromkeys(STAGES[:-1], 0.0)
+        result = TripCleanResult(segments=[], stage_seconds=stage_s)
+        if self.repair:
+            t0 = perf_counter()
+            trip, ordering = repair_ordering(trip)
+            stage_s["ordering"] += perf_counter() - t0
+            if not ordering.was_consistent:
+                result.reordered = True
+                result.reordering_saved_m = ordering.saved_m
+        points = trip.points
+        before = len(points)
+        t0 = perf_counter()
+        points = drop_duplicates(points, self.filter_config)
+        stage_s["duplicates"] += perf_counter() - t0
+        result.duplicates_removed = before - len(points)
+        before = len(points)
+        t0 = perf_counter()
+        points = remove_position_outliers(points, self.filter_config)
+        stage_s["outliers"] += perf_counter() - t0
+        result.outliers_removed = before - len(points)
+        before = len(points)
+        t0 = perf_counter()
+        points = within_bounds(points, self.filter_config)
+        stage_s["bounds"] += perf_counter() - t0
+        result.out_of_bounds_removed = before - len(points)
+        trip = trip.with_points(points)
+        t0 = perf_counter()
+        result.segments, result.segmentation = segment_trip(
+            trip, self.segmentation_config, first_segment_id=1
+        )
+        stage_s["segmentation"] += perf_counter() - t0
+        return result
+
+    def run(self, fleet: FleetData, executor=None) -> CleanResult:
+        """Clean and segment a whole fleet's raw trips.
+
+        ``executor`` is an optional :class:`repro.parallel.TripExecutor`;
+        when it is parallel, trips are cleaned across worker processes.
+        Results are folded in trip order and segment ids renumbered
+        sequentially, so the output is byte-identical to a serial run.
+        """
         report = CleaningReport(trips_in=len(fleet), points_in=fleet.point_count)
         stage_s = dict.fromkeys(STAGES, 0.0)
         segments: list[TripSegment] = []
-        next_segment_id = 1
         with span("clean"):
-            for trip in fleet.trips:
-                if self.repair:
-                    t0 = perf_counter()
-                    trip, ordering = repair_ordering(trip)
-                    stage_s["ordering"] += perf_counter() - t0
-                    if not ordering.was_consistent:
-                        report.reordered_trips += 1
-                        report.reordering_saved_m += ordering.saved_m
-                points = trip.points
-                before = len(points)
-                t0 = perf_counter()
-                points = drop_duplicates(points, self.filter_config)
-                stage_s["duplicates"] += perf_counter() - t0
-                report.duplicates_removed += before - len(points)
-                before = len(points)
-                t0 = perf_counter()
-                points = remove_position_outliers(points, self.filter_config)
-                stage_s["outliers"] += perf_counter() - t0
-                report.outliers_removed += before - len(points)
-                before = len(points)
-                t0 = perf_counter()
-                points = within_bounds(points, self.filter_config)
-                stage_s["bounds"] += perf_counter() - t0
-                report.out_of_bounds_removed += before - len(points)
-                trip = trip.with_points(points)
-                t0 = perf_counter()
-                trip_segments, seg_report = segment_trip(
-                    trip, self.segmentation_config, first_segment_id=next_segment_id
-                )
-                stage_s["segmentation"] += perf_counter() - t0
-                report.segmentation.merge(seg_report)
-                next_segment_id += len(trip_segments)
-                segments.extend(trip_segments)
+            if executor is not None and executor.parallel:
+                per_trip = executor.clean_trips(fleet.trips)
+            else:
+                per_trip = [self.clean_trip(trip) for trip in fleet.trips]
+            next_segment_id = 1
+            for trip_result in per_trip:
+                if trip_result.reordered:
+                    report.reordered_trips += 1
+                    report.reordering_saved_m += trip_result.reordering_saved_m
+                report.duplicates_removed += trip_result.duplicates_removed
+                report.outliers_removed += trip_result.outliers_removed
+                report.out_of_bounds_removed += trip_result.out_of_bounds_removed
+                report.segmentation.merge(trip_result.segmentation)
+                for stage, seconds in trip_result.stage_seconds.items():
+                    stage_s[stage] += seconds
+                for segment in trip_result.segments:
+                    segment.segment_id = next_segment_id
+                    next_segment_id += 1
+                segments.extend(trip_result.segments)
             t0 = perf_counter()
             kept, dropped_short, dropped_long = filter_segments(
                 segments, self.filter_config

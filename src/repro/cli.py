@@ -25,6 +25,7 @@ from pathlib import Path
 
 from repro import obs
 from repro.cleaning import CleaningPipeline
+from repro.parallel import ExecutorConfig, TripExecutor, WorkerPayload
 from repro.experiments import (
     OuluStudy,
     StudyConfig,
@@ -59,6 +60,32 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
+    """Worker-pool flags (default: serial, identical results)."""
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="fan per-trip work over N worker processes (default: serial)",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=None, metavar="N",
+        help="trips/transitions per worker chunk (default: auto)",
+    )
+    parser.add_argument(
+        "--route-cache", type=Path, default=None, metavar="FILE",
+        help="on-disk Dijkstra route cache to warm gap-filling from "
+             "(written back by serial runs only)",
+    )
+
+
+def _executor_config(args: argparse.Namespace) -> ExecutorConfig:
+    route_cache = getattr(args, "route_cache", None)
+    return ExecutorConfig(
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        route_cache_path=str(route_cache) if route_cache is not None else None,
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -80,6 +107,7 @@ def _build_parser() -> argparse.ArgumentParser:
     clean.add_argument("--metrics-out", type=Path, default=None,
                        help="write the run's metrics registry as JSON")
     _add_obs_flags(clean)
+    _add_parallel_flags(clean)
 
     study = sub.add_parser("study", help="run the full study, write artefacts")
     study.add_argument("--days", type=int, default=30)
@@ -93,12 +121,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="also write the metrics JSON to this path "
                             "(a metrics.json is always written to --out)")
     _add_obs_flags(study)
+    _add_parallel_flags(study)
 
     report = sub.add_parser("report", help="run a study and write REPORT.md")
     report.add_argument("--days", type=int, default=30)
     report.add_argument("--seed", type=int, default=42)
     report.add_argument("--out", type=Path, default=Path("REPORT.md"))
     _add_obs_flags(report)
+    _add_parallel_flags(report)
     return parser
 
 
@@ -120,8 +150,9 @@ def _cmd_clean(args: argparse.Namespace) -> int:
         print(f"no trips in {args.points}", file=sys.stderr)
         return 1
     registry = obs.MetricsRegistry()
-    with obs.use_registry(registry):
-        result = CleaningPipeline().run(fleet)
+    executor = TripExecutor(WorkerPayload(), _executor_config(args))
+    with obs.use_registry(registry), executor:
+        result = CleaningPipeline().run(fleet, executor=executor)
     r = result.report
 
     def sec(stage: str) -> str:
@@ -155,7 +186,10 @@ def _write_metrics(path: Path, text: str) -> None:
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
-    config = StudyConfig(fleet=FleetSpec(n_days=args.days, seed=args.seed))
+    config = StudyConfig(
+        fleet=FleetSpec(n_days=args.days, seed=args.seed),
+        executor=_executor_config(args),
+    )
     result = OuluStudy(config).run()
     out: Path = args.out
     out.mkdir(parents=True, exist_ok=True)
@@ -214,7 +248,10 @@ def _cmd_study(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import study_report
 
-    config = StudyConfig(fleet=FleetSpec(n_days=args.days, seed=args.seed))
+    config = StudyConfig(
+        fleet=FleetSpec(n_days=args.days, seed=args.seed),
+        executor=_executor_config(args),
+    )
     result = OuluStudy(config).run()
     text = study_report(result)
     args.out.write_text(text)

@@ -95,8 +95,8 @@ def study_report(result: StudyResult) -> str:
             f"- cell intercepts in [{min(blups):.1f}, {max(blups):.1f}] km/h "
             f"over {len(blups)} cells\n"
             f"- QQ correlation {qq_correlation(blups):.3f} "
-            f"(Gaussian regularisation justified)\n"
-            f"- geography effect LRT p-value "
+            "(Gaussian regularisation justified)\n"
+            "- geography effect LRT p-value "
             f"{result.mixed.lrt_pvalue:.2g}\n"
         )
 

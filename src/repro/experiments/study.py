@@ -14,9 +14,17 @@ from repro.features import GridAccumulator, GridSpec, cell_feature_counts
 from repro.features.routestats import RouteStats, transition_route_stats
 from repro.matching import HmmMatcher, IncrementalMatcher, MatchedRoute
 from repro.obs import MetricsRegistry, get_logger, span, use_registry
-from repro.od import Gate, TransitionExtractor, post_filter_transition
+from repro.od import TransitionExtractor
 from repro.od.transitions import ExtractionResult, FunnelRow, Transition, TransitionConfig
-from repro.roadnet import CitySpec, SyntheticCity, build_synthetic_oulu
+from repro.parallel import (
+    ExecutorConfig,
+    MatchTask,
+    TripExecutor,
+    WorkerPayload,
+    match_task,
+    study_gates,
+)
+from repro.roadnet import CitySpec, RouteCache, SyntheticCity, build_synthetic_oulu
 from repro.stats import MixedModelResult, RandomInterceptModel
 from repro.traces import CustomerRun, FleetData, FleetSpec, TaxiFleetSimulator
 
@@ -32,10 +40,22 @@ class StudyConfig:
     grid: GridSpec = field(default_factory=GridSpec)
     transition: TransitionConfig = field(default_factory=TransitionConfig)
     matcher: str = "incremental"          # or "hmm"
+    #: Per-trip parallelism; the default (workers=0) runs fully serial.
+    executor: ExecutorConfig = field(default_factory=ExecutorConfig)
 
     def __post_init__(self) -> None:
         if self.matcher not in ("incremental", "hmm"):
             raise ValueError("matcher must be 'incremental' or 'hmm'")
+
+    def worker_payload(self) -> WorkerPayload:
+        """The context pool workers rebuild (city, matcher, route cache)."""
+        return WorkerPayload(
+            city_spec=self.city,
+            transition_config=self.transition,
+            matcher=self.matcher,
+            route_cache_size=self.executor.route_cache_size,
+            route_cache_path=self.executor.route_cache_path,
+        )
 
 
 @dataclass
@@ -88,14 +108,20 @@ class OuluStudy:
         Each run records into a fresh :class:`~repro.obs.MetricsRegistry`;
         its snapshot (per-stage counters, latency histograms and the
         nested stage-timing tree) is attached as ``result.metrics``.
+        With ``config.executor.workers > 1`` the per-trip stages fan out
+        over a worker pool; worker registries are merged in, and the
+        artefacts are identical to a serial run.
         """
         registry = MetricsRegistry()
         with use_registry(registry), span("study"):
-            result = self._run_stages()
+            with TripExecutor(
+                self.config.worker_payload(), self.config.executor
+            ) as executor:
+                result = self._run_stages(executor)
         result.metrics = registry.snapshot()
         return result
 
-    def _run_stages(self) -> StudyResult:
+    def _run_stages(self, executor: TripExecutor) -> StudyResult:
         config = self.config
         with span("build_city"):
             city = build_synthetic_oulu(config.city)
@@ -108,51 +134,69 @@ class OuluStudy:
                    "days": config.fleet.n_days},
         )
 
-        clean = CleaningPipeline().run(fleet)
+        clean = CleaningPipeline().run(fleet, executor=executor)
 
         projector = city.projector
 
         def to_xy(p):
             return projector.to_xy(p.lat, p.lon)
 
-        gates = [
-            Gate(name=name, road=road, half_width_m=city.spec.gate_half_width_m)
-            for name, road in city.gate_roads.items()
-        ]
+        gates = study_gates(city)
         extractor = TransitionExtractor(gates, city.central_area, config.transition)
         with span("extract"):
-            extraction = extractor.extract(clean.segments, to_xy)
+            extraction = extractor.extract(clean.segments, to_xy, executor=executor)
 
-        if config.matcher == "hmm":
-            matcher = HmmMatcher(city.graph)
-        else:
-            matcher = IncrementalMatcher(city.graph)
+        tasks = [
+            MatchTask(
+                index=i,
+                points=tuple(transition.points()),
+                segment_id=transition.segment.segment_id,
+                car_id=transition.segment.car_id,
+                origin=transition.origin,
+                destination=transition.destination,
+            )
+            for i, transition in enumerate(extraction.transitions)
+        ]
+        with span("match"):
+            if executor.parallel:
+                outcomes = executor.match_transitions(tasks)
+            else:
+                route_cache = RouteCache(
+                    config.executor.route_cache_size,
+                    config.executor.route_cache_path,
+                )
+                if config.matcher == "hmm":
+                    matcher = HmmMatcher(city.graph, route_cache=route_cache)
+                else:
+                    matcher = IncrementalMatcher(city.graph, route_cache=route_cache)
+                outcomes = [
+                    match_task(
+                        matcher, to_xy, extractor.gates_by_name,
+                        config.transition, task,
+                    )
+                    for task in tasks
+                ]
+                if config.executor.route_cache_path is not None:
+                    route_cache.save()
 
+        # Fold outcomes back in transition order (chunks may have run in
+        # any order on any worker; index order restores serial layout).
+        outcomes.sort(key=lambda outcome: outcome.index)
         matched: dict[int, MatchedRoute] = {}
         kept: list[int] = []
         post_per_car: dict[int, int] = {}
-        with span("match"):
-            for i, transition in enumerate(extraction.transitions):
-                route = matcher.match(
-                    transition.points(), to_xy, transition.segment.segment_id,
-                    transition.segment.car_id,
+        for outcome in outcomes:
+            transition = extraction.transitions[outcome.index]
+            if outcome.route is None:
+                transition.post_filtered_ok = False
+                continue
+            matched[outcome.index] = outcome.route
+            transition.post_filtered_ok = outcome.kept
+            if outcome.kept:
+                kept.append(outcome.index)
+                post_per_car[transition.segment.car_id] = (
+                    post_per_car.get(transition.segment.car_id, 0) + 1
                 )
-                if route is None or not route.edge_sequence:
-                    transition.post_filtered_ok = False
-                    continue
-                matched[i] = route
-                ok = post_filter_transition(
-                    transition,
-                    route.matched[0].snapped_xy,
-                    route.matched[-1].snapped_xy,
-                    extractor.gates_by_name,
-                    config.transition,
-                )
-                if ok:
-                    kept.append(i)
-                    post_per_car[transition.segment.car_id] = (
-                        post_per_car.get(transition.segment.car_id, 0) + 1
-                    )
         _log.info(
             "matching complete",
             extra={"transitions": len(extraction.transitions),

@@ -8,7 +8,6 @@ line work, gates highlighted, point speeds as a coloured scatter
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.experiments.study import StudyResult
@@ -95,7 +94,7 @@ def _document(canvas: SvgCanvas, body: list[str], title: str) -> str:
     caption = (
         f'<text x="10" y="20" font-family="sans-serif" font-size="14">{title}</text>'
     )
-    return "\n".join([head, f'<rect width="100%" height="100%" fill="white"/>',
+    return "\n".join([head, '<rect width="100%" height="100%" fill="white"/>',
                       *body, caption, "</svg>"])
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.features.attributes import RouteAttributes, fetch_route_attributes
+from repro.features.attributes import fetch_route_attributes
 from repro.matching.types import MatchedRoute
 from repro.od.transitions import Transition
 from repro.roadnet.digiroad import MapDatabase

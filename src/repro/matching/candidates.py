@@ -18,7 +18,6 @@ import math
 from dataclasses import dataclass
 
 from repro.geo.geometry import Point
-from repro.roadnet.elements import FlowDirection
 from repro.roadnet.graph import RoadEdge, RoadGraph
 
 

@@ -10,13 +10,12 @@ directions throughout.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.matching.types import MatchedRoute
 from repro.obs import get_registry
 from repro.roadnet.graph import RoadEdge, RoadGraph
-from repro.roadnet.routing import shortest_path
+from repro.roadnet.routing import RouteCache, cached_shortest_path
 
 
 @dataclass
@@ -69,9 +68,16 @@ def _arc_to_endpoint(edge: RoadEdge, arc: float, endpoint: int) -> float:
 
 
 def connect_matches(
-    graph: RoadGraph, route: MatchedRoute, max_cost_m: float = 2_000.0
+    graph: RoadGraph,
+    route: MatchedRoute,
+    max_cost_m: float = 2_000.0,
+    route_cache: RouteCache | None = None,
 ) -> MatchedRoute:
-    """Fill the matched route's edge sequence in place and return it."""
+    """Fill the matched route's edge sequence in place and return it.
+
+    ``route_cache`` memoises the Dijkstra sub-queries; it never changes
+    the resulting edge sequence (see :func:`cached_shortest_path`).
+    """
     registry = get_registry()
     registry.counter("matching.gapfill_calls").inc()
     runs = _compress(route)
@@ -104,7 +110,9 @@ def connect_matches(
                     cost = d1 + d2
                     candidate = (cost, exit1, entry2, (), ())
                 else:
-                    path = shortest_path(graph, exit1, entry2, weight="length")
+                    path = cached_shortest_path(
+                        graph, exit1, entry2, weight="length", cache=route_cache
+                    )
                     if not path.found or path.cost > max_cost_m:
                         continue
                     candidate = (d1 + path.cost + d2, exit1, entry2, path.nodes, path.edges)

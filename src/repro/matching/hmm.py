@@ -37,9 +37,15 @@ class HmmConfig:
 class HmmMatcher:
     """Viterbi decoding over candidate edges."""
 
-    def __init__(self, graph: RoadGraph, config: HmmConfig | None = None) -> None:
+    def __init__(
+        self,
+        graph: RoadGraph,
+        config: HmmConfig | None = None,
+        route_cache=None,
+    ) -> None:
         self.graph = graph
         self.config = config or HmmConfig()
+        self.route_cache = route_cache
 
     def match(
         self,
@@ -109,7 +115,7 @@ class HmmMatcher:
             for i in range(n)
         ]
         route = MatchedRoute(segment_id=segment_id, car_id=car_id, matched=matched)
-        connect_matches(self.graph, route)
+        connect_matches(self.graph, route, route_cache=self.route_cache)
         return route
 
     # -- probabilities ---------------------------------------------------------

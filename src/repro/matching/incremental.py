@@ -19,6 +19,7 @@ from repro.matching.gapfill import connect_matches
 from repro.matching.types import MatchedPoint, MatchedRoute
 from repro.obs import get_logger, get_registry
 from repro.roadnet.graph import RoadGraph
+from repro.roadnet.routing import RouteCache
 from repro.traces.model import RoutePoint
 
 _log = get_logger(__name__)
@@ -41,9 +42,15 @@ class IncrementalConfig:
 class IncrementalMatcher:
     """Greedy look-ahead matcher over a road graph."""
 
-    def __init__(self, graph: RoadGraph, config: IncrementalConfig | None = None) -> None:
+    def __init__(
+        self,
+        graph: RoadGraph,
+        config: IncrementalConfig | None = None,
+        route_cache: RouteCache | None = None,
+    ) -> None:
         self.graph = graph
         self.config = config or IncrementalConfig()
+        self.route_cache = route_cache
         self._adjacent: dict[int, set[int]] = {}
 
     # -- adjacency ------------------------------------------------------------
@@ -125,7 +132,10 @@ class IncrementalMatcher:
             )
             return None
         route = MatchedRoute(segment_id=segment_id, car_id=car_id, matched=matched)
-        connect_matches(self.graph, route, max_cost_m=self.config.max_gap_cost_m)
+        connect_matches(
+            self.graph, route, max_cost_m=self.config.max_gap_cost_m,
+            route_cache=self.route_cache,
+        )
         registry.histogram("matching.match_seconds").observe(perf_counter() - t0)
         _log.debug(
             "matched segment",

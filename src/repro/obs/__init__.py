@@ -27,11 +27,12 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    clear_registry,
     get_registry,
     set_registry,
     use_registry,
 )
-from repro.obs.tracing import SpanRecord, current_span, span
+from repro.obs.tracing import SpanRecord, current_span, reset_span_stack, span
 
 __all__ = [
     "Counter",
@@ -39,11 +40,27 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "SpanRecord",
+    "clear_registry",
     "configure",
     "current_span",
     "get_logger",
     "get_registry",
+    "reset_span_stack",
+    "reset_worker_state",
     "set_registry",
     "span",
     "use_registry",
 ]
+
+
+def reset_worker_state() -> None:
+    """Make observability safe inside a freshly forked/spawned worker.
+
+    Drops the contextvar registry binding and any open span frames the
+    worker may have inherited from its parent process, so worker metrics
+    are neither written into an orphaned copy of the parent's registry
+    nor attached below phantom parent spans.  Idempotent; call it first
+    thing in every process-pool initialiser.
+    """
+    clear_registry()
+    reset_span_stack()

@@ -83,6 +83,25 @@ class Histogram:
             # without random state (keeps study runs reproducible).
             self._samples[(self.count * 2654435761) % self.max_samples] = value
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram in (exact count/mean/min/max; reservoir
+        thinned deterministically when the union exceeds ``max_samples``)."""
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        combined = self._samples + other._samples
+        if len(combined) > self.max_samples:
+            # Evenly strided subsample: depends only on the merge order,
+            # so merging worker registries in chunk order is reproducible.
+            step = len(combined) / self.max_samples
+            combined = [combined[int(i * step)] for i in range(self.max_samples)]
+        self._samples = combined
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -170,6 +189,29 @@ class MetricsRegistry:
         if self.enabled:
             self.spans.append(record)
 
+    # -- merging ------------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry's instruments into this one.
+
+        Used to combine worker-local registries into the orchestrator's:
+        counters sum, gauges keep the merged (last-written) value,
+        histograms merge exactly for count/mean/min/max and
+        deterministically for quantiles, and the other registry's root
+        spans are appended.  Merging the same sequence of registries in
+        the same order always yields the same snapshot, so chunked
+        parallel runs stay reproducible.  Returns ``self`` for chaining.
+        """
+        for name, counter in sorted(other._counters.items()):
+            self.counter(name).inc(counter.value)
+        for name, gauge in sorted(other._gauges.items()):
+            self.gauge(name).set(gauge.value)
+        for name, histogram in sorted(other._histograms.items()):
+            self.histogram(name, histogram.max_samples).merge(histogram)
+        if self.enabled:
+            self.spans.extend(other.spans)
+        return self
+
     # -- export -------------------------------------------------------------
 
     def reset(self) -> None:
@@ -198,7 +240,9 @@ class MetricsRegistry:
 #: still accumulates numbers a caller can inspect via ``get_registry()``.
 _global_registry = MetricsRegistry()
 
-_active_registry: ContextVar[MetricsRegistry] = ContextVar("repro_obs_registry")
+_active_registry: ContextVar[MetricsRegistry | None] = ContextVar(
+    "repro_obs_registry"
+)
 
 
 def get_registry() -> MetricsRegistry:
@@ -210,6 +254,18 @@ def get_registry() -> MetricsRegistry:
 def set_registry(registry: MetricsRegistry) -> None:
     """Bind ``registry`` as ambient for the current context (no scope)."""
     _active_registry.set(registry)
+
+
+def clear_registry() -> None:
+    """Drop any ambient binding; :func:`get_registry` falls back global.
+
+    A forked worker process inherits the parent's contextvar state, so
+    instrumented code would write into a copy of the parent's registry
+    that nobody ever snapshots.  Worker initialisers call this (via
+    :func:`repro.obs.reset_worker_state`) before binding their own
+    registry.
+    """
+    _active_registry.set(None)
 
 
 @contextmanager

@@ -65,6 +65,18 @@ def current_span() -> SpanRecord | None:
     return _stack.stack[-1] if _stack.stack else None
 
 
+def reset_span_stack() -> None:
+    """Forget any open spans of this thread.
+
+    A worker process forked while the parent was inside a span inherits
+    those open frames; spans the worker then finishes would attach to a
+    phantom parent and never reach a registry.  Worker initialisers call
+    this (via :func:`repro.obs.reset_worker_state`) so worker spans are
+    roots again.
+    """
+    _stack.stack.clear()
+
+
 class span:
     """Time a stage; use as ``with span("x"):`` or ``@span("x")``."""
 
@@ -83,11 +95,16 @@ class span:
         record = self.record
         assert record is not None
         record.duration_s = time.perf_counter() - self._t0
-        _stack.stack.pop()
+        stack = _stack.stack
+        if record in stack:
+            # Normally ``record`` is the top frame; anything above it means
+            # the stack desynchronised (e.g. reset_span_stack raced a fork)
+            # and those stale frames are dropped with it.
+            del stack[stack.index(record):]
         registry = get_registry()
         registry.histogram(f"stage.{record.name}.seconds").observe(record.duration_s)
-        if _stack.stack:
-            _stack.stack[-1].children.append(record)
+        if stack:
+            stack[-1].children.append(record)
         else:
             registry.record_span(record)
         self.record = None

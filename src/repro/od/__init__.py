@@ -11,9 +11,11 @@ from repro.od.gates import CrossingEvent, Gate, find_crossings
 from repro.od.transitions import (
     STUDIED_PAIRS,
     FunnelRow,
+    SegmentExtraction,
     Transition,
     TransitionConfig,
     TransitionExtractor,
+    endpoints_near_gates,
     post_filter_transition,
 )
 
@@ -22,9 +24,11 @@ __all__ = [
     "FunnelRow",
     "Gate",
     "STUDIED_PAIRS",
+    "SegmentExtraction",
     "Transition",
     "TransitionConfig",
     "TransitionExtractor",
+    "endpoints_near_gates",
     "find_crossings",
     "post_filter_transition",
 ]

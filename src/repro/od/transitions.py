@@ -83,6 +83,20 @@ class FunnelRow:
 
 
 @dataclass
+class SegmentExtraction:
+    """Funnel outcome of one trip segment — the extractor's unit of work.
+
+    ``crossed`` means at least one gate crossing was found (funnel stage
+    2); ``transition`` is set when a studied ordered pair was formed
+    (stage 3), with ``within_centre`` already evaluated (stage 4).
+    """
+
+    car_id: int
+    crossed: bool = False
+    transition: Transition | None = None
+
+
+@dataclass
 class ExtractionResult:
     """Everything the extractor produces for a fleet."""
 
@@ -110,7 +124,22 @@ class TransitionExtractor:
         self.central_area = central_area
         self.config = config or TransitionConfig()
 
-    def extract(self, segments: list[TripSegment], to_xy) -> ExtractionResult:
+    def extract_segment(self, seg: TripSegment, to_xy) -> SegmentExtraction:
+        """Run funnel stages 2-4 on one segment — pure and parallelisable."""
+        xys = [to_xy(p) for p in seg.points]
+        times = [p.time_s for p in seg.points]
+        events = find_crossings(xys, times, self.gates)
+        if not events:
+            return SegmentExtraction(car_id=seg.car_id)
+        transition = self._first_studied_pair(seg, events)
+        if transition is None:
+            return SegmentExtraction(car_id=seg.car_id, crossed=True)
+        transition.within_centre = self._within_centre(transition, xys)
+        return SegmentExtraction(car_id=seg.car_id, crossed=True, transition=transition)
+
+    def extract(
+        self, segments: list[TripSegment], to_xy, executor=None
+    ) -> ExtractionResult:
         """Extract transitions from cleaned segments.
 
         ``to_xy`` converts a route point to plane coordinates.  Funnel rows
@@ -118,26 +147,30 @@ class TransitionExtractor:
         within-centre count until :func:`post_filter_transition` results
         are folded in by the caller (see
         :meth:`repro.experiments.study.OuluStudy.run`).
+
+        ``executor`` is an optional :class:`repro.parallel.TripExecutor`;
+        per-segment outcomes are folded in segment order either way, so
+        parallel runs match serial ones exactly.
         """
+        if executor is not None and executor.parallel:
+            extractions = executor.extract_segments(segments)
+        else:
+            extractions = [self.extract_segment(seg, to_xy) for seg in segments]
         per_car: dict[int, dict[str, int]] = {}
         transitions: list[Transition] = []
-        for seg in segments:
+        for extraction in extractions:
             stats = per_car.setdefault(
-                seg.car_id,
+                extraction.car_id,
                 {"total": 0, "filtered": 0, "transitions": 0, "centre": 0},
             )
             stats["total"] += 1
-            xys = [to_xy(p) for p in seg.points]
-            times = [p.time_s for p in seg.points]
-            events = find_crossings(xys, times, self.gates)
-            if not events:
+            if not extraction.crossed:
                 continue
             stats["filtered"] += 1
-            transition = self._first_studied_pair(seg, events)
+            transition = extraction.transition
             if transition is None:
                 continue
             stats["transitions"] += 1
-            transition.within_centre = self._within_centre(transition, xys)
             if transition.within_centre:
                 stats["centre"] += 1
                 transitions.append(transition)
@@ -194,6 +227,32 @@ class TransitionExtractor:
         return all(self.central_area.contains(xys[i]) for i in range(i0, i1))
 
 
+def endpoints_near_gates(
+    origin_gate: Gate,
+    dest_gate: Gate,
+    matched_start_xy,
+    matched_end_xy,
+    config: TransitionConfig | None = None,
+) -> bool:
+    """Stage 5 predicate: matched endpoints lie near the OD roads.
+
+    Pure (no Transition mutation) so map-matching workers can evaluate it
+    without holding the orchestrator's transition objects; the kept/
+    rejected counters go to the ambient registry.
+    """
+    config = config or TransitionConfig()
+    d0 = origin_gate.distance_to(matched_start_xy)
+    d1 = dest_gate.distance_to(matched_end_xy)
+    ok = (
+        d0 <= origin_gate.half_width_m + config.post_filter_distance_m
+        and d1 <= dest_gate.half_width_m + config.post_filter_distance_m
+    )
+    get_registry().counter(
+        "od.post_filter_kept" if ok else "od.post_filter_rejected"
+    ).inc()
+    return ok
+
+
 def post_filter_transition(
     transition: Transition,
     matched_start_xy,
@@ -208,17 +267,12 @@ def post_filter_transition(
     roads.  Sparse event sampling means the first fix after a crossing can
     be far from the gate; such transitions are discarded.
     """
-    config = config or TransitionConfig()
-    origin_gate = gates_by_name[transition.origin]
-    dest_gate = gates_by_name[transition.destination]
-    d0 = origin_gate.distance_to(matched_start_xy)
-    d1 = dest_gate.distance_to(matched_end_xy)
-    ok = (
-        d0 <= origin_gate.half_width_m + config.post_filter_distance_m
-        and d1 <= dest_gate.half_width_m + config.post_filter_distance_m
+    ok = endpoints_near_gates(
+        gates_by_name[transition.origin],
+        gates_by_name[transition.destination],
+        matched_start_xy,
+        matched_end_xy,
+        config,
     )
     transition.post_filtered_ok = ok
-    get_registry().counter(
-        "od.post_filter_kept" if ok else "od.post_filter_rejected"
-    ).inc()
     return ok

@@ -1,0 +1,36 @@
+"""Parallel per-trip pipeline execution.
+
+The paper's pipeline — clean, segment, gate-check, match, gap-fill — is
+embarrassingly parallel per trip: every unit of work depends only on one
+trip's points plus the shared read-only road network.  This package
+exploits that:
+
+* :mod:`repro.parallel.executor` — :class:`TripExecutor`, a chunked
+  :class:`~concurrent.futures.ProcessPoolExecutor` fan-out whose workers
+  build the road network / spatial index / route cache once each;
+* :mod:`repro.parallel.worker` — the worker-process context and chunk
+  runner (returns results plus a chunk-local metrics registry);
+* :mod:`repro.parallel.tasks` — picklable task units and the pure
+  per-item functions shared by the serial and parallel paths.
+
+Results are byte-identical to serial execution for any worker count:
+outputs are re-ordered by input position and worker metrics merge in
+chunk order (see ``docs/performance.md``).
+"""
+
+from repro.parallel.executor import ExecutorConfig, TripExecutor
+from repro.parallel.tasks import MatchOutcome, MatchTask, match_task, study_gates
+from repro.parallel.worker import WorkerContext, WorkerPayload, init_worker, run_chunk
+
+__all__ = [
+    "ExecutorConfig",
+    "MatchOutcome",
+    "MatchTask",
+    "TripExecutor",
+    "WorkerContext",
+    "WorkerPayload",
+    "init_worker",
+    "match_task",
+    "run_chunk",
+    "study_gates",
+]

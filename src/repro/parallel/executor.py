@@ -1,0 +1,168 @@
+"""Process-pool execution of per-trip pipeline work.
+
+:class:`TripExecutor` fans chunks of per-trip tasks (clean, gate-check,
+match+gap-fill) over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+Each worker builds its context — road network, spatial index, matcher,
+Dijkstra route cache — exactly once via the pool initialiser; tasks then
+only pay for shipping their own points.
+
+Determinism contract: results come back ordered by input position and
+worker registries merge into the ambient registry in chunk order, so a
+run with any worker count or chunk size produces exactly the serial
+artefacts (only wall-time metrics differ).
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+
+from repro.obs import get_logger, get_registry
+from repro.parallel.worker import WorkerPayload, init_worker, run_chunk
+
+_log = get_logger(__name__)
+
+#: Target chunks per worker when no explicit chunk size is given: enough
+#: slack for dynamic load balancing, few enough to amortise pickling.
+_CHUNKS_PER_WORKER = 4
+
+#: Upper bound on in-flight chunks per worker; submitting everything at
+#: once would pickle the whole workload up front.
+_INFLIGHT_PER_WORKER = 2
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """How (and whether) to parallelise per-trip work.
+
+    ``workers <= 1`` keeps everything serial and in-process — the
+    default, so existing behaviour is unchanged.  ``chunk_size`` fixes
+    the batching (default: auto, ~4 chunks per worker).  ``start_method``
+    picks the multiprocessing start method (None = platform default).
+    """
+
+    workers: int = 0
+    chunk_size: int | None = None
+    start_method: str | None = None
+    route_cache_size: int = 50_000
+    route_cache_path: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError("workers must be non-negative")
+        if self.chunk_size is not None and self.chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+
+
+class TripExecutor:
+    """Chunked process-pool fan-out with a once-per-worker context.
+
+    Use as a context manager; the pool is created lazily on the first
+    parallel call and torn down on exit.  A non-parallel executor
+    (``workers <= 1``) is inert — pipeline code checks
+    :attr:`parallel` and runs inline.
+    """
+
+    def __init__(self, payload: WorkerPayload, config: ExecutorConfig | None = None) -> None:
+        self.payload = payload
+        self.config = config or ExecutorConfig()
+        self._pool: ProcessPoolExecutor | None = None
+
+    @property
+    def parallel(self) -> bool:
+        return self.config.workers > 1
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def __enter__(self) -> "TripExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            mp_context = None
+            if self.config.start_method is not None:
+                import multiprocessing
+
+                mp_context = multiprocessing.get_context(self.config.start_method)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.config.workers,
+                mp_context=mp_context,
+                initializer=init_worker,
+                initargs=(self.payload,),
+            )
+            _log.info(
+                "worker pool started",
+                extra={
+                    "workers": self.config.workers,
+                    "start_method": self.config.start_method or "default",
+                },
+            )
+        return self._pool
+
+    # -- chunked mapping ----------------------------------------------------
+
+    def _chunk_size(self, n_items: int) -> int:
+        if self.config.chunk_size is not None:
+            return self.config.chunk_size
+        return max(1, math.ceil(n_items / (self.config.workers * _CHUNKS_PER_WORKER)))
+
+    def map_chunked(self, kind: str, items: list) -> list:
+        """Run ``kind`` over ``items`` across the pool; ordered results.
+
+        Chunks execute in any order on any worker; results are re-sorted
+        by chunk index and worker registries merged into the ambient
+        registry in that same order, so output and metrics (minus
+        timings) are independent of scheduling.
+        """
+        if not self.parallel:
+            raise RuntimeError("map_chunked on a serial executor")
+        if not items:
+            return []
+        pool = self._ensure_pool()
+        size = self._chunk_size(len(items))
+        chunks = [items[i : i + size] for i in range(0, len(items), size)]
+        max_inflight = max(self.config.workers * _INFLIGHT_PER_WORKER, self.config.workers + 1)
+        by_chunk: dict[int, tuple[list, object]] = {}
+        pending: dict[Future, int] = {}
+        next_chunk = 0
+        while next_chunk < len(chunks) or pending:
+            while next_chunk < len(chunks) and len(pending) < max_inflight:
+                future = pool.submit(run_chunk, kind, chunks[next_chunk])
+                pending[future] = next_chunk
+                next_chunk += 1
+            done, __ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                by_chunk[pending.pop(future)] = future.result()
+        registry = get_registry()
+        counter = registry.counter(f"parallel.{kind}_chunks")
+        results: list = []
+        for index in range(len(chunks)):
+            chunk_results, chunk_registry = by_chunk[index]
+            results.extend(chunk_results)
+            registry.merge(chunk_registry)
+            counter.inc()
+        registry.counter(f"parallel.{kind}_items").inc(len(items))
+        return results
+
+    # -- task-kind entry points (used by pipeline code) ---------------------
+
+    def clean_trips(self, trips: list) -> list:
+        """Per-trip cleaning (stages 1-5) across the pool."""
+        return self.map_chunked("clean", trips)
+
+    def extract_segments(self, segments: list) -> list:
+        """Per-segment gate-check/OD extraction across the pool."""
+        return self.map_chunked("extract", segments)
+
+    def match_transitions(self, tasks: list) -> list:
+        """Per-transition map-matching + gap-fill across the pool."""
+        return self.map_chunked("match", tasks)

@@ -1,0 +1,84 @@
+"""Per-item task units shared by the serial path and pool workers.
+
+The executor ships these across process boundaries, so everything here is
+plain picklable data plus pure functions over it.  The serial pipeline
+runs the *same* functions inline — one code path, two schedulers — which
+is what makes serial/parallel byte-identity a structural property rather
+than a test-enforced hope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.matching.types import MatchedRoute
+from repro.od import Gate, TransitionConfig, endpoints_near_gates
+from repro.traces.model import RoutePoint
+
+
+@dataclass(frozen=True)
+class MatchTask:
+    """One transition to map-match: funnel stage 5's unit of work.
+
+    Carries only the data a worker needs (the points and identity of the
+    transition), not the orchestrator's ``Transition`` object — workers
+    report back by ``index``.
+    """
+
+    index: int
+    points: tuple[RoutePoint, ...]
+    segment_id: int
+    car_id: int
+    origin: str
+    destination: str
+
+
+@dataclass
+class MatchOutcome:
+    """What matching one transition produced.
+
+    ``route`` is ``None`` when no point found a candidate or the edge
+    sequence came back empty (off-network data); ``kept`` is the stage 5
+    post-filter verdict, always ``False`` without a route.
+    """
+
+    index: int
+    route: MatchedRoute | None
+    kept: bool
+
+
+def match_task(
+    matcher,
+    to_xy,
+    gates_by_name: dict[str, Gate],
+    config: TransitionConfig | None,
+    task: MatchTask,
+) -> MatchOutcome:
+    """Match one transition and post-filter it (funnel stage 5).
+
+    Deterministic given the matcher's graph and configs, so any worker —
+    or the orchestrator itself — computes the same outcome.
+    """
+    route = matcher.match(list(task.points), to_xy, task.segment_id, task.car_id)
+    if route is None or not route.edge_sequence:
+        return MatchOutcome(index=task.index, route=None, kept=False)
+    kept = endpoints_near_gates(
+        gates_by_name[task.origin],
+        gates_by_name[task.destination],
+        route.matched[0].snapped_xy,
+        route.matched[-1].snapped_xy,
+        config,
+    )
+    return MatchOutcome(index=task.index, route=route, kept=kept)
+
+
+def study_gates(city) -> list[Gate]:
+    """The study's OD gates for a (rebuilt) synthetic city.
+
+    Shared by the orchestrator and worker initialisers so both sides
+    derive identical gate geometry from the same :class:`CitySpec`.
+    """
+    return [
+        Gate(name=name, road=road, half_width_m=city.spec.gate_half_width_m)
+        for name, road in city.gate_roads.items()
+    ]

@@ -1,0 +1,142 @@
+"""Worker-process side of the :class:`~repro.parallel.TripExecutor`.
+
+A worker is initialised exactly once per process with a
+:class:`WorkerPayload` — the configs needed to rebuild its execution
+context (cleaning pipeline, and for study work the synthetic city, its
+spatial index, OD gates, matcher and Dijkstra route cache).  The road
+network is deterministic given the :class:`~repro.roadnet.CitySpec`, so
+shipping the small spec and rebuilding beats pickling the whole graph
+into every task.
+
+Chunks then execute against that long-lived context.  Each chunk records
+its metrics into a fresh chunk-local :class:`~repro.obs.MetricsRegistry`
+that is returned with the results, so the orchestrator can merge worker
+counters/histograms deterministically (in chunk order) — nothing is
+written into the contextvar state inherited from the parent process
+(:func:`repro.obs.reset_worker_state` clears it at init).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import obs
+from repro.cleaning import CleaningPipeline, FilterConfig, SegmentationConfig
+from repro.cleaning.segmentation import TripSegment
+from repro.obs import MetricsRegistry, use_registry
+from repro.parallel.tasks import MatchOutcome, MatchTask, match_task, study_gates
+from repro.roadnet import CitySpec, RouteCache, build_synthetic_oulu
+from repro.od import TransitionConfig, TransitionExtractor
+
+
+@dataclass(frozen=True)
+class WorkerPayload:
+    """Everything a worker needs to rebuild its execution context.
+
+    ``city_spec`` is optional: cleaning-only executors (``repro clean``)
+    never build a road network.  ``route_cache_path`` points at an
+    optional on-disk route cache every worker warms itself from.
+    """
+
+    filter_config: FilterConfig | None = None
+    segmentation_config: SegmentationConfig | None = None
+    repair: bool = True
+    city_spec: CitySpec | None = None
+    transition_config: TransitionConfig | None = None
+    matcher: str = "incremental"
+    route_cache_size: int = 50_000
+    route_cache_path: str | None = None
+
+
+class WorkerContext:
+    """The per-process context chunks execute against."""
+
+    def __init__(self, payload: WorkerPayload) -> None:
+        self.payload = payload
+        self.pipeline = CleaningPipeline(
+            payload.filter_config, payload.segmentation_config, payload.repair
+        )
+        self.city = None
+        self.to_xy = None
+        self.gates_by_name = {}
+        self.extractor = None
+        self.matcher = None
+        self.route_cache = None
+        if payload.city_spec is not None:
+            city = build_synthetic_oulu(payload.city_spec)
+            projector = city.projector
+            self.city = city
+            self.to_xy = lambda p: projector.to_xy(p.lat, p.lon)
+            gates = study_gates(city)
+            self.gates_by_name = {g.name: g for g in gates}
+            self.extractor = TransitionExtractor(
+                gates, city.central_area, payload.transition_config
+            )
+            self.route_cache = RouteCache(payload.route_cache_size, payload.route_cache_path)
+            if payload.matcher == "hmm":
+                from repro.matching import HmmMatcher
+
+                self.matcher = HmmMatcher(city.graph, route_cache=self.route_cache)
+            else:
+                from repro.matching import IncrementalMatcher
+
+                self.matcher = IncrementalMatcher(city.graph, route_cache=self.route_cache)
+
+    # -- chunk handlers (one per task kind) ---------------------------------
+
+    def clean(self, trips: list) -> list:
+        return [self.pipeline.clean_trip(trip) for trip in trips]
+
+    def extract(self, segments: list[TripSegment]) -> list:
+        if self.extractor is None:
+            raise RuntimeError("worker has no city context (city_spec not set)")
+        return [self.extractor.extract_segment(seg, self.to_xy) for seg in segments]
+
+    def match(self, tasks: list[MatchTask]) -> list[MatchOutcome]:
+        if self.matcher is None:
+            raise RuntimeError("worker has no city context (city_spec not set)")
+        return [
+            match_task(
+                self.matcher,
+                self.to_xy,
+                self.gates_by_name,
+                self.payload.transition_config,
+                task,
+            )
+            for task in tasks
+        ]
+
+
+#: The process's context; set once by :func:`init_worker`.
+_context: WorkerContext | None = None
+
+
+def init_worker(payload: WorkerPayload) -> None:
+    """Process-pool initialiser: build the shared per-worker context.
+
+    Must reset observability state first — a forked worker inherits the
+    parent's ambient registry binding and any open span frames, and
+    metrics written there would be silently lost.
+    """
+    global _context
+    obs.reset_worker_state()
+    _context = WorkerContext(payload)
+
+
+def run_chunk(kind: str, items: list) -> tuple[list, MetricsRegistry]:
+    """Process one chunk of ``kind`` tasks; return results + chunk metrics.
+
+    The chunk-local registry travels back with the results so the parent
+    can fold it into the study's registry; worker-side state never leaks
+    between chunks.
+    """
+    if _context is None:
+        # Serial in-process use (or a pool without the initializer):
+        # build a context lazily from an empty payload is wrong for
+        # city-bound work, so fail loudly instead of guessing.
+        raise RuntimeError("run_chunk called before init_worker")
+    registry = MetricsRegistry()
+    handler = getattr(_context, kind)
+    with use_registry(registry):
+        results = handler(items)
+    return results, registry

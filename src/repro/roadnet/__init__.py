@@ -34,8 +34,10 @@ from repro.roadnet.graph import RoadEdge, RoadGraph, RoadNode
 from repro.roadnet.graphbuild import JunctionPair, build_road_graph, classify_endpoints
 from repro.roadnet.routing import (
     PathResult,
+    RouteCache,
     astar,
     bidirectional_dijkstra,
+    cached_shortest_path,
     dijkstra,
     path_travel_time_s,
     shortest_path,
@@ -54,6 +56,7 @@ __all__ = [
     "MapValidationReport",
     "PathResult",
     "PointObject",
+    "RouteCache",
     "PointObjectKind",
     "RoadEdge",
     "RoadGraph",
@@ -65,6 +68,7 @@ __all__ = [
     "bidirectional_dijkstra",
     "build_road_graph",
     "build_synthetic_oulu",
+    "cached_shortest_path",
     "classify_endpoints",
     "dijkstra",
     "path_travel_time_s",

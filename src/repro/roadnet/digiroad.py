@@ -14,7 +14,6 @@ from typing import Any
 
 from repro.geo.geometry import LineString, Point
 from repro.roadnet.elements import (
-    FlowDirection,
     PointObject,
     PointObjectKind,
     SegmentedAttribute,

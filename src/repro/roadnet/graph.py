@@ -11,8 +11,7 @@ travel-time estimate derived from per-element speed limits.
 from __future__ import annotations
 
 import math
-from collections.abc import Iterable
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.geo.geometry import LineString, Point
 from repro.geo.index import GridIndex

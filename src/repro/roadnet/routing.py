@@ -2,15 +2,20 @@
 
 The paper uses pgRouting's Dijkstra to fill map-matching gaps; this module
 provides Dijkstra (with distance or free-flow travel-time weights) and an
-A* variant with an admissible straight-line heuristic.
+A* variant with an admissible straight-line heuristic, plus a
+:class:`RouteCache` so hot gap-fill queries (many trips drive the same
+network gaps) are answered without re-running Dijkstra.
 """
 
 from __future__ import annotations
 
 import heapq
+import json
 import math
+from collections import OrderedDict
 from collections.abc import Callable
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Literal
 
 from repro.geo.geometry import LineString
@@ -127,6 +132,116 @@ def shortest_path(
         return PathResult(nodes=(source,), edges=(), cost=0.0)
     dist = dijkstra(graph, source, target, weight, respect_oneway, weight_fn=weight_fn)
     return _reconstruct(dist, source, target)
+
+
+class RouteCache:
+    """LRU cache of :func:`shortest_path` results.
+
+    Keyed by ``(source_node, target_node, weight)``; unroutable pairs are
+    cached too (gap filling probes many illegal endpoint combinations, and
+    re-proving unreachability is as expensive as routing).  The cache is
+    only valid for one graph and for the default one-way semantics — keep
+    one cache per prepared road network.
+
+    ``path`` points at an optional JSON spill file: :meth:`load` warms the
+    cache from it (missing file is fine) and :meth:`save` persists the
+    current entries, so repeated runs — and every worker of a process
+    pool — start hot.
+    """
+
+    def __init__(
+        self, max_entries: int = 50_000, path: str | Path | None = None
+    ) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.path = Path(path) if path is not None else None
+        self._entries: OrderedDict[tuple[int, int, str], PathResult] = OrderedDict()
+        if self.path is not None:
+            self.load()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, source: int, target: int, weight: Weight) -> PathResult | None:
+        entry = self._entries.get((source, target, weight))
+        registry = get_registry()
+        if entry is None:
+            registry.counter("routing.route_cache_misses").inc()
+            return None
+        self._entries.move_to_end((source, target, weight))
+        registry.counter("routing.route_cache_hits").inc()
+        return entry
+
+    def put(self, source: int, target: int, weight: Weight, result: PathResult) -> None:
+        key = (source, target, weight)
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            get_registry().counter("routing.route_cache_evictions").inc()
+
+    # -- persistence --------------------------------------------------------
+
+    def load(self, path: str | Path | None = None) -> int:
+        """Warm the cache from a JSON spill file; returns entries loaded."""
+        path = Path(path) if path is not None else self.path
+        if path is None or not path.exists():
+            return 0
+        doc = json.loads(path.read_text())
+        loaded = 0
+        for row in doc.get("routes", []):
+            result = PathResult(
+                nodes=tuple(row["nodes"]),
+                edges=tuple(row["edges"]),
+                cost=math.inf if row["cost"] is None else float(row["cost"]),
+            )
+            self.put(int(row["source"]), int(row["target"]), row["weight"], result)
+            loaded += 1
+        return loaded
+
+    def save(self, path: str | Path | None = None) -> int:
+        """Persist the cache as JSON; returns entries written."""
+        path = Path(path) if path is not None else self.path
+        if path is None:
+            raise ValueError("RouteCache.save needs a path")
+        rows = [
+            {
+                "source": source,
+                "target": target,
+                "weight": weight,
+                "nodes": list(result.nodes),
+                "edges": list(result.edges),
+                "cost": None if math.isinf(result.cost) else result.cost,
+            }
+            for (source, target, weight), result in self._entries.items()
+        ]
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({"routes": rows}) + "\n")
+        return len(rows)
+
+
+def cached_shortest_path(
+    graph: RoadGraph,
+    source: int,
+    target: int,
+    weight: Weight = "length",
+    cache: RouteCache | None = None,
+) -> PathResult:
+    """:func:`shortest_path` through an optional :class:`RouteCache`.
+
+    With ``cache=None`` this is exactly ``shortest_path`` (default one-way
+    semantics).  Cached and uncached calls return equal results — the
+    cache can only change how fast an answer arrives, never the answer.
+    """
+    if cache is None:
+        return shortest_path(graph, source, target, weight)
+    hit = cache.get(source, target, weight)
+    if hit is not None:
+        return hit
+    result = shortest_path(graph, source, target, weight)
+    cache.put(source, target, weight, result)
+    return result
 
 
 def astar(

@@ -10,7 +10,6 @@ point objects detached from the network, and implausible attributes.
 
 from __future__ import annotations
 
-import math
 from collections import deque
 from dataclasses import dataclass, field
 

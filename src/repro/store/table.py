@@ -9,7 +9,7 @@ type checking, primary keys, and incremental secondary indexes.
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable, Iterator, Mapping
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 Row = dict[str, Any]

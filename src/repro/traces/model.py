@@ -11,7 +11,7 @@ cumulative fuel.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from repro.geo.distance import haversine_m
 

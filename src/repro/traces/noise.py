@@ -15,7 +15,6 @@ whichever ordering was not corrupted).
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass, replace
 

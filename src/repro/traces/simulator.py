@@ -32,9 +32,9 @@ import random
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
 
-from repro.geo.geometry import LineString, Point, crossing_angle_deg
+from repro.geo.geometry import Point, crossing_angle_deg
 from repro.geo.polygon import ThickLine
-from repro.roadnet.graph import RoadEdge, RoadGraph
+from repro.roadnet.graph import RoadEdge
 from repro.roadnet.routing import dijkstra
 from repro.roadnet.synthcity import SyntheticCity
 from repro.traces.model import FleetData, RoutePoint, Trip

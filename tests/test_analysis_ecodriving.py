@@ -52,8 +52,6 @@ class TestEcoRouting:
         assert fuels == sorted(fuels)
 
     def test_unreachable_returns_empty(self, city):
-        from repro.roadnet.graph import RoadNode
-
         # Use two distinct dead-end tips at opposite corners; they are
         # connected, so instead test a node vs itself -> no route edges.
         node = city.graph.nodes()[0].node_id

@@ -88,8 +88,6 @@ class TestStripInterpolated:
 class TestWithDropout:
     def test_restores_dropped_coverage(self, city):
         """Dropout thins a trace; interpolation restores temporal density."""
-        import random
-
         from repro.traces import FleetSpec, TaxiFleetSimulator
         from repro.traces.noise import NoiseSpec
 

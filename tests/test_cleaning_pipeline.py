@@ -1,6 +1,5 @@
 """Tests for repro.cleaning.pipeline on simulated data."""
 
-import pytest
 
 from repro.cleaning import CleaningPipeline
 from repro.cleaning.filters import FilterConfig

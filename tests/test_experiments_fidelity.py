@@ -1,9 +1,7 @@
 """Tests for repro.experiments.fidelity."""
 
-import pytest
 
 from repro.experiments.fidelity import (
-    SegmentationFidelity,
     TransitionFidelity,
     segmentation_fidelity,
     transition_fidelity,

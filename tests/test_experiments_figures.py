@@ -1,6 +1,5 @@
 """Tests for the figure generators (Figs. 3-10)."""
 
-import pytest
 
 from repro.experiments.figures import (
     fig3_speed_points,

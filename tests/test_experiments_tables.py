@@ -1,8 +1,6 @@
 """Tests for the table generators (Tables 1-5)."""
 
-import math
 
-import pytest
 
 from repro.experiments.rendering import (
     format_table,

@@ -1,6 +1,5 @@
 """Tests for repro.matching.evaluate."""
 
-import pytest
 
 from repro.matching import HmmMatcher, IncrementalMatcher, evaluate_matcher
 from repro.matching.evaluate import edge_jaccard, truth_for_segment

@@ -1,0 +1,122 @@
+"""MetricsRegistry.merge — the contract parallel workers rely on.
+
+Worker processes record into chunk-local registries that the orchestrator
+folds back in chunk order; these tests pin the merge semantics (counters
+sum, gauges last-write-wins, histograms exact for count/mean/min/max and
+deterministic for quantiles) that make parallel runs reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.obs import Histogram, MetricsRegistry, SpanRecord
+
+
+def test_counters_sum():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.counter("clean.trips_in").inc(3)
+    b.counter("clean.trips_in").inc(4)
+    b.counter("clean.points_in").inc(10)
+    a.merge(b)
+    assert a.counter("clean.trips_in").value == 7
+    assert a.counter("clean.points_in").value == 10
+    # The source registry is never mutated.
+    assert b.counter("clean.trips_in").value == 4
+
+
+def test_gauges_last_write_wins():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.gauge("clean.ratio").set(0.25)
+    b.gauge("clean.ratio").set(0.75)
+    b.gauge("clean.only_in_b").set(1.0)
+    a.merge(b)
+    assert a.gauge("clean.ratio").value == 0.75
+    assert a.gauge("clean.only_in_b").value == 1.0
+
+
+def test_merge_returns_self_for_chaining():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    c = MetricsRegistry()
+    b.counter("x").inc()
+    c.counter("x").inc()
+    assert a.merge(b).merge(c) is a
+    assert a.counter("x").value == 2
+
+
+def test_histogram_exact_stats_after_merge():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    for v in (1.0, 2.0, 3.0):
+        a.histogram("lat").observe(v)
+    for v in (10.0, 20.0):
+        b.histogram("lat").observe(v)
+    a.merge(b)
+    h = a.histogram("lat")
+    assert h.count == 5
+    assert h.total == 36.0
+    assert h.mean == 36.0 / 5
+    assert h.min == 1.0
+    assert h.max == 20.0
+
+
+def test_histogram_quantiles_after_merge():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    # Two disjoint halves of 0..99; merged quantiles must see the union.
+    for v in range(50):
+        a.histogram("lat").observe(float(v))
+    for v in range(50, 100):
+        b.histogram("lat").observe(float(v))
+    a.merge(b)
+    h = a.histogram("lat")
+    assert h.quantile(0.0) == 0.0
+    assert h.quantile(0.5) == 50.0
+    assert h.quantile(1.0) == 99.0
+    summary = h.summary()
+    assert summary["p50"] == 50.0
+    assert summary["p99"] == 98.0
+
+
+def test_histogram_merge_thins_reservoir_deterministically():
+    def build() -> Histogram:
+        target = Histogram("lat", max_samples=8)
+        for chunk in range(4):
+            part = Histogram("lat", max_samples=8)
+            for i in range(6):
+                part.observe(float(chunk * 6 + i))
+            target.merge(part)
+        return target
+
+    first, second = build(), build()
+    assert first.count == second.count == 24
+    # Reservoir overflowed (24 > 8) yet both merge sequences agree.
+    assert first.summary() == second.summary()
+    assert len(first._samples) == 8
+
+
+def test_empty_histogram_merge_is_noop():
+    a = MetricsRegistry()
+    a.histogram("lat").observe(5.0)
+    a.merge(MetricsRegistry())
+    h = a.histogram("lat")
+    assert h.count == 1 and h.min == 5.0 and h.max == 5.0
+
+
+def test_spans_append_in_merge_order():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.record_span(SpanRecord(name="first"))
+    b.record_span(SpanRecord(name="second"))
+    a.merge(b)
+    assert [s.name for s in a.spans] == ["first", "second"]
+
+
+def test_merge_into_disabled_registry_drops_everything():
+    a = MetricsRegistry(enabled=False)
+    b = MetricsRegistry()
+    b.counter("x").inc(5)
+    b.record_span(SpanRecord(name="s"))
+    a.merge(b)
+    assert a.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}, "spans": []}

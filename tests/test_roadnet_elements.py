@@ -6,7 +6,6 @@ from repro.geo.geometry import LineString
 from repro.roadnet.digiroad import MapDatabase
 from repro.roadnet.elements import (
     FlowDirection,
-    FunctionalClass,
     PointObject,
     PointObjectKind,
     SegmentedAttribute,

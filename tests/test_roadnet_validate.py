@@ -1,6 +1,5 @@
 """Tests for repro.roadnet.validate."""
 
-import pytest
 
 from repro.geo.geometry import LineString
 from repro.roadnet import validate_map

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.stats.descriptive import SixNumber, mean, quantile, six_number_summary, variance
+from repro.stats.descriptive import mean, quantile, six_number_summary, variance
 
 values_st = st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=60)
 

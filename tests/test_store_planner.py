@@ -12,7 +12,6 @@ from repro.store import (
     Query,
     SortedIndex,
     Table,
-    and_,
     between,
     eq,
     ge,

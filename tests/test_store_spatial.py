@@ -1,6 +1,5 @@
 """Tests for repro.store.spatial and repro.store.database."""
 
-import math
 
 import pytest
 

@@ -1,7 +1,6 @@
 """Tests for tools/gen_api_doc.py."""
 
 import runpy
-import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent

@@ -2,7 +2,6 @@
 
 from datetime import datetime, timezone
 
-import pytest
 
 from repro.weather import (
     SEASON_SPEED_FACTOR,

@@ -1,0 +1,131 @@
+"""Compare perf-bench timings against a committed baseline.
+
+CI's ``bench`` job runs the ``benchmarks/test_perf_*.py`` modules (which
+dump ``benchmarks/out/BENCH_<module>.json``; see ``benchmarks/conftest``)
+and then calls this script.  A benchmark *regresses* when its median
+timing exceeds the committed baseline median by more than the threshold
+(default +25%); any regression fails the job.
+
+Benchmarks absent from the baseline (newly added) or absent from the
+results (not collected on this run) are reported but never fail — the
+gate only guards benchmarks both sides know about.  Refresh the baseline
+with ``--update`` after an intentional perf change:
+
+    python tools/bench_compare.py --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO / "benchmarks" / "baseline.json"
+DEFAULT_RESULTS = REPO / "benchmarks" / "out"
+
+#: The stat the gate compares.  Median is robust to scheduler noise on
+#: shared CI runners; min/mean travel along in the dumps for diagnosis.
+STAT = "median"
+
+
+def load_results(results_dir: Path) -> dict[str, dict]:
+    """All benchmark entries from ``BENCH_*.json`` dumps, by fullname."""
+    entries: dict[str, dict] = {}
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        doc = json.loads(path.read_text())
+        for entry in doc.get("benchmarks", []):
+            entries[entry["fullname"]] = entry
+    return entries
+
+
+def load_baseline(path: Path) -> dict[str, dict]:
+    if not path.exists():
+        return {}
+    return json.loads(path.read_text()).get("benchmarks", {})
+
+
+def write_baseline(path: Path, results: dict[str, dict]) -> None:
+    doc = {
+        "stat": STAT,
+        "benchmarks": {
+            fullname: {STAT: entry[STAT]}
+            for fullname, entry in sorted(results.items())
+            if STAT in entry
+        },
+    }
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+
+
+def compare(
+    baseline: dict[str, dict],
+    results: dict[str, dict],
+    threshold: float,
+) -> tuple[list[str], bool]:
+    """Render one report line per benchmark; True when anything regressed."""
+    lines = []
+    failed = False
+    for fullname in sorted(set(baseline) | set(results)):
+        base = baseline.get(fullname, {}).get(STAT)
+        current = results.get(fullname, {}).get(STAT)
+        if base is None:
+            lines.append(f"  NEW      {fullname}: {current:.4f}s (no baseline; not gated)")
+            continue
+        if current is None:
+            lines.append(f"  MISSING  {fullname}: in baseline but not in this run")
+            continue
+        ratio = current / base if base > 0 else float("inf")
+        delta = f"{(ratio - 1) * 100:+.1f}%"
+        if ratio > 1 + threshold:
+            failed = True
+            lines.append(f"  REGRESSED {fullname}: {base:.4f}s -> {current:.4f}s ({delta})")
+        else:
+            lines.append(f"  ok       {fullname}: {base:.4f}s -> {current:.4f}s ({delta})")
+    return lines, failed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--results", type=Path, default=DEFAULT_RESULTS)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown of the median (default 0.25 = +25%%)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from the current results instead of comparing",
+    )
+    args = parser.parse_args(argv)
+
+    results = load_results(args.results)
+    if not results:
+        print(f"bench_compare: no BENCH_*.json files under {args.results}", file=sys.stderr)
+        return 2
+
+    if args.update:
+        write_baseline(args.baseline, results)
+        print(f"bench_compare: wrote {len(results)} baseline medians to {args.baseline}")
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    if not baseline:
+        print(f"bench_compare: no baseline at {args.baseline}; run with --update", file=sys.stderr)
+        return 2
+
+    lines, failed = compare(baseline, results, args.threshold)
+    print(f"bench_compare: {STAT} vs {args.baseline.name}, threshold +{args.threshold:.0%}")
+    print("\n".join(lines))
+    if failed:
+        print("bench_compare: FAIL — at least one benchmark regressed", file=sys.stderr)
+        return 1
+    print("bench_compare: all benchmarks within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
