@@ -39,7 +39,7 @@ from repro.experiments import (
     table4_route_summaries,
     table5_cell_speed_strata,
 )
-from repro.roadnet import build_synthetic_oulu
+from repro.roadnet import ROUTING_ENGINES, build_synthetic_oulu
 from repro.traces import FleetSpec, TaxiFleetSimulator
 from repro.traces.io import read_points_csv, write_points_csv, write_trips_jsonl
 
@@ -75,14 +75,27 @@ def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
         help="on-disk Dijkstra route cache to warm gap-filling from "
              "(written back by serial runs only)",
     )
+    parser.add_argument(
+        "--routing-engine", choices=ROUTING_ENGINES, default="dijkstra",
+        help="shortest-path engine for gap filling (default: dijkstra; "
+             "ch = precomputed contraction hierarchy)",
+    )
+    parser.add_argument(
+        "--ch-artifact", type=Path, default=None, metavar="FILE",
+        help="with --routing-engine ch: prepared hierarchy .npz to load "
+             "(created on first use by parallel runs)",
+    )
 
 
 def _executor_config(args: argparse.Namespace) -> ExecutorConfig:
     route_cache = getattr(args, "route_cache", None)
+    ch_artifact = getattr(args, "ch_artifact", None)
     return ExecutorConfig(
         workers=args.workers,
         chunk_size=args.chunk_size,
         route_cache_path=str(route_cache) if route_cache is not None else None,
+        routing_engine=getattr(args, "routing_engine", "dijkstra"),
+        ch_artifact_path=str(ch_artifact) if ch_artifact is not None else None,
     )
 
 

@@ -8,6 +8,7 @@ can derive the evaluation outputs without re-running stages.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.cleaning import CleaningPipeline, CleanResult
 from repro.features import GridAccumulator, GridSpec, cell_feature_counts
@@ -24,7 +25,13 @@ from repro.parallel import (
     match_task,
     study_gates,
 )
-from repro.roadnet import CitySpec, RouteCache, SyntheticCity, build_synthetic_oulu
+from repro.roadnet import (
+    CitySpec,
+    RouteCache,
+    SyntheticCity,
+    build_synthetic_oulu,
+    make_routing_engine,
+)
 from repro.stats import MixedModelResult, RandomInterceptModel
 from repro.traces import CustomerRun, FleetData, FleetSpec, TaxiFleetSimulator
 
@@ -55,6 +62,8 @@ class StudyConfig:
             matcher=self.matcher,
             route_cache_size=self.executor.route_cache_size,
             route_cache_path=self.executor.route_cache_path,
+            routing_engine=self.executor.routing_engine,
+            ch_artifact_path=self.executor.ch_artifact_path,
         )
 
 
@@ -125,6 +134,21 @@ class OuluStudy:
         config = self.config
         with span("build_city"):
             city = build_synthetic_oulu(config.city)
+        if (
+            executor.parallel
+            and config.executor.routing_engine == "ch"
+            and config.executor.ch_artifact_path is not None
+            and not Path(config.executor.ch_artifact_path).exists()
+        ):
+            # Contract once in the orchestrator and persist; every pool
+            # worker then loads the shared artifact at init instead of
+            # re-running the preprocessing per process.
+            from repro.roadnet.ch import prepare_ch, save_ch
+
+            save_ch(
+                prepare_ch(city.graph, weight="length"),
+                config.executor.ch_artifact_path,
+            )
         with span("simulate"):
             simulator = TaxiFleetSimulator(city, config.fleet)
             fleet, runs = simulator.simulate()
@@ -165,10 +189,20 @@ class OuluStudy:
                     config.executor.route_cache_size,
                     config.executor.route_cache_path,
                 )
+                engine = make_routing_engine(
+                    city.graph,
+                    config.executor.routing_engine,
+                    weight="length",
+                    ch_artifact=config.executor.ch_artifact_path,
+                )
                 if config.matcher == "hmm":
-                    matcher = HmmMatcher(city.graph, route_cache=route_cache)
+                    matcher = HmmMatcher(
+                        city.graph, route_cache=route_cache, routing_engine=engine
+                    )
                 else:
-                    matcher = IncrementalMatcher(city.graph, route_cache=route_cache)
+                    matcher = IncrementalMatcher(
+                        city.graph, route_cache=route_cache, routing_engine=engine
+                    )
                 outcomes = [
                     match_task(
                         matcher, to_xy, extractor.gates_by_name,

@@ -72,11 +72,16 @@ def connect_matches(
     route: MatchedRoute,
     max_cost_m: float = 2_000.0,
     route_cache: RouteCache | None = None,
+    engine=None,
 ) -> MatchedRoute:
     """Fill the matched route's edge sequence in place and return it.
 
-    ``route_cache`` memoises the Dijkstra sub-queries; it never changes
-    the resulting edge sequence (see :func:`cached_shortest_path`).
+    ``route_cache`` memoises the shortest-path sub-queries; it never
+    changes the resulting edge sequence (see :func:`cached_shortest_path`).
+    ``engine`` selects what answers cache misses — the default flat
+    Dijkstra, ``"astar"``/``"bidirectional"``, or a prepared
+    :class:`~repro.roadnet.ch.CHEngine`; every engine returns optimal
+    costs, so gap decisions are identical up to equal-cost path ties.
     """
     registry = get_registry()
     registry.counter("matching.gapfill_calls").inc()
@@ -111,7 +116,8 @@ def connect_matches(
                     candidate = (cost, exit1, entry2, (), ())
                 else:
                     path = cached_shortest_path(
-                        graph, exit1, entry2, weight="length", cache=route_cache
+                        graph, exit1, entry2, weight="length",
+                        cache=route_cache, engine=engine,
                     )
                     if not path.found or path.cost > max_cost_m:
                         continue

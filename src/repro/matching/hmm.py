@@ -42,10 +42,14 @@ class HmmMatcher:
         graph: RoadGraph,
         config: HmmConfig | None = None,
         route_cache=None,
+        routing_engine=None,
     ) -> None:
         self.graph = graph
         self.config = config or HmmConfig()
         self.route_cache = route_cache
+        #: Gap-fill engine: None (flat Dijkstra), an engine name, or a
+        #: prepared CH engine (see :func:`repro.roadnet.make_routing_engine`).
+        self.routing_engine = routing_engine
 
     def match(
         self,
@@ -115,7 +119,10 @@ class HmmMatcher:
             for i in range(n)
         ]
         route = MatchedRoute(segment_id=segment_id, car_id=car_id, matched=matched)
-        connect_matches(self.graph, route, route_cache=self.route_cache)
+        connect_matches(
+            self.graph, route,
+            route_cache=self.route_cache, engine=self.routing_engine,
+        )
         return route
 
     # -- probabilities ---------------------------------------------------------

@@ -47,10 +47,14 @@ class IncrementalMatcher:
         graph: RoadGraph,
         config: IncrementalConfig | None = None,
         route_cache: RouteCache | None = None,
+        routing_engine=None,
     ) -> None:
         self.graph = graph
         self.config = config or IncrementalConfig()
         self.route_cache = route_cache
+        #: Gap-fill engine: None (flat Dijkstra), an engine name, or a
+        #: prepared CH engine (see :func:`repro.roadnet.make_routing_engine`).
+        self.routing_engine = routing_engine
         self._adjacent: dict[int, set[int]] = {}
 
     # -- adjacency ------------------------------------------------------------
@@ -134,7 +138,7 @@ class IncrementalMatcher:
         route = MatchedRoute(segment_id=segment_id, car_id=car_id, matched=matched)
         connect_matches(
             self.graph, route, max_cost_m=self.config.max_gap_cost_m,
-            route_cache=self.route_cache,
+            route_cache=self.route_cache, engine=self.routing_engine,
         )
         registry.histogram("matching.match_seconds").observe(perf_counter() - t0)
         _log.debug(

@@ -25,7 +25,7 @@ from repro.cleaning import CleaningPipeline, FilterConfig, SegmentationConfig
 from repro.cleaning.segmentation import TripSegment
 from repro.obs import MetricsRegistry, use_registry
 from repro.parallel.tasks import MatchOutcome, MatchTask, match_task, study_gates
-from repro.roadnet import CitySpec, RouteCache, build_synthetic_oulu
+from repro.roadnet import CitySpec, RouteCache, build_synthetic_oulu, make_routing_engine
 from repro.od import TransitionConfig, TransitionExtractor
 
 
@@ -36,6 +36,11 @@ class WorkerPayload:
     ``city_spec`` is optional: cleaning-only executors (``repro clean``)
     never build a road network.  ``route_cache_path`` points at an
     optional on-disk route cache every worker warms itself from.
+    ``routing_engine`` picks the gap-fill shortest-path engine; with
+    ``"ch"`` each worker prepares the contraction hierarchy once at
+    init — or loads it from ``ch_artifact_path`` when the orchestrator
+    saved a shared ``.npz`` artifact — instead of paying flat Dijkstra
+    on every cache-missing query.
     """
 
     filter_config: FilterConfig | None = None
@@ -46,6 +51,8 @@ class WorkerPayload:
     matcher: str = "incremental"
     route_cache_size: int = 50_000
     route_cache_path: str | None = None
+    routing_engine: str = "dijkstra"
+    ch_artifact_path: str | None = None
 
 
 class WorkerContext:
@@ -62,6 +69,7 @@ class WorkerContext:
         self.extractor = None
         self.matcher = None
         self.route_cache = None
+        self.routing_engine = None
         if payload.city_spec is not None:
             city = build_synthetic_oulu(payload.city_spec)
             projector = city.projector
@@ -73,14 +81,28 @@ class WorkerContext:
                 gates, city.central_area, payload.transition_config
             )
             self.route_cache = RouteCache(payload.route_cache_size, payload.route_cache_path)
+            self.routing_engine = make_routing_engine(
+                city.graph,
+                payload.routing_engine,
+                weight="length",
+                ch_artifact=payload.ch_artifact_path,
+            )
             if payload.matcher == "hmm":
                 from repro.matching import HmmMatcher
 
-                self.matcher = HmmMatcher(city.graph, route_cache=self.route_cache)
+                self.matcher = HmmMatcher(
+                    city.graph,
+                    route_cache=self.route_cache,
+                    routing_engine=self.routing_engine,
+                )
             else:
                 from repro.matching import IncrementalMatcher
 
-                self.matcher = IncrementalMatcher(city.graph, route_cache=self.route_cache)
+                self.matcher = IncrementalMatcher(
+                    city.graph,
+                    route_cache=self.route_cache,
+                    routing_engine=self.routing_engine,
+                )
 
     # -- chunk handlers (one per task kind) ---------------------------------
 

@@ -17,6 +17,9 @@ preparation step:
 * :mod:`repro.roadnet.graph` — the resulting road graph;
 * :mod:`repro.roadnet.routing` — Dijkstra / A* shortest paths (the
   pgRouting substitute);
+* :mod:`repro.roadnet.ch` — a precomputed contraction-hierarchy engine
+  for the gap-fill hot path (CSR arrays, shortcut preprocessing,
+  bidirectional upward queries, ``.npz`` persistence);
 * :mod:`repro.roadnet.synthcity` — a deterministic synthetic downtown-Oulu
   generator used in place of the proprietary extract.
 """
@@ -33,20 +36,24 @@ from repro.roadnet.elements import (
 from repro.roadnet.graph import RoadEdge, RoadGraph, RoadNode
 from repro.roadnet.graphbuild import JunctionPair, build_road_graph, classify_endpoints
 from repro.roadnet.routing import (
+    ROUTING_ENGINES,
     PathResult,
     RouteCache,
     astar,
     bidirectional_dijkstra,
     cached_shortest_path,
     dijkstra,
+    make_routing_engine,
     path_travel_time_s,
     shortest_path,
     shortest_path_geometry,
 )
+from repro.roadnet.ch import CHEngine, load_ch, prepare_ch, save_ch
 from repro.roadnet.synthcity import CitySpec, SyntheticCity, build_synthetic_oulu
 from repro.roadnet.validate import MapIssue, MapValidationReport, validate_map
 
 __all__ = [
+    "CHEngine",
     "CitySpec",
     "FlowDirection",
     "FunctionalClass",
@@ -58,6 +65,7 @@ __all__ = [
     "PointObject",
     "RouteCache",
     "PointObjectKind",
+    "ROUTING_ENGINES",
     "RoadEdge",
     "RoadGraph",
     "RoadNode",
@@ -71,7 +79,11 @@ __all__ = [
     "cached_shortest_path",
     "classify_endpoints",
     "dijkstra",
+    "load_ch",
+    "make_routing_engine",
     "path_travel_time_s",
+    "prepare_ch",
+    "save_ch",
     "shortest_path",
     "shortest_path_geometry",
     "validate_map",

@@ -1,0 +1,47 @@
+"""Contraction-hierarchy routing engine — precomputed gap-fill shortest paths.
+
+The paper's map-matching stage leans on pgRouting's Dijkstra to bridge
+gaps between distant fixes (Sec. IV.E).  Flat Dijkstra pays the full
+graph-exploration cost on *every* query; a contraction hierarchy (CH)
+pays a one-time preprocessing cost — ordering nodes by importance and
+inserting shortcut arcs that preserve shortest-path distances — after
+which each query is a tiny bidirectional search over the "upward" graph
+only.  On the synthetic Oulu network queries settle a handful of nodes
+instead of hundreds.
+
+The package splits along the classic CH phases:
+
+* :mod:`repro.roadnet.ch.csr` — flatten a
+  :class:`~repro.roadnet.graph.RoadGraph` into CSR-style NumPy arrays
+  (offsets/targets/weights/edge ids), honouring one-way semantics;
+* :mod:`repro.roadnet.ch.contract` — edge-difference node ordering with
+  a lazy-update priority queue and witness-search-limited shortcut
+  insertion;
+* :mod:`repro.roadnet.ch.engine` — :class:`CHEngine`: the bidirectional
+  upward query plus recursive shortcut unpacking back to the original
+  :class:`~repro.roadnet.graph.RoadEdge` sequence, so the result is a
+  plain :class:`~repro.roadnet.routing.PathResult` and downstream
+  helpers (``shortest_path_geometry``, ``path_travel_time_s``) work
+  unchanged;
+* :mod:`repro.roadnet.ch.io` — ``.npz`` save/load so worker processes
+  load a shared prepared artifact instead of re-contracting per process.
+
+Entry points: :func:`prepare_ch` builds an engine from a road graph;
+:func:`save_ch` / :func:`load_ch` persist it.
+"""
+
+from repro.roadnet.ch.contract import ContractionResult, contract_graph
+from repro.roadnet.ch.csr import CSRGraph, build_csr
+from repro.roadnet.ch.engine import CHEngine, prepare_ch
+from repro.roadnet.ch.io import load_ch, save_ch
+
+__all__ = [
+    "CHEngine",
+    "CSRGraph",
+    "ContractionResult",
+    "build_csr",
+    "contract_graph",
+    "load_ch",
+    "prepare_ch",
+    "save_ch",
+]

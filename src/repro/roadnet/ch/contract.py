@@ -1,0 +1,222 @@
+"""Contraction-hierarchy preprocessing.
+
+Nodes are removed ("contracted") one by one in ascending importance;
+whenever removing a node would break a shortest path running through it,
+a *shortcut* arc bridging the two incident arcs is inserted.  The result
+is the original arc set plus shortcuts, and a rank per node — everything
+the bidirectional upward query needs.
+
+Importance is the classic lazy heuristic: ``2 * edge_difference +
+deleted_neighbours``, where edge difference is (shortcuts required −
+arcs removed) from a simulated contraction.  The priority queue is
+updated lazily: popped nodes are re-evaluated and pushed back when
+stale, which avoids recomputing every priority after every contraction.
+
+A shortcut ``u -> x`` over ``v`` is only required when no *witness*
+path of cost ``<= w(u,v) + w(v,x)`` survives in the remaining graph
+without ``v``.  Witness searches are bounded (cost cap + settled-node
+limit); a truncated search conservatively inserts the shortcut, which
+can only add redundant arcs, never wrong distances.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.roadnet.ch.csr import CSRGraph
+
+#: Settled-node budget of one witness search during real contraction.
+WITNESS_SETTLE_LIMIT = 120
+
+#: Cheaper budget while simulating contractions for the priority queue.
+SIMULATE_SETTLE_LIMIT = 40
+
+
+@dataclass
+class ContractionResult:
+    """The contracted graph: all arcs (original + shortcuts) and ranks.
+
+    Arc arrays are parallel.  Original arcs carry the originating
+    ``RoadEdge`` id in ``arc_edge`` and ``-1`` in both skip columns;
+    shortcuts carry ``-1`` in ``arc_edge`` and the two constituent arc
+    positions (lower-rank arcs, possibly themselves shortcuts) in
+    ``arc_skip1``/``arc_skip2``.
+    """
+
+    rank: np.ndarray          # (n,)  int64: contraction order, 0 first
+    arc_from: np.ndarray      # (m,)  int64 node index
+    arc_to: np.ndarray        # (m,)  int64 node index
+    arc_weight: np.ndarray    # (m,)  float64
+    arc_edge: np.ndarray      # (m,)  int64: RoadEdge id or -1
+    arc_skip1: np.ndarray     # (m,)  int64: arc position or -1
+    arc_skip2: np.ndarray     # (m,)  int64: arc position or -1
+
+    @property
+    def shortcut_count(self) -> int:
+        return int((self.arc_edge < 0).sum())
+
+    @property
+    def arc_count(self) -> int:
+        return len(self.arc_from)
+
+
+class _Contractor:
+    """Mutable working state of one contraction run."""
+
+    def __init__(self, csr: CSRGraph) -> None:
+        self.n = csr.node_count
+        # Parallel arc store; grows as shortcuts are inserted.
+        self.arc_from: list[int] = []
+        self.arc_to: list[int] = []
+        self.arc_weight: list[float] = []
+        self.arc_edge: list[int] = []
+        self.arc_skip1: list[int] = []
+        self.arc_skip2: list[int] = []
+        # Active adjacency: min-cost arc position per neighbour pair.
+        self.out_adj: list[dict[int, int]] = [{} for __ in range(self.n)]
+        self.in_adj: list[dict[int, int]] = [{} for __ in range(self.n)]
+        self.contracted = [False] * self.n
+        self.deleted_neighbours = [0] * self.n
+        for u in range(self.n):
+            for pos in csr.out_arcs(u):
+                self._add_arc(
+                    u,
+                    int(csr.targets[pos]),
+                    float(csr.weights[pos]),
+                    int(csr.edge_ids[pos]),
+                    -1,
+                    -1,
+                )
+
+    def _add_arc(
+        self, u: int, v: int, weight: float, edge: int, skip1: int, skip2: int
+    ) -> int:
+        pos = len(self.arc_from)
+        self.arc_from.append(u)
+        self.arc_to.append(v)
+        self.arc_weight.append(weight)
+        self.arc_edge.append(edge)
+        self.arc_skip1.append(skip1)
+        self.arc_skip2.append(skip2)
+        # Keep only the cheapest parallel arc active (ties keep the
+        # earlier arc, so the adjacency is deterministic).
+        best = self.out_adj[u].get(v)
+        if best is None or weight < self.arc_weight[best]:
+            self.out_adj[u][v] = pos
+            self.in_adj[v][u] = pos
+        return pos
+
+    # -- witness search -----------------------------------------------------
+
+    def _witness_costs(
+        self, source: int, excluded: int, cap: float, settle_limit: int
+    ) -> dict[int, float]:
+        """Bounded Dijkstra over the remaining graph without ``excluded``.
+
+        Returns settled costs up to ``cap``; truncation (settle budget or
+        cap) just means some targets stay unproven — callers then insert
+        the shortcut, which is safe.
+        """
+        dist: dict[int, float] = {source: 0.0}
+        settled: set[int] = set()
+        heap: list[tuple[float, int]] = [(0.0, source)]
+        while heap and len(settled) < settle_limit:
+            cost, node = heapq.heappop(heap)
+            if node in settled:
+                continue
+            settled.add(node)
+            if cost > cap:
+                break
+            for other, pos in self.out_adj[node].items():
+                if other == excluded or self.contracted[other] or other in settled:
+                    continue
+                new_cost = cost + self.arc_weight[pos]
+                if new_cost <= cap and new_cost < dist.get(other, float("inf")):
+                    dist[other] = new_cost
+                    heapq.heappush(heap, (new_cost, other))
+        return {node: dist[node] for node in settled}
+
+    # -- contraction --------------------------------------------------------
+
+    def _shortcuts_for(
+        self, v: int, settle_limit: int
+    ) -> tuple[list[tuple[int, int, float, int, int]], int]:
+        """Shortcuts required to contract ``v`` (and arcs it removes).
+
+        Returns ``([(u, x, weight, skip1, skip2), ...], removed_arcs)``.
+        """
+        ins = [
+            (u, pos)
+            for u, pos in self.in_adj[v].items()
+            if not self.contracted[u] and u != v
+        ]
+        outs = [
+            (x, pos)
+            for x, pos in self.out_adj[v].items()
+            if not self.contracted[x] and x != v
+        ]
+        needed: list[tuple[int, int, float, int, int]] = []
+        for u, in_pos in ins:
+            w1 = self.arc_weight[in_pos]
+            relevant = [(x, pos) for x, pos in outs if x != u]
+            if not relevant:
+                continue
+            cap = max(w1 + self.arc_weight[pos] for __, pos in relevant)
+            witness = self._witness_costs(u, v, cap, settle_limit)
+            for x, out_pos in relevant:
+                through = w1 + self.arc_weight[out_pos]
+                if witness.get(x, float("inf")) <= through:
+                    continue
+                needed.append((u, x, through, in_pos, out_pos))
+        removed = len(ins) + len(outs)
+        return needed, removed
+
+    def priority(self, v: int) -> int:
+        needed, removed = self._shortcuts_for(v, SIMULATE_SETTLE_LIMIT)
+        return 2 * (len(needed) - removed) + self.deleted_neighbours[v]
+
+    def contract(self, v: int) -> int:
+        """Contract ``v``; returns the number of shortcuts added."""
+        needed, __ = self._shortcuts_for(v, WITNESS_SETTLE_LIMIT)
+        for u, x, weight, skip1, skip2 in needed:
+            self._add_arc(u, x, weight, -1, skip1, skip2)
+        self.contracted[v] = True
+        neighbours = set(self.out_adj[v]) | set(self.in_adj[v])
+        for node in neighbours:
+            if node != v and not self.contracted[node]:
+                self.deleted_neighbours[node] += 1
+        return len(needed)
+
+
+def contract_graph(csr: CSRGraph) -> ContractionResult:
+    """Run the full node ordering + shortcut insertion over ``csr``."""
+    state = _Contractor(csr)
+    n = state.n
+    rank = np.zeros(n, dtype=np.int64)
+    # Seed the lazy queue; node index breaks ties deterministically.
+    heap: list[tuple[int, int]] = [(state.priority(v), v) for v in range(n)]
+    heapq.heapify(heap)
+    order = 0
+    while heap:
+        priority, v = heapq.heappop(heap)
+        if state.contracted[v]:
+            continue
+        current = state.priority(v)
+        if heap and current > heap[0][0]:
+            heapq.heappush(heap, (current, v))
+            continue
+        state.contract(v)
+        rank[v] = order
+        order += 1
+    return ContractionResult(
+        rank=rank,
+        arc_from=np.asarray(state.arc_from, dtype=np.int64),
+        arc_to=np.asarray(state.arc_to, dtype=np.int64),
+        arc_weight=np.asarray(state.arc_weight, dtype=np.float64),
+        arc_edge=np.asarray(state.arc_edge, dtype=np.int64),
+        arc_skip1=np.asarray(state.arc_skip1, dtype=np.int64),
+        arc_skip2=np.asarray(state.arc_skip2, dtype=np.int64),
+    )

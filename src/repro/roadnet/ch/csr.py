@@ -1,0 +1,109 @@
+"""CSR flattening of a :class:`~repro.roadnet.graph.RoadGraph`.
+
+The dict-of-lists adjacency that serves graph construction is the wrong
+shape for preprocessing: contraction and the upward query want dense
+integer node indices and flat arrays.  :func:`build_csr` assigns every
+node a contiguous index (sorted by original node id, so the layout is
+deterministic for a given graph) and emits one *directed arc* per legal
+traversal direction of each edge — one-way edges contribute a single
+arc, two-way edges contribute two.  Zero-information self loops are
+dropped: they can never lie on a shortest path with non-negative
+weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.roadnet.graph import RoadGraph
+from repro.roadnet.routing import Weight, WeightFn, _edge_weight
+
+
+@dataclass
+class CSRGraph:
+    """A road graph as flat arrays of directed arcs.
+
+    ``offsets[i]:offsets[i+1]`` slices the arcs leaving node index ``i``;
+    ``targets``/``weights``/``edge_ids`` are parallel over arcs.
+    ``node_ids`` maps node index back to the original graph node id.
+    """
+
+    weight: str
+    respect_oneway: bool
+    node_ids: np.ndarray      # (n,)  int64: index -> original node id
+    offsets: np.ndarray       # (n+1,) int64
+    targets: np.ndarray       # (m,)  int64: arc head node *index*
+    weights: np.ndarray       # (m,)  float64, non-negative
+    edge_ids: np.ndarray      # (m,)  int64: originating RoadEdge id
+    _index: dict[int, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self._index:
+            self._index = {int(nid): i for i, nid in enumerate(self.node_ids)}
+
+    @property
+    def node_count(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def arc_count(self) -> int:
+        return len(self.targets)
+
+    def index_of(self, node_id: int) -> int | None:
+        """Node index for an original node id (None when absent)."""
+        return self._index.get(node_id)
+
+    def out_arcs(self, index: int) -> range:
+        """Arc positions leaving node ``index``."""
+        return range(int(self.offsets[index]), int(self.offsets[index + 1]))
+
+
+def build_csr(
+    graph: RoadGraph,
+    weight: Weight = "length",
+    respect_oneway: bool = True,
+    weight_fn: WeightFn | None = None,
+) -> CSRGraph:
+    """Flatten ``graph`` into a :class:`CSRGraph`.
+
+    Arc order is deterministic: nodes sorted by id, and within a node
+    the arcs sorted by originating edge id — rebuilding from the same
+    graph always yields byte-identical arrays (the property the ``.npz``
+    round-trip tests pin).
+    """
+    node_ids = sorted(n.node_id for n in graph.nodes())
+    index = {nid: i for i, nid in enumerate(node_ids)}
+    per_node: list[list[tuple[int, float, int]]] = [[] for __ in node_ids]
+    for edge in sorted(graph.edges(), key=lambda e: e.edge_id):
+        if edge.u == edge.v:
+            continue  # self loops never improve a shortest path
+        cost = weight_fn(edge) if weight_fn is not None else _edge_weight(edge, weight)
+        cost = float(cost)
+        if cost < 0.0:
+            raise ValueError(f"negative weight on edge {edge.edge_id}")
+        if edge.forward_allowed or not respect_oneway:
+            per_node[index[edge.u]].append((index[edge.v], cost, edge.edge_id))
+        if edge.backward_allowed or not respect_oneway:
+            per_node[index[edge.v]].append((index[edge.u], cost, edge.edge_id))
+    offsets = np.zeros(len(node_ids) + 1, dtype=np.int64)
+    targets: list[int] = []
+    weights: list[float] = []
+    edge_ids: list[int] = []
+    for i, arcs in enumerate(per_node):
+        for head, cost, eid in arcs:
+            targets.append(head)
+            weights.append(cost)
+            edge_ids.append(eid)
+        offsets[i + 1] = len(targets)
+    return CSRGraph(
+        weight=weight,
+        respect_oneway=respect_oneway,
+        node_ids=np.asarray(node_ids, dtype=np.int64),
+        offsets=offsets,
+        targets=np.asarray(targets, dtype=np.int64),
+        weights=np.asarray(weights, dtype=np.float64),
+        edge_ids=np.asarray(edge_ids, dtype=np.int64),
+        _index=index,
+    )

@@ -1,0 +1,271 @@
+"""The CH query engine: bidirectional upward search + shortcut unpacking.
+
+A CH query runs two Dijkstras that only ever relax arcs towards
+higher-ranked nodes: a forward search from the source over *upward*
+arcs, and a backward search from the target over reversed upward arcs.
+Both search spaces are tiny — the hierarchy funnels every shortest path
+through a small set of important nodes — and the cheapest node settled
+by both sides is the apex of the optimal up-down path.
+
+The arc chains on either side of the apex are then unpacked: shortcuts
+expand recursively into their constituent arcs until only original
+road-graph arcs remain, which map 1:1 onto ``RoadEdge`` traversals.  The
+result is a plain :class:`~repro.roadnet.routing.PathResult` whose cost
+is recomputed as the left-to-right sum of the unpacked arc weights — the
+same accumulation order Dijkstra uses along the same path — so existing
+consumers (``shortest_path_geometry``, ``path_travel_time_s``, the gap
+filler's ``max_cost_m`` check) behave identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from time import perf_counter
+
+import numpy as np
+
+from repro.obs import get_registry, span
+from repro.roadnet.ch.contract import ContractionResult, contract_graph
+from repro.roadnet.ch.csr import build_csr
+from repro.roadnet.graph import RoadGraph
+from repro.roadnet.routing import PathResult, Weight
+
+_NO_PATH = PathResult(nodes=(), edges=(), cost=float("inf"))
+
+#: Format version stamped into saved artifacts (see :mod:`.io`).
+CH_FORMAT_VERSION = 1
+
+
+@dataclass(eq=False)
+class CHEngine:
+    """A prepared contraction hierarchy over one road graph + weight.
+
+    Everything the query needs lives in flat arrays (what ``.npz``
+    persistence serialises); the per-node upward adjacency lists are
+    derived once at construction.  The engine answers
+    :meth:`shortest_path` with results interchangeable with
+    :func:`repro.roadnet.routing.shortest_path` — equal costs, a legal
+    edge sequence, possibly a different tie among equal-cost paths.
+    """
+
+    weight: str
+    respect_oneway: bool
+    node_ids: np.ndarray      # (n,) int64: node index -> original id
+    rank: np.ndarray          # (n,) int64 contraction order
+    arc_from: np.ndarray
+    arc_to: np.ndarray
+    arc_weight: np.ndarray
+    arc_edge: np.ndarray      # original RoadEdge id, -1 for shortcuts
+    arc_skip1: np.ndarray
+    arc_skip2: np.ndarray
+    _index: dict[int, int] = field(default_factory=dict, repr=False)
+    _up_fwd: list[list[tuple[int, float, int]]] = field(default_factory=list, repr=False)
+    _up_bwd: list[list[tuple[int, float, int]]] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self._index:
+            self._index = {int(nid): i for i, nid in enumerate(self.node_ids)}
+        if not self._up_fwd:
+            self._build_upward()
+        # Generation-stamped scratch state: reused across queries so the
+        # hot path never allocates per-node dicts (stale entries are
+        # invalidated by bumping the generation, not by clearing).
+        n = len(self.node_ids)
+        self._gen = 0
+        self._dist = [[0.0] * n, [0.0] * n]
+        self._prev = [[-1] * n, [-1] * n]
+        self._seen = [[0] * n, [0] * n]
+        self._done = [[0] * n, [0] * n]
+        # Plain-list views of the arc arrays: NumPy scalar indexing is an
+        # order of magnitude slower than list indexing, and unpacking
+        # touches every arc of every answered path.
+        self._node_id_list: list[int] = self.node_ids.tolist()
+        self._arc_from_list: list[int] = self.arc_from.tolist()
+        self._arc_to_list: list[int] = self.arc_to.tolist()
+        self._arc_weight_list: list[float] = self.arc_weight.tolist()
+        self._arc_edge_list: list[int] = self.arc_edge.tolist()
+        self._arc_skip1_list: list[int] = self.arc_skip1.tolist()
+        self._arc_skip2_list: list[int] = self.arc_skip2.tolist()
+
+    def _build_upward(self) -> None:
+        n = len(self.node_ids)
+        rank = self.rank
+        fwd: list[list[tuple[int, float, int]]] = [[] for __ in range(n)]
+        bwd: list[list[tuple[int, float, int]]] = [[] for __ in range(n)]
+        for pos in range(len(self.arc_from)):
+            u = int(self.arc_from[pos])
+            v = int(self.arc_to[pos])
+            w = float(self.arc_weight[pos])
+            if rank[v] > rank[u]:
+                fwd[u].append((v, w, pos))
+            if rank[u] > rank[v]:
+                bwd[v].append((u, w, pos))
+        self._up_fwd = fwd
+        self._up_bwd = bwd
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def arc_count(self) -> int:
+        return len(self.arc_from)
+
+    @property
+    def shortcut_count(self) -> int:
+        return int((self.arc_edge < 0).sum())
+
+    # -- query --------------------------------------------------------------
+
+    def shortest_path(self, source: int, target: int) -> PathResult:
+        """CH shortest path between two original node ids.
+
+        Unknown node ids and disconnected pairs both yield a no-path
+        result, mirroring :func:`~repro.roadnet.routing.shortest_path`.
+        """
+        registry = get_registry()
+        registry.counter("routing.ch_query_calls").inc()
+        if source == target:
+            return PathResult(nodes=(source,), edges=(), cost=0.0)
+        s = self._index.get(source)
+        t = self._index.get(target)
+        if s is None or t is None:
+            return _NO_PATH
+
+        self._gen += 1
+        gen = self._gen
+        adjacency = (self._up_fwd, self._up_bwd)
+        dist, prev, seen, done = self._dist, self._prev, self._seen, self._done
+        heaps: list[list[tuple[float, int]]] = [[(0.0, s)], [(0.0, t)]]
+        for side, start in ((0, s), (1, t)):
+            dist[side][start] = 0.0
+            prev[side][start] = -1
+            seen[side][start] = gen
+        best_cost = float("inf")
+        apex = -1
+        settled = 0
+        while heaps[0] or heaps[1]:
+            # Work on the direction with the smaller frontier head; a
+            # direction whose head already exceeds the best meeting cost
+            # can never improve it (both searches only go upward).
+            if heaps[0] and (not heaps[1] or heaps[0][0][0] <= heaps[1][0][0]):
+                side = 0
+            else:
+                side = 1
+            cost, node = heapq.heappop(heaps[side])
+            if done[side][node] == gen:
+                continue
+            if cost >= best_cost:
+                heaps[side] = []
+                continue
+            done[side][node] = gen
+            settled += 1
+            other_side = 1 - side
+            if seen[other_side][node] == gen:
+                total = cost + dist[other_side][node]
+                if total < best_cost:
+                    best_cost = total
+                    apex = node
+            side_dist = dist[side]
+            side_seen = seen[side]
+            side_prev = prev[side]
+            side_done = done[side]
+            heap = heaps[side]
+            for other, weight, pos in adjacency[side][node]:
+                if side_done[other] == gen:
+                    continue
+                new_cost = cost + weight
+                if side_seen[other] != gen or new_cost < side_dist[other]:
+                    side_dist[other] = new_cost
+                    side_seen[other] = gen
+                    side_prev[other] = pos
+                    heapq.heappush(heap, (new_cost, other))
+        registry.counter("routing.ch_settled_nodes").inc(settled)
+        if apex < 0:
+            return _NO_PATH
+        arcs = self._arc_chain(apex, prev[0], reverse=True)
+        arcs += self._arc_chain(apex, prev[1], reverse=False)
+        return self._unpack(s, arcs)
+
+    def _arc_chain(self, apex: int, prev: list[int], reverse: bool) -> list[int]:
+        """Arc positions from the search root to ``apex`` (root-first when
+        ``reverse``, apex-first otherwise — i.e. always path order)."""
+        chain: list[int] = []
+        node = apex
+        step = self._arc_from_list if reverse else self._arc_to_list
+        while True:
+            pos = prev[node]
+            if pos < 0:
+                break
+            chain.append(pos)
+            node = step[pos]
+        if reverse:
+            chain.reverse()
+        return chain
+
+    def _unpack(self, start_index: int, arcs: list[int]) -> PathResult:
+        """Expand shortcuts and rebuild the original node/edge sequence."""
+        skip1s = self._arc_skip1_list
+        skip2s = self._arc_skip2_list
+        original: list[int] = []
+        stack = list(reversed(arcs))
+        while stack:
+            pos = stack.pop()
+            skip1 = skip1s[pos]
+            if skip1 < 0:
+                original.append(pos)
+            else:
+                stack.append(skip2s[pos])
+                stack.append(skip1)
+        node_ids = self._node_id_list
+        arc_to = self._arc_to_list
+        arc_edge = self._arc_edge_list
+        arc_weight = self._arc_weight_list
+        nodes = [node_ids[start_index]]
+        edges: list[int] = []
+        cost = 0.0
+        for pos in original:
+            nodes.append(node_ids[arc_to[pos]])
+            edges.append(arc_edge[pos])
+            cost += arc_weight[pos]
+        return PathResult(nodes=tuple(nodes), edges=tuple(edges), cost=cost)
+
+
+def prepare_ch(
+    graph: RoadGraph,
+    weight: Weight = "length",
+    respect_oneway: bool = True,
+) -> CHEngine:
+    """Build a :class:`CHEngine` for ``graph`` under one weight kind.
+
+    Deterministic for a given graph (node order, arc order and the
+    lazy-queue tie-breaks are all fixed), so every worker process — or a
+    saved/loaded artifact — yields identical hierarchies.  Records
+    ``routing.ch_*`` gauges plus a ``ch_prepare`` span.
+    """
+    t0 = perf_counter()
+    with span("ch_prepare"):
+        csr = build_csr(graph, weight=weight, respect_oneway=respect_oneway)
+        result: ContractionResult = contract_graph(csr)
+        engine = CHEngine(
+            weight=weight,
+            respect_oneway=respect_oneway,
+            node_ids=csr.node_ids,
+            rank=result.rank,
+            arc_from=result.arc_from,
+            arc_to=result.arc_to,
+            arc_weight=result.arc_weight,
+            arc_edge=result.arc_edge,
+            arc_skip1=result.arc_skip1,
+            arc_skip2=result.arc_skip2,
+        )
+    registry = get_registry()
+    registry.counter("routing.ch_prepare_calls").inc()
+    registry.gauge("routing.ch_prepare_seconds").set(perf_counter() - t0)
+    registry.gauge("routing.ch_nodes").set(engine.node_count)
+    registry.gauge("routing.ch_arcs").set(engine.arc_count)
+    registry.gauge("routing.ch_shortcuts").set(engine.shortcut_count)
+    return engine

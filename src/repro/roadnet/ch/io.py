@@ -1,0 +1,69 @@
+"""``.npz`` persistence of a prepared :class:`~repro.roadnet.ch.CHEngine`.
+
+Contraction is the expensive half of CH; the artifact it produces is a
+handful of flat integer/float arrays.  :func:`save_ch` serialises them
+with :func:`numpy.savez_compressed` and :func:`load_ch` rebuilds an
+engine (re-deriving the upward adjacency), so a process pool prepares
+the hierarchy once — in the orchestrator or a previous run — and every
+worker loads the shared artifact instead of re-contracting.
+
+The file embeds a format version plus the weight kind and one-way
+semantics the hierarchy was built under; loading rejects mismatched
+versions loudly rather than answering queries from the wrong geometry.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs import get_registry
+from repro.roadnet.ch.engine import CH_FORMAT_VERSION, CHEngine
+
+_ARRAY_FIELDS = (
+    "node_ids",
+    "rank",
+    "arc_from",
+    "arc_to",
+    "arc_weight",
+    "arc_edge",
+    "arc_skip1",
+    "arc_skip2",
+)
+
+
+def save_ch(engine: CHEngine, path: str | Path) -> Path:
+    """Write ``engine`` to ``path`` as a compressed ``.npz`` artifact."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = {name: getattr(engine, name) for name in _ARRAY_FIELDS}
+    with path.open("wb") as handle:
+        np.savez_compressed(
+            handle,
+            version=np.int64(CH_FORMAT_VERSION),
+            weight=np.str_(engine.weight),
+            respect_oneway=np.bool_(engine.respect_oneway),
+            **arrays,
+        )
+    get_registry().counter("routing.ch_artifact_saves").inc()
+    return path
+
+
+def load_ch(path: str | Path) -> CHEngine:
+    """Rebuild a :class:`CHEngine` from a :func:`save_ch` artifact."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as doc:
+        version = int(doc["version"])
+        if version != CH_FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: CH artifact format v{version}, "
+                f"expected v{CH_FORMAT_VERSION}"
+            )
+        engine = CHEngine(
+            weight=str(doc["weight"]),
+            respect_oneway=bool(doc["respect_oneway"]),
+            **{name: doc[name].copy() for name in _ARRAY_FIELDS},
+        )
+    get_registry().counter("routing.ch_artifact_loads").inc()
+    return engine

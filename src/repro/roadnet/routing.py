@@ -27,6 +27,11 @@ Weight = Literal["length", "time"]
 #: Optional custom edge-cost function (must be non-negative).
 WeightFn = Callable[[RoadEdge], float]
 
+#: Selectable routing engines (the CLI's ``--routing-engine`` choices).
+#: ``dijkstra`` is the default everywhere; ``ch`` needs a prepared
+#: :class:`~repro.roadnet.ch.CHEngine` (see :func:`make_routing_engine`).
+ROUTING_ENGINES = ("dijkstra", "astar", "bidirectional", "ch")
+
 #: Upper bound on road speed used to keep the A* time heuristic admissible.
 MAX_SPEED_KMH = 120.0
 
@@ -143,6 +148,12 @@ class RouteCache:
     only valid for one graph and for the default one-way semantics — keep
     one cache per prepared road network.
 
+    Effectiveness is observable, not cache-internal: every lookup and
+    eviction feeds the ambient :class:`~repro.obs.MetricsRegistry`
+    (``routing.route_cache_hits`` / ``..._misses`` / ``..._evictions``
+    counters and a ``routing.route_cache_entries`` gauge), so hit rates
+    land in ``metrics.json`` next to the ``routing.ch_*`` counters.
+
     ``path`` points at an optional JSON spill file: :meth:`load` warms the
     cache from it (missing file is fine) and :meth:`save` persists the
     current entries, so repeated runs — and every worker of a process
@@ -177,9 +188,11 @@ class RouteCache:
         key = (source, target, weight)
         self._entries[key] = result
         self._entries.move_to_end(key)
+        registry = get_registry()
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
-            get_registry().counter("routing.route_cache_evictions").inc()
+            registry.counter("routing.route_cache_evictions").inc()
+        registry.gauge("routing.route_cache_entries").set(len(self._entries))
 
     # -- persistence --------------------------------------------------------
 
@@ -221,25 +234,89 @@ class RouteCache:
         return len(rows)
 
 
+def make_routing_engine(
+    graph: RoadGraph,
+    name: str | None,
+    weight: Weight = "length",
+    ch_artifact: str | Path | None = None,
+):
+    """Resolve an engine name into the ``engine`` argument of
+    :func:`cached_shortest_path`.
+
+    ``None``/``"dijkstra"`` resolve to ``None`` (the flat default);
+    ``"astar"``/``"bidirectional"`` pass through as names; ``"ch"``
+    prepares a :class:`~repro.roadnet.ch.CHEngine` for ``graph`` — or
+    loads ``ch_artifact`` when it exists and matches the requested
+    weight, which is how pool workers skip re-contracting.
+    """
+    if name is None or name == "dijkstra":
+        return None
+    if name in ("astar", "bidirectional"):
+        return name
+    if name == "ch":
+        from repro.roadnet.ch import load_ch, prepare_ch
+
+        if ch_artifact is not None and Path(ch_artifact).exists():
+            engine = load_ch(ch_artifact)
+            if engine.weight == weight and engine.respect_oneway:
+                return engine
+        return prepare_ch(graph, weight=weight)
+    raise ValueError(
+        f"unknown routing engine {name!r}; choose from {ROUTING_ENGINES}"
+    )
+
+
+def _engine_shortest_path(
+    graph: RoadGraph,
+    source: int,
+    target: int,
+    weight: Weight,
+    engine,
+) -> PathResult:
+    """Dispatch one shortest-path query to the selected engine."""
+    if engine is None or engine == "dijkstra":
+        return shortest_path(graph, source, target, weight)
+    if engine == "astar":
+        return astar(graph, source, target, weight)
+    if engine == "bidirectional":
+        return bidirectional_dijkstra(graph, source, target, weight)
+    if isinstance(engine, str):
+        raise ValueError(
+            f"unknown routing engine {engine!r}; choose from {ROUTING_ENGINES} "
+            "(a 'ch' engine must be prepared via make_routing_engine)"
+        )
+    if getattr(engine, "weight", weight) != weight:
+        raise ValueError(
+            f"routing engine prepared for weight={engine.weight!r}, "
+            f"query asked for weight={weight!r}"
+        )
+    return engine.shortest_path(source, target)
+
+
 def cached_shortest_path(
     graph: RoadGraph,
     source: int,
     target: int,
     weight: Weight = "length",
     cache: RouteCache | None = None,
+    engine=None,
 ) -> PathResult:
     """:func:`shortest_path` through an optional :class:`RouteCache`.
 
-    With ``cache=None`` this is exactly ``shortest_path`` (default one-way
-    semantics).  Cached and uncached calls return equal results — the
-    cache can only change how fast an answer arrives, never the answer.
+    With ``cache=None`` and ``engine=None`` this is exactly
+    ``shortest_path`` (default one-way semantics).  ``engine`` selects
+    the algorithm answering cache misses — ``"astar"``,
+    ``"bidirectional"``, or a prepared :class:`~repro.roadnet.ch.CHEngine`
+    — all of which return optimal costs, so neither the cache nor the
+    engine can change how *good* an answer is, only how fast it arrives
+    (equal-cost ties may pick a different, equally short path).
     """
     if cache is None:
-        return shortest_path(graph, source, target, weight)
+        return _engine_shortest_path(graph, source, target, weight, engine)
     hit = cache.get(source, target, weight)
     if hit is not None:
         return hit
-    result = shortest_path(graph, source, target, weight)
+    result = _engine_shortest_path(graph, source, target, weight, engine)
     cache.put(source, target, weight, result)
     return result
 

@@ -60,6 +60,29 @@ class TestGridIndexBasics:
         with pytest.raises(ValueError):
             idx.query_radius((0.0, 0.0), -1.0)
 
+    def test_churn_preserves_query_results_and_insertion_order(self):
+        # Exercise the O(1) dict-bucket removal path: heavy interleaved
+        # insert/remove churn in one shared cell, then confirm survivors
+        # are exactly right and query order still follows insertion order.
+        rng = random.Random(42)
+        idx = GridIndex(100.0)
+        alive: list[int] = []
+        for step in range(2000):
+            if alive and rng.random() < 0.5:
+                victim = alive.pop(rng.randrange(len(alive)))
+                idx.remove(victim)
+            else:
+                idx.insert_point(step, (rng.uniform(0.0, 90.0), rng.uniform(0.0, 90.0)))
+                alive.append(step)
+        assert len(idx) == len(alive)
+        assert idx.query_box(0.0, 0.0, 90.0, 90.0) == alive
+
+    def test_remove_spanning_item_clears_every_cell(self):
+        idx = GridIndex(100.0)
+        idx.insert("long", 0.0, 0.0, 950.0, 10.0)
+        idx.remove("long")
+        assert idx._cells == {}
+
 
 class TestNearest:
     def test_empty_returns_none(self):

@@ -166,6 +166,16 @@ class TestRouteCache:
         assert registry.counter("routing.route_cache_misses").value == 1
         assert registry.counter("routing.route_cache_hits").value == 1
 
+    def test_eviction_counter_and_entries_gauge(self):
+        registry = obs.MetricsRegistry()
+        hit = PathResult(nodes=(1, 2), edges=(7,), cost=5.0)
+        with obs.use_registry(registry):
+            cache = RouteCache(max_entries=2)
+            for target in (2, 3, 4, 5):
+                cache.put(1, target, "length", hit)
+        assert registry.counter("routing.route_cache_evictions").value == 2
+        assert registry.gauge("routing.route_cache_entries").value == 2.0
+
 
 # -- serial vs parallel equivalence -----------------------------------------
 
@@ -219,6 +229,26 @@ class TestSerialParallelEquivalence:
         assert parallel.metrics["counters"]["parallel.match_items"] == len(
             serial.extraction.transitions
         )
+
+    def test_ch_engine_reproduces_dijkstra_artefacts(self, tmp_path):
+        # The CH engine answers gap-fill queries with optimal costs, so a
+        # parallel run routing through a shared hierarchy artifact must
+        # reproduce the serial flat-Dijkstra study byte for byte.
+        serial = _study(0)
+        config = StudyConfig(
+            fleet=FleetSpec(n_days=2, seed=7),
+            executor=ExecutorConfig(
+                workers=2,
+                routing_engine="ch",
+                ch_artifact_path=str(tmp_path / "oulu_ch.npz"),
+            ),
+        )
+        ch_parallel = OuluStudy(config).run()
+        assert (tmp_path / "oulu_ch.npz").exists()
+        assert ch_parallel.kept_transitions == serial.kept_transitions
+        assert ch_parallel.funnel == serial.funnel
+        assert ch_parallel.route_stats == serial.route_stats
+        assert _comparable_counters(ch_parallel) == _comparable_counters(serial)
 
     def test_chunk_size_does_not_change_results(self):
         config = StudyConfig(
