@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.geo.distance import haversine_m
+from repro.geo.distance import haversine_m  # scalar-ok: per-pair filter predicates
 from repro.traces.model import RoutePoint, trip_distance_m
 
 
@@ -110,7 +110,12 @@ def filter_segments(segments: list, config: FilterConfig) -> tuple[list, int, in
         if len(seg.points) < config.min_segment_points:
             dropped_short += 1
             continue
-        if trip_distance_m(seg.points) > config.max_segment_length_m:
+        # TripSegment memoizes its length (seeded by vectorized
+        # segmentation); fall back to a fresh walk for bare duck types.
+        length = getattr(seg, "distance_m", None)
+        if length is None:
+            length = trip_distance_m(seg.points)
+        if length > config.max_segment_length_m:
             dropped_long += 1
             continue
         kept.append(seg)

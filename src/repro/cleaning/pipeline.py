@@ -107,10 +107,15 @@ class CleaningPipeline:
         filter_config: FilterConfig | None = None,
         segmentation_config: SegmentationConfig | None = None,
         repair: bool = True,
+        vectorized: bool = True,
     ) -> None:
         self.filter_config = filter_config or FilterConfig()
         self.segmentation_config = segmentation_config or SegmentationConfig()
         self.repair = repair
+        #: Run ordering repair and segmentation through the NumPy batch
+        #: kernels (identical results; see ``repro.geo.vector``).  False
+        #: falls back to the scalar reference path (CLI ``--no-vectorize``).
+        self.vectorized = vectorized
 
     def clean_trip(self, trip) -> TripCleanResult:
         """Clean and segment one trip — a pure, parallelisable unit.
@@ -123,7 +128,7 @@ class CleaningPipeline:
         result = TripCleanResult(segments=[], stage_seconds=stage_s)
         if self.repair:
             t0 = perf_counter()
-            trip, ordering = repair_ordering(trip)
+            trip, ordering = repair_ordering(trip, vectorized=self.vectorized)
             stage_s["ordering"] += perf_counter() - t0
             if not ordering.was_consistent:
                 result.reordered = True
@@ -147,7 +152,8 @@ class CleaningPipeline:
         trip = trip.with_points(points)
         t0 = perf_counter()
         result.segments, result.segmentation = segment_trip(
-            trip, self.segmentation_config, first_segment_id=1
+            trip, self.segmentation_config, first_segment_id=1,
+            vectorized=self.vectorized,
         )
         stage_s["segmentation"] += perf_counter() - t0
         return result

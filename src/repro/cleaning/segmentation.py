@@ -16,7 +16,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.geo.distance import haversine_m
+import numpy as np
+
+from repro.geo.distance import haversine_m  # scalar-ok: reference implementation
+from repro.traces.arrays import TraceArrays
 from repro.traces.model import RoutePoint, Trip, trip_distance_m
 
 
@@ -77,9 +80,24 @@ class TripSegment:
     def duration_s(self) -> float:
         return self.end_time_s - self.start_time_s
 
+    #: Memoized trip length; ``None`` until first access.  Points are never
+    #: mutated after construction (the pipeline builds new segments
+    #: instead), so the cache cannot go stale.
+    _distance_m: float | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
     @property
     def distance_m(self) -> float:
-        return trip_distance_m(self.points)
+        """Segment length in metres (computed once, then cached).
+
+        The vectorized segmentation path seeds the cache from its gap
+        arrays; otherwise the first access walks the points with the
+        scalar haversine exactly once.
+        """
+        if self._distance_m is None:
+            self._distance_m = trip_distance_m(self.points)
+        return self._distance_m
 
     @property
     def fuel_ml(self) -> float:
@@ -137,18 +155,117 @@ def _split_at_stops(
     return pieces
 
 
+def _stop_rules_vec(
+    dist: np.ndarray, dt: np.ndarray, config: SegmentationConfig, window_1_s: float
+) -> np.ndarray:
+    """Table 2 rules 1-4 as one array over gaps (0 where no rule fires).
+
+    Each rule is a boolean mask over the gap distance/dt columns; the
+    firing rule per gap is the first true mask — exactly the scalar
+    :func:`_stop_rule` precedence.
+    """
+    with np.errstate(divide="ignore", invalid="ignore"):
+        speed = dist / dt
+    m1 = (dt >= window_1_s) & (dist <= config.rule1_epsilon_m)
+    m2 = (dt > config.rule2_window_s) & (dist < config.rule2_distance_m)
+    m3 = (dt >= config.rule3_min_window_s) & (speed < config.rule3_speed_mps)
+    m4 = (
+        (dt > config.rule4_window_s)
+        & (dist < config.rule4_distance_m)
+        & (dt > 0.0)
+        & (speed >= config.rule3_speed_mps)
+    )
+    return np.select([m1, m2, m3, m4], [1, 2, 3, 4], default=0)
+
+
+def _split_spans_vec(
+    lo: int,
+    hi: int,
+    dist: np.ndarray,
+    dt: np.ndarray,
+    config: SegmentationConfig,
+    window_1_s: float,
+    report: SegmentationReport,
+) -> list[tuple[int, int]]:
+    """Vectorized :func:`_split_at_stops` over the point span ``[lo, hi)``.
+
+    Gap ``g`` (global index) separates points ``g`` and ``g + 1``; a
+    firing gap ends the current piece at point ``g``.  Returns kept piece
+    spans (at least two points each) as ``(start, end)`` index pairs.
+    """
+    if hi - lo < 2:
+        return []
+    rule = _stop_rules_vec(dist[lo : hi - 1], dt[lo : hi - 1], config, window_1_s)
+    for r in range(1, 5):
+        hits = int(np.count_nonzero(rule == r))
+        if hits:
+            report.rule_hits[r] += hits
+    bounds = [lo, *(lo + int(g) + 1 for g in np.flatnonzero(rule)), hi]
+    return [(s, e) for s, e in zip(bounds, bounds[1:]) if e - s >= 2]
+
+
+def _segment_trip_vec(
+    trip: Trip,
+    config: SegmentationConfig,
+    first_segment_id: int,
+) -> tuple[list[TripSegment], SegmentationReport]:
+    """Columnar two-round segmentation; identical output to the scalar path.
+
+    All five rule predicates evaluate as boolean masks over the trip's gap
+    arrays (one geometry pass for the whole trip, shared by both rounds),
+    and the splits fall out of ``np.flatnonzero``.  Piece lengths for the
+    rule 5 check are subarray sums of the same gap distances, which also
+    seed each segment's :attr:`TripSegment.distance_m` cache.
+    """
+    report = SegmentationReport(trips_processed=1)
+    dist, dt = TraceArrays.from_trip(trip).gaps()
+    n = len(trip.points)
+    first_round = _split_spans_vec(0, n, dist, dt, config, config.rule1_window_s, report)
+
+    final_spans: list[tuple[int, int]] = []
+    for lo, hi in first_round:
+        if float(np.sum(dist[lo : hi - 1])) > config.rule5_length_m:
+            report.rule_hits[5] += 1
+            final_spans.extend(
+                _split_spans_vec(lo, hi, dist, dt, config, config.rule5_window_s, report)
+            )
+        else:
+            final_spans.append((lo, hi))
+
+    segments = []
+    for i, (lo, hi) in enumerate(final_spans):
+        segment = TripSegment(
+            segment_id=first_segment_id + i,
+            trip_id=trip.trip_id,
+            car_id=trip.car_id,
+            index=i,
+            points=trip.points[lo:hi],
+        )
+        segment._distance_m = float(np.sum(dist[lo : hi - 1]))
+        segments.append(segment)
+    report.segments_created = len(segments)
+    return segments, report
+
+
 def segment_trip(
     trip: Trip,
     config: SegmentationConfig | None = None,
     first_segment_id: int = 1,
+    vectorized: bool = False,
 ) -> tuple[list[TripSegment], SegmentationReport]:
     """Apply the Table 2 rules to one raw trip.
 
     Returns the segments (ids starting at ``first_segment_id``) and a
     report of rule firings.  Rule 5 (re-splitting over-40 km segments with
     a tighter rule-1 window) runs as the second round, as in the paper.
+
+    ``vectorized=True`` evaluates the rules as NumPy masks over the trip's
+    gap arrays (see :func:`_segment_trip_vec`); same segments, same rule
+    hits, one batched geometry pass instead of a per-gap haversine call.
     """
     config = config or SegmentationConfig()
+    if vectorized:
+        return _segment_trip_vec(trip, config, first_segment_id)
     report = SegmentationReport(trips_processed=1)
     first_round = _split_at_stops(trip.points, config, config.rule1_window_s, report)
 

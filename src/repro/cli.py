@@ -85,6 +85,11 @@ def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
         help="with --routing-engine ch: prepared hierarchy .npz to load "
              "(created on first use by parallel runs)",
     )
+    parser.add_argument(
+        "--no-vectorize", action="store_true",
+        help="run the scalar reference kernels instead of the NumPy "
+             "batch fast path (identical results, slower)",
+    )
 
 
 def _executor_config(args: argparse.Namespace) -> ExecutorConfig:
@@ -96,6 +101,7 @@ def _executor_config(args: argparse.Namespace) -> ExecutorConfig:
         route_cache_path=str(route_cache) if route_cache is not None else None,
         routing_engine=getattr(args, "routing_engine", "dijkstra"),
         ch_artifact_path=str(ch_artifact) if ch_artifact is not None else None,
+        vectorized=not getattr(args, "no_vectorize", False),
     )
 
 
@@ -163,9 +169,14 @@ def _cmd_clean(args: argparse.Namespace) -> int:
         print(f"no trips in {args.points}", file=sys.stderr)
         return 1
     registry = obs.MetricsRegistry()
-    executor = TripExecutor(WorkerPayload(), _executor_config(args))
+    executor_config = _executor_config(args)
+    executor = TripExecutor(
+        WorkerPayload(vectorized=executor_config.vectorized), executor_config
+    )
     with obs.use_registry(registry), executor:
-        result = CleaningPipeline().run(fleet, executor=executor)
+        result = CleaningPipeline(vectorized=executor_config.vectorized).run(
+            fleet, executor=executor
+        )
     r = result.report
 
     def sec(stage: str) -> str:

@@ -64,6 +64,7 @@ class StudyConfig:
             route_cache_path=self.executor.route_cache_path,
             routing_engine=self.executor.routing_engine,
             ch_artifact_path=self.executor.ch_artifact_path,
+            vectorized=self.executor.vectorized,
         )
 
 
@@ -158,7 +159,9 @@ class OuluStudy:
                    "days": config.fleet.n_days},
         )
 
-        clean = CleaningPipeline().run(fleet, executor=executor)
+        clean = CleaningPipeline(vectorized=config.executor.vectorized).run(
+            fleet, executor=executor
+        )
 
         projector = city.projector
 
@@ -166,7 +169,10 @@ class OuluStudy:
             return projector.to_xy(p.lat, p.lon)
 
         gates = study_gates(city)
-        extractor = TransitionExtractor(gates, city.central_area, config.transition)
+        extractor = TransitionExtractor(
+            gates, city.central_area, config.transition,
+            vectorized=config.executor.vectorized,
+        )
         with span("extract"):
             extraction = extractor.extract(clean.segments, to_xy, executor=executor)
 
@@ -197,11 +203,13 @@ class OuluStudy:
                 )
                 if config.matcher == "hmm":
                     matcher = HmmMatcher(
-                        city.graph, route_cache=route_cache, routing_engine=engine
+                        city.graph, route_cache=route_cache, routing_engine=engine,
+                        vectorized=config.executor.vectorized,
                     )
                 else:
                     matcher = IncrementalMatcher(
-                        city.graph, route_cache=route_cache, routing_engine=engine
+                        city.graph, route_cache=route_cache, routing_engine=engine,
+                        vectorized=config.executor.vectorized,
                     )
                 outcomes = [
                     match_task(

@@ -13,7 +13,9 @@ Python machinery:
 * polygons and the "thick geometry" capsule used for origin/destination
   gates (:mod:`repro.geo.polygon`),
 * a uniform grid spatial index for points and segments
-  (:mod:`repro.geo.index`).
+  (:mod:`repro.geo.index`),
+* batched NumPy counterparts of the scalar kernels for the vectorized
+  fast paths (:mod:`repro.geo.vector`).
 """
 
 from repro.geo.distance import (
@@ -33,6 +35,13 @@ from repro.geo.geometry import (
 from repro.geo.index import GridIndex
 from repro.geo.polygon import Polygon, ThickLine
 from repro.geo.projection import LocalProjector, TransverseMercator
+from repro.geo.vector import (
+    bearing_deg_vec,
+    equirectangular_m_vec,
+    gap_metrics,
+    haversine_m_vec,
+    project_onto_segments,
+)
 
 __all__ = [
     "EARTH_RADIUS_M",
@@ -44,10 +53,15 @@ __all__ = [
     "TransverseMercator",
     "angle_between_deg",
     "bearing_deg",
+    "bearing_deg_vec",
     "destination_point",
     "equirectangular_m",
+    "equirectangular_m_vec",
+    "gap_metrics",
     "haversine_m",
+    "haversine_m_vec",
     "point_segment_distance",
+    "project_onto_segments",
     "project_point_to_segment",
     "segment_intersection",
 ]

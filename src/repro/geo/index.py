@@ -10,7 +10,7 @@ spread.  Query cost is O(items in nearby cells).
 from __future__ import annotations
 
 import math
-from collections.abc import Hashable, Iterable
+from collections.abc import Hashable, Iterable, Sequence
 from typing import Generic, TypeVar
 
 from repro.geo.geometry import Point
@@ -106,6 +106,45 @@ class GridIndex(Generic[T]):
         if radius < 0.0:
             raise ValueError("radius must be non-negative")
         return self.query_box(p[0] - radius, p[1] - radius, p[0] + radius, p[1] + radius)
+
+    def query_radius_many(self, points: Sequence[Point], radius: float) -> list[list[T]]:
+        """Bulk :meth:`query_radius` — one result list per query point.
+
+        Each list is exactly what ``query_radius(p, radius)`` returns (same
+        items, same order: cells scanned row-major, bucket insertion order
+        within a cell).  The cell-range arithmetic is hoisted out of the
+        per-point call and the bbox test inlined, which is what makes the
+        batched candidate-generation path cheap.
+        """
+        if radius < 0.0:
+            raise ValueError("radius must be non-negative")
+        cs = self.cell_size
+        cells = self._cells
+        boxes = self._boxes
+        out: list[list[T]] = []
+        for px, py in points:
+            x_min = px - radius
+            y_min = py - radius
+            x_max = px + radius
+            y_max = py + radius
+            i0 = int(math.floor(x_min / cs))
+            j0 = int(math.floor(y_min / cs))
+            i1 = int(math.floor(x_max / cs))
+            j1 = int(math.floor(y_max / cs))
+            seen: dict[T, None] = {}
+            for i in range(i0, i1 + 1):
+                for j in range(j0, j1 + 1):
+                    bucket = cells.get((i, j))
+                    if not bucket:
+                        continue
+                    for item in bucket:
+                        if item in seen:
+                            continue
+                        bx0, by0, bx1, by1 = boxes[item]
+                        if bx0 <= x_max and bx1 >= x_min and by0 <= y_max and by1 >= y_min:
+                            seen[item] = None
+            out.append(list(seen))
+        return out
 
     def nearest(self, p: Point, max_radius: float = math.inf) -> T | None:
         """Item whose bounding box is nearest to ``p`` (box distance).

@@ -14,7 +14,12 @@ Aligns cleaned route points onto the road graph:
 * :mod:`repro.matching.types` — matched points and routes.
 """
 
-from repro.matching.candidates import Candidate, CandidateConfig, candidates_for_point
+from repro.matching.candidates import (
+    Candidate,
+    CandidateConfig,
+    candidates_for_point,
+    candidates_for_points,
+)
 from repro.matching.evaluate import (
     MatchEvaluation,
     edge_jaccard,
@@ -37,6 +42,7 @@ __all__ = [
     "MatchedPoint",
     "MatchedRoute",
     "candidates_for_point",
+    "candidates_for_points",
     "connect_matches",
     "edge_jaccard",
     "evaluate_matcher",

@@ -12,7 +12,12 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.matching.candidates import Candidate, CandidateConfig, candidates_for_point
+from repro.matching.candidates import (
+    Candidate,
+    CandidateConfig,
+    candidates_for_point,
+    candidates_for_points,
+)
 from repro.matching.gapfill import connect_matches
 from repro.matching.types import MatchedPoint, MatchedRoute
 from repro.roadnet.graph import RoadEdge, RoadGraph
@@ -43,6 +48,7 @@ class HmmMatcher:
         config: HmmConfig | None = None,
         route_cache=None,
         routing_engine=None,
+        vectorized: bool = True,
     ) -> None:
         self.graph = graph
         self.config = config or HmmConfig()
@@ -50,6 +56,10 @@ class HmmMatcher:
         #: Gap-fill engine: None (flat Dijkstra), an engine name, or a
         #: prepared CH engine (see :func:`repro.roadnet.make_routing_engine`).
         self.routing_engine = routing_engine
+        #: Generate candidates for all fixes in one batched pass
+        #: (identical candidates; see
+        #: :func:`repro.matching.candidates.candidates_for_points`).
+        self.vectorized = vectorized
 
     def match(
         self,
@@ -61,11 +71,19 @@ class HmmMatcher:
         """Viterbi-match a point sequence (same interface as incremental)."""
         xys = [to_xy(p) for p in points]
         movements = _movements(xys)
+        if self.vectorized:
+            all_candidates = candidates_for_points(
+                self.graph, xys, movements, self.config.candidates
+            )
+        else:
+            all_candidates = [
+                candidates_for_point(self.graph, xy, mv, self.config.candidates)
+                for xy, mv in zip(xys, movements)
+            ]
         layers: list[list[Candidate]] = []
         kept_points: list[RoutePoint] = []
         kept_xys: list[tuple[float, float]] = []
-        for p, xy, mv in zip(points, xys, movements):
-            cands = candidates_for_point(self.graph, xy, mv, self.config.candidates)
+        for p, xy, cands in zip(points, xys, all_candidates):
             if cands:
                 layers.append(cands)
                 kept_points.append(p)

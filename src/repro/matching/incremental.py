@@ -14,7 +14,12 @@ from dataclasses import dataclass
 from time import perf_counter
 
 from repro.geo.geometry import Point
-from repro.matching.candidates import Candidate, CandidateConfig, candidates_for_point
+from repro.matching.candidates import (
+    Candidate,
+    CandidateConfig,
+    candidates_for_point,
+    candidates_for_points,
+)
 from repro.matching.gapfill import connect_matches
 from repro.matching.types import MatchedPoint, MatchedRoute
 from repro.obs import get_logger, get_registry
@@ -48,6 +53,7 @@ class IncrementalMatcher:
         config: IncrementalConfig | None = None,
         route_cache: RouteCache | None = None,
         routing_engine=None,
+        vectorized: bool = True,
     ) -> None:
         self.graph = graph
         self.config = config or IncrementalConfig()
@@ -55,6 +61,10 @@ class IncrementalMatcher:
         #: Gap-fill engine: None (flat Dijkstra), an engine name, or a
         #: prepared CH engine (see :func:`repro.roadnet.make_routing_engine`).
         self.routing_engine = routing_engine
+        #: Generate candidates for all fixes in one batched pass
+        #: (identical candidates; see
+        #: :func:`repro.matching.candidates.candidates_for_points`).
+        self.vectorized = vectorized
         self._adjacent: dict[int, set[int]] = {}
 
     # -- adjacency ------------------------------------------------------------
@@ -98,10 +108,15 @@ class IncrementalMatcher:
         t0 = perf_counter()
         xys = [to_xy(p) for p in points]
         movements = _movements(xys)
-        all_candidates: list[list[Candidate]] = [
-            candidates_for_point(self.graph, xy, mv, self.config.candidates)
-            for xy, mv in zip(xys, movements)
-        ]
+        if self.vectorized:
+            all_candidates = candidates_for_points(
+                self.graph, xys, movements, self.config.candidates
+            )
+        else:
+            all_candidates: list[list[Candidate]] = [
+                candidates_for_point(self.graph, xy, mv, self.config.candidates)
+                for xy, mv in zip(xys, movements)
+            ]
         matched: list[MatchedPoint] = []
         prev_edge_id: int | None = None
         for i, (point, cands) in enumerate(zip(points, all_candidates)):

@@ -45,6 +45,8 @@ class ExecutorConfig:
     (``dijkstra``/``astar``/``bidirectional``/``ch``); with ``ch``,
     ``ch_artifact_path`` optionally points at a prepared ``.npz``
     hierarchy that workers load instead of each re-contracting.
+    ``vectorized`` runs the cleaning/gate/candidate kernels through the
+    NumPy batch fast path (identical results; ``--no-vectorize``).
     """
 
     workers: int = 0
@@ -54,6 +56,7 @@ class ExecutorConfig:
     route_cache_path: str | None = None
     routing_engine: str = "dijkstra"
     ch_artifact_path: str | None = None
+    vectorized: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 0:

@@ -40,7 +40,9 @@ class WorkerPayload:
     ``"ch"`` each worker prepares the contraction hierarchy once at
     init — or loads it from ``ch_artifact_path`` when the orchestrator
     saved a shared ``.npz`` artifact — instead of paying flat Dijkstra
-    on every cache-missing query.
+    on every cache-missing query.  ``vectorized`` switches cleaning,
+    gate checks and candidate generation to the NumPy batch kernels
+    (identical results; CLI ``--no-vectorize`` turns it off).
     """
 
     filter_config: FilterConfig | None = None
@@ -53,6 +55,7 @@ class WorkerPayload:
     route_cache_path: str | None = None
     routing_engine: str = "dijkstra"
     ch_artifact_path: str | None = None
+    vectorized: bool = True
 
 
 class WorkerContext:
@@ -61,7 +64,10 @@ class WorkerContext:
     def __init__(self, payload: WorkerPayload) -> None:
         self.payload = payload
         self.pipeline = CleaningPipeline(
-            payload.filter_config, payload.segmentation_config, payload.repair
+            payload.filter_config,
+            payload.segmentation_config,
+            payload.repair,
+            vectorized=payload.vectorized,
         )
         self.city = None
         self.to_xy = None
@@ -78,7 +84,10 @@ class WorkerContext:
             gates = study_gates(city)
             self.gates_by_name = {g.name: g for g in gates}
             self.extractor = TransitionExtractor(
-                gates, city.central_area, payload.transition_config
+                gates,
+                city.central_area,
+                payload.transition_config,
+                vectorized=payload.vectorized,
             )
             self.route_cache = RouteCache(payload.route_cache_size, payload.route_cache_path)
             self.routing_engine = make_routing_engine(
@@ -94,6 +103,7 @@ class WorkerContext:
                     city.graph,
                     route_cache=self.route_cache,
                     routing_engine=self.routing_engine,
+                    vectorized=payload.vectorized,
                 )
             else:
                 from repro.matching import IncrementalMatcher
@@ -102,6 +112,7 @@ class WorkerContext:
                     city.graph,
                     route_cache=self.route_cache,
                     routing_engine=self.routing_engine,
+                    vectorized=payload.vectorized,
                 )
 
     # -- chunk handlers (one per task kind) ---------------------------------

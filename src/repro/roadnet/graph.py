@@ -213,6 +213,31 @@ class RoadGraph:
                 out.append(edge)
         return out
 
+    def edges_near_many(
+        self, points: list[Point], radius: float, *, exact: bool = True
+    ) -> list[list[RoadEdge]]:
+        """Bulk :meth:`edges_near` — one edge list per query point.
+
+        With ``exact=True`` (default) each list matches
+        ``edges_near(p, radius)`` exactly.  ``exact=False`` skips the
+        per-edge geometry refinement and returns the bounding-box-level
+        superset; batch callers that project every candidate pair anyway
+        (see :func:`repro.matching.candidates.candidates_for_points`)
+        refine with the same ``distance <= radius`` predicate themselves.
+        """
+        bbox_level = self._edge_index.query_radius_many(points, radius)
+        if not exact:
+            return [[self._edges[eid] for eid in ids] for ids in bbox_level]
+        out: list[list[RoadEdge]] = []
+        for p, ids in zip(points, bbox_level):
+            near = []
+            for edge_id in ids:
+                edge = self._edges[edge_id]
+                if edge.geometry.distance_to(p) <= radius:
+                    near.append(edge)
+            out.append(near)
+        return out
+
     def nearest_edge(self, p: Point, max_radius: float = 500.0) -> RoadEdge | None:
         """Closest edge to ``p`` within ``max_radius``, or None.
 

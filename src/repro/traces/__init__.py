@@ -13,9 +13,12 @@ This package provides the same data in synthetic form:
 * :mod:`repro.traces.simulator` — a stochastic fleet simulator driving the
   synthetic city with light stops, pedestrian hotspots, seasonal effects
   and event-based sampling;
-* :mod:`repro.traces.io` — CSV/JSONL round-tripping.
+* :mod:`repro.traces.io` — CSV/JSONL round-tripping;
+* :mod:`repro.traces.arrays` — the struct-of-arrays columnar view the
+  vectorized cleaning kernels consume.
 """
 
+from repro.traces.arrays import TraceArrays
 from repro.traces.model import FleetData, RoutePoint, Trip, TripSummary, trip_distance_m
 from repro.traces.noise import NoiseSpec, apply_noise
 from repro.traces.simulator import CustomerRun, FleetSpec, TaxiFleetSimulator
@@ -27,6 +30,7 @@ __all__ = [
     "NoiseSpec",
     "RoutePoint",
     "TaxiFleetSimulator",
+    "TraceArrays",
     "Trip",
     "TripSummary",
     "apply_noise",

@@ -1,0 +1,125 @@
+"""Struct-of-arrays trace representation.
+
+:class:`TraceArrays` holds one trip's route points as parallel NumPy
+columns — the shape the vectorized cleaning kernels consume.  The
+row-oriented :class:`~repro.traces.model.RoutePoint` dataclasses stay the
+canonical interchange format; ``from_trip``/``from_points`` and
+``to_points`` convert losslessly between the two, and the gap arrays
+(per-gap great-circle distance and time delta) are computed once and
+cached so ordering repair, Table 2 segmentation and the segment-length
+filters all share a single geometry pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geo.distance import EARTH_RADIUS_M
+from repro.geo.vector import gap_metrics
+from repro.traces.model import RoutePoint, Trip
+
+
+@dataclass
+class TraceArrays:
+    """One trip's route points as parallel columns.
+
+    ``x``/``y`` are optional precomputed plane coordinates (present when a
+    projector was supplied at construction).  Columns must be treated as
+    read-only; the cached gap arrays assume they never change.
+    """
+
+    point_id: np.ndarray   # (n,) int64
+    lat: np.ndarray        # (n,) float64, degrees
+    lon: np.ndarray        # (n,) float64, degrees
+    time_s: np.ndarray     # (n,) float64
+    speed_kmh: np.ndarray  # (n,) float64
+    fuel_ml: np.ndarray    # (n,) float64
+    x: np.ndarray | None = None  # (n,) float64, metres east of the reference
+    y: np.ndarray | None = None  # (n,) float64, metres north of the reference
+    _gaps: tuple[np.ndarray, np.ndarray] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    # -- converters ---------------------------------------------------------
+
+    @classmethod
+    def from_points(cls, points: list[RoutePoint], projector=None) -> "TraceArrays":
+        """Columnar view of a point list.
+
+        ``projector`` is an optional
+        :class:`~repro.geo.projection.LocalProjector`; when given, the
+        ``x``/``y`` columns are filled with exactly the values its scalar
+        ``to_xy`` would produce (same operations, batched).
+        """
+        n = len(points)
+        point_id = np.fromiter((p.point_id for p in points), dtype=np.int64, count=n)
+        lat = np.fromiter((p.lat for p in points), dtype=np.float64, count=n)
+        lon = np.fromiter((p.lon for p in points), dtype=np.float64, count=n)
+        time_s = np.fromiter((p.time_s for p in points), dtype=np.float64, count=n)
+        speed = np.fromiter((p.speed_kmh for p in points), dtype=np.float64, count=n)
+        fuel = np.fromiter((p.fuel_ml for p in points), dtype=np.float64, count=n)
+        x = y = None
+        if projector is not None:
+            x = np.radians(lon - projector.ref_lon) * projector._cos_ref * EARTH_RADIUS_M
+            y = np.radians(lat - projector.ref_lat) * EARTH_RADIUS_M
+        return cls(
+            point_id=point_id, lat=lat, lon=lon, time_s=time_s,
+            speed_kmh=speed, fuel_ml=fuel, x=x, y=y,
+        )
+
+    @classmethod
+    def from_trip(cls, trip: Trip, projector=None) -> "TraceArrays":
+        return cls.from_points(trip.points, projector=projector)
+
+    def to_points(self, trip_id: int) -> list[RoutePoint]:
+        """Row-oriented points (the exact inverse of ``from_points``)."""
+        return [
+            RoutePoint(
+                point_id=int(self.point_id[i]),
+                trip_id=trip_id,
+                lat=float(self.lat[i]),
+                lon=float(self.lon[i]),
+                time_s=float(self.time_s[i]),
+                speed_kmh=float(self.speed_kmh[i]),
+                fuel_ml=float(self.fuel_ml[i]),
+            )
+            for i in range(len(self))
+        ]
+
+    def __len__(self) -> int:
+        return int(self.lat.shape[0])
+
+    # -- cached gap geometry ------------------------------------------------
+
+    def gaps(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(dist_m, dt_s)`` arrays over consecutive-point gaps (cached)."""
+        if self._gaps is None:
+            self._gaps = gap_metrics(self.lat, self.lon, self.time_s)
+        return self._gaps
+
+    def gap_distances_m(self) -> np.ndarray:
+        return self.gaps()[0]
+
+    def gap_dt_s(self) -> np.ndarray:
+        return self.gaps()[1]
+
+    def total_distance_m(self) -> float:
+        """Trip length — sum of the great-circle hops."""
+        return float(np.sum(self.gap_distances_m()))
+
+    def distance_under(self, order: np.ndarray) -> float:
+        """Trip length when the points are visited in ``order``.
+
+        ``order`` is an index permutation (e.g. ``np.argsort`` of the
+        point-id or timestamp column) — this is the quantity the ordering
+        repair compares between the two candidate orderings.
+        """
+        from repro.geo.vector import haversine_m_vec
+
+        lat = self.lat[order]
+        lon = self.lon[order]
+        if lat.shape[0] < 2:
+            return 0.0
+        return float(np.sum(haversine_m_vec(lat[:-1], lon[:-1], lat[1:], lon[1:])))

@@ -1,0 +1,65 @@
+"""Tests for tools/lint_scalar_kernels.py — the scalar-import lint."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+from lint_scalar_kernels import CLEANING_DIR, find_offenders, main  # noqa: E402
+
+
+class TestFindOffenders:
+    def test_flags_unmarked_import(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            "from repro.geo.distance import haversine_m\n"
+        )
+        offenders = find_offenders(tmp_path)
+        assert len(offenders) == 1
+        assert offenders[0][1] == 1
+
+    def test_marker_suppresses(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            "from repro.geo.distance import haversine_m  # scalar-ok: reference\n"
+        )
+        assert find_offenders(tmp_path) == []
+
+    def test_flags_package_reexport_and_module_import(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            "from repro.geo import haversine_m\n"
+            "import repro.geo.distance\n"
+        )
+        assert len(find_offenders(tmp_path)) == 2
+
+    def test_ignores_call_sites_and_vec_kernel(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            "from repro.geo.vector import haversine_m_vec\n"
+            "d = haversine_m(1.0, 2.0, 3.0, 4.0)\n"
+        )
+        assert find_offenders(tmp_path) == []
+
+    def test_multiline_and_grouped_imports(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            "from repro.geo.distance import bearing_deg, haversine_m\n"
+        )
+        assert len(find_offenders(tmp_path)) == 1
+
+
+class TestMain:
+    def test_repo_cleaning_package_is_clean(self, capsys):
+        assert main([]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_offending_dir_exits_nonzero(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(
+            "from repro.geo.distance import haversine_m\n"
+        )
+        assert main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "bad.py:1" in out
+        assert "scalar-ok" in out
+
+    def test_cleaning_dir_exists(self):
+        # The default target must point at a real package, or the lint
+        # would silently pass on an empty glob after a rename.
+        assert CLEANING_DIR.is_dir()
+        assert (CLEANING_DIR / "segmentation.py").exists()

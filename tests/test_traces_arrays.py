@@ -1,0 +1,93 @@
+"""Tests for repro.traces.arrays — the struct-of-arrays trace view."""
+
+import numpy as np
+import pytest
+
+from repro.geo.projection import LocalProjector
+from repro.traces.arrays import TraceArrays
+from repro.traces.model import RoutePoint, Trip, trip_distance_m
+
+
+def _trip(n: int = 6) -> Trip:
+    points = [
+        RoutePoint(
+            point_id=i + 1,
+            trip_id=9,
+            lat=65.0 + 0.001 * i,
+            lon=25.4 + 0.002 * i,
+            time_s=10.0 * i,
+            speed_kmh=30.0 + i,
+            fuel_ml=100.0 * i,
+        )
+        for i in range(n)
+    ]
+    return Trip(trip_id=9, car_id=3, points=points)
+
+
+class TestRoundTrip:
+    def test_to_points_is_exact_inverse(self):
+        trip = _trip()
+        arrays = TraceArrays.from_trip(trip)
+        assert arrays.to_points(trip.trip_id) == trip.points
+
+    def test_len_and_dtypes(self):
+        arrays = TraceArrays.from_trip(_trip(4))
+        assert len(arrays) == 4
+        assert arrays.point_id.dtype == np.int64
+        for col in (arrays.lat, arrays.lon, arrays.time_s, arrays.speed_kmh, arrays.fuel_ml):
+            assert col.dtype == np.float64
+
+    def test_empty_trip(self):
+        arrays = TraceArrays.from_points([])
+        assert len(arrays) == 0
+        assert arrays.to_points(1) == []
+
+
+class TestProjection:
+    def test_xy_columns_match_scalar_projector_bitwise(self):
+        trip = _trip()
+        projector = LocalProjector(65.0, 25.4)
+        arrays = TraceArrays.from_trip(trip, projector=projector)
+        for i, p in enumerate(trip.points):
+            x, y = projector.to_xy(p.lat, p.lon)
+            assert float(arrays.x[i]) == x
+            assert float(arrays.y[i]) == y
+
+    def test_no_projector_leaves_xy_none(self):
+        arrays = TraceArrays.from_trip(_trip())
+        assert arrays.x is None and arrays.y is None
+
+
+class TestGaps:
+    def test_gap_arrays_shapes(self):
+        arrays = TraceArrays.from_trip(_trip(5))
+        dist, dt = arrays.gaps()
+        assert dist.shape == (4,) and dt.shape == (4,)
+
+    def test_gaps_cached_single_instance(self):
+        arrays = TraceArrays.from_trip(_trip())
+        assert arrays.gaps()[0] is arrays.gaps()[0]
+
+    def test_total_distance_matches_scalar_walk(self):
+        trip = _trip(8)
+        arrays = TraceArrays.from_trip(trip)
+        assert arrays.total_distance_m() == pytest.approx(
+            trip_distance_m(trip.points), rel=1e-12
+        )
+
+    def test_distance_under_identity_order(self):
+        arrays = TraceArrays.from_trip(_trip(6))
+        order = np.arange(6)
+        assert arrays.distance_under(order) == pytest.approx(
+            arrays.total_distance_m(), rel=1e-12
+        )
+
+    def test_distance_under_reversal_is_symmetric(self):
+        arrays = TraceArrays.from_trip(_trip(6))
+        fwd = arrays.distance_under(np.arange(6))
+        rev = arrays.distance_under(np.arange(5, -1, -1))
+        assert fwd == pytest.approx(rev, rel=1e-12)
+
+    def test_distance_under_short_column_is_zero(self):
+        arrays = TraceArrays.from_trip(_trip(1))
+        assert arrays.distance_under(np.array([0])) == 0.0
