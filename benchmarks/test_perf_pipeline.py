@@ -3,6 +3,7 @@
 import random
 
 from repro.experiments import OuluStudy, StudyConfig
+from repro.faults import RobustnessConfig
 from repro.features import GridAccumulator, GridSpec
 from repro.parallel import ExecutorConfig
 from repro.roadnet import build_synthetic_oulu
@@ -61,18 +62,38 @@ def test_perf_reml_fit(benchmark):
     assert result.sigma2_u > 1.0
 
 
-def _study_transitions(workers: int) -> int:
+def _study_transitions(workers: int, guarded: bool = True) -> int:
     config = StudyConfig(
         fleet=FleetSpec(n_days=_PAR_DAYS, seed=31),
         executor=ExecutorConfig(workers=workers),
+        robustness=RobustnessConfig() if guarded else None,
     )
     return len(OuluStudy(config).run().kept_transitions)
 
 
 def test_perf_study_serial(benchmark):
-    """Baseline for the parallel bench: the same study, one process."""
+    """Baseline for the parallel bench: the same study, one process.
+
+    Runs with the default degradation guards on — this is the
+    production configuration, and ``tools/bench_compare.py`` gates its
+    ratio against ``test_perf_study_unguarded`` to bound the no-fault
+    overhead of the guards (<3%).
+    """
     kept = benchmark.pedantic(_study_transitions, args=(0,), rounds=3, iterations=1)
     assert kept > 0
+
+
+def test_perf_study_unguarded(benchmark):
+    """Reference without degradation guards (``robustness=None``).
+
+    Identical work to ``test_perf_study_serial`` minus the per-unit
+    guard wrappers; the pair exists purely so the ratio gate can price
+    the guards' happy-path cost.
+    """
+    kept = benchmark.pedantic(
+        _study_transitions, args=(0, False), rounds=3, iterations=1
+    )
+    assert kept == _study_transitions(0)
 
 
 def test_perf_study_workers4(benchmark):

@@ -27,6 +27,7 @@ from repro.cleaning.filters import (
     within_bounds,
 )
 from repro.cleaning.ordering import repair_ordering
+from repro.faults import Quarantine, RobustnessConfig, TripError, guarded_call, maybe_inject
 from repro.obs import get_logger, get_registry, span
 from repro.cleaning.segmentation import (
     SegmentationConfig,
@@ -67,6 +68,12 @@ class CleaningReport:
     points_out: int = 0
     #: Cumulative wall time per stage (keys from :data:`STAGES`).
     stage_seconds: dict[str, float] = field(default_factory=dict)
+    #: Quarantined per-trip failures (only populated with robustness on).
+    errors: list[TripError] = field(default_factory=list)
+
+    @property
+    def trips_quarantined(self) -> int:
+        return len(self.errors)
 
 
 @dataclass
@@ -108,6 +115,7 @@ class CleaningPipeline:
         segmentation_config: SegmentationConfig | None = None,
         repair: bool = True,
         vectorized: bool = True,
+        robustness: RobustnessConfig | None = None,
     ) -> None:
         self.filter_config = filter_config or FilterConfig()
         self.segmentation_config = segmentation_config or SegmentationConfig()
@@ -116,6 +124,11 @@ class CleaningPipeline:
         #: kernels (identical results; see ``repro.geo.vector``).  False
         #: falls back to the scalar reference path (CLI ``--no-vectorize``).
         self.vectorized = vectorized
+        #: Degraded-mode execution: with a config, a trip that raises is
+        #: quarantined (after bounded retries of transient failures)
+        #: instead of aborting the run.  ``None`` keeps the historical
+        #: fail-fast behaviour.
+        self.robustness = robustness
 
     def clean_trip(self, trip) -> TripCleanResult:
         """Clean and segment one trip — a pure, parallelisable unit.
@@ -124,6 +137,7 @@ class CleaningPipeline:
         and sequential segment-id assignment happen in :meth:`run`, so the
         result is independent of which process handles the trip.
         """
+        maybe_inject("clean", trip.trip_id)
         stage_s = dict.fromkeys(STAGES[:-1], 0.0)
         result = TripCleanResult(segments=[], stage_seconds=stage_s)
         if self.repair:
@@ -158,24 +172,56 @@ class CleaningPipeline:
         stage_s["segmentation"] += perf_counter() - t0
         return result
 
-    def run(self, fleet: FleetData, executor=None) -> CleanResult:
+    def clean_trip_unit(self, trip) -> TripCleanResult | TripError:
+        """:meth:`clean_trip` behind the degradation guard.
+
+        The unit the serial fold *and* pool workers both run: with
+        robustness configured, a raising trip comes back as a
+        :class:`~repro.faults.TripError` value (picklable, foldable);
+        without it this is exactly :meth:`clean_trip`.
+        """
+        if self.robustness is None:
+            return self.clean_trip(trip)
+        result, error = guarded_call(
+            "clean", self.clean_trip, trip,
+            robustness=self.robustness, trip_id=trip.trip_id,
+        )
+        return error if error is not None else result
+
+    def run(
+        self,
+        fleet: FleetData,
+        executor=None,
+        quarantine: Quarantine | None = None,
+    ) -> CleanResult:
         """Clean and segment a whole fleet's raw trips.
 
         ``executor`` is an optional :class:`repro.parallel.TripExecutor`;
         when it is parallel, trips are cleaned across worker processes.
         Results are folded in trip order and segment ids renumbered
         sequentially, so the output is byte-identical to a serial run.
+
+        With :attr:`robustness` set, failing trips are quarantined (into
+        ``quarantine`` when given, and always onto ``report.errors``)
+        and the surviving trips produce exactly the artefacts a
+        fault-free run over that surviving subset would.
         """
         report = CleaningReport(trips_in=len(fleet), points_in=fleet.point_count)
+        if quarantine is None:
+            quarantine = Quarantine()
         stage_s = dict.fromkeys(STAGES, 0.0)
         segments: list[TripSegment] = []
         with span("clean"):
             if executor is not None and executor.parallel:
                 per_trip = executor.clean_trips(fleet.trips)
             else:
-                per_trip = [self.clean_trip(trip) for trip in fleet.trips]
+                per_trip = [self.clean_trip_unit(trip) for trip in fleet.trips]
             next_segment_id = 1
             for trip_result in per_trip:
+                if isinstance(trip_result, TripError):
+                    quarantine.add(trip_result)
+                    report.errors.append(trip_result)
+                    continue
                 if trip_result.reordered:
                     report.reordered_trips += 1
                     report.reordering_saved_m += trip_result.reordering_saved_m

@@ -25,6 +25,13 @@ from pathlib import Path
 
 from repro import obs
 from repro.cleaning import CleaningPipeline
+from repro.faults import (
+    ErrorRateExceeded,
+    FaultPlan,
+    Quarantine,
+    RobustnessConfig,
+    inject_faults,
+)
 from repro.parallel import ExecutorConfig, TripExecutor, WorkerPayload
 from repro.experiments import (
     OuluStudy,
@@ -92,6 +99,36 @@ def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_robustness_flags(parser: argparse.ArgumentParser) -> None:
+    """Degraded-mode execution flags (see docs/robustness.md)."""
+    parser.add_argument(
+        "--max-error-rate", type=float, default=0.05, metavar="RATE",
+        help="quarantined fraction of processed units above which the "
+             "run fails (default 0.05)",
+    )
+    parser.add_argument(
+        "--fault-plan", type=Path, default=None, metavar="FILE",
+        help="JSON fault plan to inject (chaos testing; see "
+             "docs/robustness.md for the schema)",
+    )
+    parser.add_argument(
+        "--errors-out", type=Path, default=None, metavar="FILE",
+        help="write quarantined-unit records as JSONL (study: defaults "
+             "to errors.jsonl in --out)",
+    )
+
+
+def _robustness(args: argparse.Namespace) -> RobustnessConfig:
+    return RobustnessConfig(max_error_rate=args.max_error_rate)
+
+
+def _fault_plan(args: argparse.Namespace) -> FaultPlan | None:
+    path = getattr(args, "fault_plan", None)
+    if path is None:
+        return None
+    return FaultPlan.from_json(Path(path).read_text())
+
+
 def _executor_config(args: argparse.Namespace) -> ExecutorConfig:
     route_cache = getattr(args, "route_cache", None)
     ch_artifact = getattr(args, "ch_artifact", None)
@@ -127,6 +164,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="write the run's metrics registry as JSON")
     _add_obs_flags(clean)
     _add_parallel_flags(clean)
+    _add_robustness_flags(clean)
 
     study = sub.add_parser("study", help="run the full study, write artefacts")
     study.add_argument("--days", type=int, default=30)
@@ -141,6 +179,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(a metrics.json is always written to --out)")
     _add_obs_flags(study)
     _add_parallel_flags(study)
+    _add_robustness_flags(study)
 
     report = sub.add_parser("report", help="run a study and write REPORT.md")
     report.add_argument("--days", type=int, default=30)
@@ -148,6 +187,7 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--out", type=Path, default=Path("REPORT.md"))
     _add_obs_flags(report)
     _add_parallel_flags(report)
+    _add_robustness_flags(report)
     return parser
 
 
@@ -164,19 +204,35 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_clean(args: argparse.Namespace) -> int:
-    fleet = read_points_csv(args.points)
-    if not len(fleet):
-        print(f"no trips in {args.points}", file=sys.stderr)
-        return 1
     registry = obs.MetricsRegistry()
+    robustness = _robustness(args)
+    plan = _fault_plan(args)
+    quarantine = Quarantine(robustness.max_error_rate)
     executor_config = _executor_config(args)
     executor = TripExecutor(
-        WorkerPayload(vectorized=executor_config.vectorized), executor_config
+        WorkerPayload(
+            vectorized=executor_config.vectorized,
+            robustness=robustness,
+            fault_plan=plan,
+        ),
+        executor_config,
     )
-    with obs.use_registry(registry), executor:
-        result = CleaningPipeline(vectorized=executor_config.vectorized).run(
-            fleet, executor=executor
-        )
+    with obs.use_registry(registry), inject_faults(plan):
+        fleet = read_points_csv(args.points, quarantine=quarantine)
+        rows_quarantined = len(quarantine)
+        if not len(fleet):
+            print(f"no trips in {args.points}", file=sys.stderr)
+            return 1
+        with executor:
+            result = CleaningPipeline(
+                vectorized=executor_config.vectorized, robustness=robustness
+            ).run(fleet, executor=executor, quarantine=quarantine)
+        try:
+            quarantine.check(len(fleet) + rows_quarantined)
+        except ErrorRateExceeded as exc:
+            _write_errors(args.errors_out, quarantine)
+            print(f"repro clean: {exc}", file=sys.stderr)
+            return 1
     r = result.report
 
     def sec(stage: str) -> str:
@@ -198,6 +254,10 @@ def _cmd_clean(args: argparse.Namespace) -> int:
         ],
     ))
     print("rule firings:", dict(r.segmentation.rule_hits))
+    if quarantine.errors:
+        print(f"quarantined: {len(quarantine)} units "
+              f"({rows_quarantined} at ingest, {r.trips_quarantined} trips)")
+    _write_errors(args.errors_out, quarantine)
     if args.metrics_out is not None:
         _write_metrics(args.metrics_out, registry.to_json())
         print(f"wrote metrics to {args.metrics_out}")
@@ -209,14 +269,31 @@ def _write_metrics(path: Path, text: str) -> None:
     path.write_text(text + "\n")
 
 
+def _write_errors(path: Path | None, quarantine: Quarantine) -> None:
+    if path is not None:
+        quarantine.write_jsonl(path)
+        print(f"wrote {len(quarantine)} quarantine records to {path}")
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
     config = StudyConfig(
         fleet=FleetSpec(n_days=args.days, seed=args.seed),
         executor=_executor_config(args),
+        robustness=_robustness(args),
+        faults=_fault_plan(args),
     )
-    result = OuluStudy(config).run()
     out: Path = args.out
     out.mkdir(parents=True, exist_ok=True)
+    errors_path: Path = args.errors_out or (out / "errors.jsonl")
+    try:
+        result = OuluStudy(config).run()
+    except ErrorRateExceeded as exc:
+        quarantine = Quarantine()
+        quarantine.errors = list(exc.errors)
+        quarantine.write_jsonl(errors_path)
+        print(f"repro study: {exc}", file=sys.stderr)
+        print(f"quarantine records in {errors_path}", file=sys.stderr)
+        return 1
 
     def save(name: str, text: str) -> None:
         (out / name).write_text(text + "\n")
@@ -241,6 +318,9 @@ def _cmd_study(args: argparse.Namespace) -> int:
     ))
     metrics_json = json.dumps(result.metrics, indent=2)
     save("metrics.json", metrics_json)
+    quarantine = Quarantine()
+    quarantine.errors = list(result.errors)
+    quarantine.write_jsonl(errors_path)
     if args.metrics_out is not None:
         _write_metrics(args.metrics_out, metrics_json)
     if args.svg:
@@ -264,8 +344,9 @@ def _cmd_study(args: argparse.Namespace) -> int:
 
         for name, fc in study_geojson(result).items():
             save(f"{name}.geojson", json.dumps(fc))
+    status = f"{len(result.errors)} quarantined" if result.errors else "no errors"
     print(f"study complete: {len(result.kept_transitions)} transitions; "
-          f"artefacts in {out}/")
+          f"{status}; artefacts in {out}/")
     return 0
 
 
@@ -275,8 +356,18 @@ def _cmd_report(args: argparse.Namespace) -> int:
     config = StudyConfig(
         fleet=FleetSpec(n_days=args.days, seed=args.seed),
         executor=_executor_config(args),
+        robustness=_robustness(args),
+        faults=_fault_plan(args),
     )
-    result = OuluStudy(config).run()
+    try:
+        result = OuluStudy(config).run()
+    except ErrorRateExceeded as exc:
+        if args.errors_out is not None:
+            quarantine = Quarantine()
+            quarantine.errors = list(exc.errors)
+            quarantine.write_jsonl(args.errors_out)
+        print(f"repro report: {exc}", file=sys.stderr)
+        return 1
     text = study_report(result)
     args.out.write_text(text)
     print(f"wrote {args.out} ({len(text.splitlines())} lines)")

@@ -11,6 +11,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.cleaning import CleaningPipeline, CleanResult
+from repro.faults import (
+    FaultPlan,
+    Quarantine,
+    RobustnessConfig,
+    TripError,
+    inject_faults,
+)
 from repro.features import GridAccumulator, GridSpec, cell_feature_counts
 from repro.features.routestats import RouteStats, transition_route_stats
 from repro.matching import HmmMatcher, IncrementalMatcher, MatchedRoute
@@ -49,6 +56,13 @@ class StudyConfig:
     matcher: str = "incremental"          # or "hmm"
     #: Per-trip parallelism; the default (workers=0) runs fully serial.
     executor: ExecutorConfig = field(default_factory=ExecutorConfig)
+    #: Degraded-mode execution: failing trips/transitions quarantine into
+    #: ``result.errors`` instead of aborting, and the run only fails when
+    #: the error rate exceeds ``robustness.max_error_rate``.  ``None``
+    #: restores strict fail-fast behaviour.
+    robustness: RobustnessConfig | None = field(default_factory=RobustnessConfig)
+    #: Seeded chaos plan (tests/CLI ``--fault-plan``); None = no faults.
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.matcher not in ("incremental", "hmm"):
@@ -65,6 +79,8 @@ class StudyConfig:
             routing_engine=self.executor.routing_engine,
             ch_artifact_path=self.executor.ch_artifact_path,
             vectorized=self.executor.vectorized,
+            robustness=self.robustness,
+            fault_plan=self.faults,
         )
 
 
@@ -88,6 +104,9 @@ class StudyResult:
     #: Metrics snapshot of the run (counters, histograms, stage spans);
     #: what ``repro study --metrics-out`` serialises.
     metrics: dict = field(default_factory=dict)
+    #: Quarantined units of the run, in deterministic fold order — what
+    #: ``repro study`` writes to ``errors.jsonl``.
+    errors: list[TripError] = field(default_factory=list)
 
     def transitions(self) -> list[Transition]:
         return self.extraction.transitions
@@ -121,17 +140,31 @@ class OuluStudy:
         With ``config.executor.workers > 1`` the per-trip stages fan out
         over a worker pool; worker registries are merged in, and the
         artefacts are identical to a serial run.
+
+        Degraded mode (``config.robustness``): per-trip and per-transition
+        failures — injected by ``config.faults`` or organic — quarantine
+        into ``result.errors`` and the run completes on the survivors,
+        unless the quarantined fraction exceeds ``max_error_rate``
+        (:class:`~repro.faults.ErrorRateExceeded`).
         """
+        config = self.config
         registry = MetricsRegistry()
-        with use_registry(registry), span("study"):
+        quarantine = Quarantine(
+            config.robustness.max_error_rate
+            if config.robustness is not None else None
+        )
+        with use_registry(registry), inject_faults(config.faults), span("study"):
             with TripExecutor(
-                self.config.worker_payload(), self.config.executor
+                config.worker_payload(), config.executor
             ) as executor:
-                result = self._run_stages(executor)
+                result = self._run_stages(executor, quarantine)
         result.metrics = registry.snapshot()
+        result.errors = list(quarantine.errors)
         return result
 
-    def _run_stages(self, executor: TripExecutor) -> StudyResult:
+    def _run_stages(
+        self, executor: TripExecutor, quarantine: Quarantine
+    ) -> StudyResult:
         config = self.config
         with span("build_city"):
             city = build_synthetic_oulu(config.city)
@@ -159,9 +192,10 @@ class OuluStudy:
                    "days": config.fleet.n_days},
         )
 
-        clean = CleaningPipeline(vectorized=config.executor.vectorized).run(
-            fleet, executor=executor
-        )
+        clean = CleaningPipeline(
+            vectorized=config.executor.vectorized,
+            robustness=config.robustness,
+        ).run(fleet, executor=executor, quarantine=quarantine)
 
         projector = city.projector
 
@@ -215,6 +249,7 @@ class OuluStudy:
                     match_task(
                         matcher, to_xy, extractor.gates_by_name,
                         config.transition, task,
+                        robustness=config.robustness,
                     )
                     for task in tasks
                 ]
@@ -229,6 +264,8 @@ class OuluStudy:
         post_per_car: dict[int, int] = {}
         for outcome in outcomes:
             transition = extraction.transitions[outcome.index]
+            if outcome.error is not None:
+                quarantine.add(outcome.error)
             if outcome.route is None:
                 transition.post_filtered_ok = False
                 continue
@@ -242,8 +279,14 @@ class OuluStudy:
         _log.info(
             "matching complete",
             extra={"transitions": len(extraction.transitions),
-                   "matched": len(matched), "kept": len(kept)},
+                   "matched": len(matched), "kept": len(kept),
+                   "quarantined": len(quarantine)},
         )
+        # Degraded-mode verdict: the run is only as good as its error
+        # rate.  Units = trips ingested + transitions matched (the two
+        # guarded populations); ErrorRateExceeded fails the run here,
+        # after every survivor has been accounted for.
+        quarantine.check(len(fleet) + len(extraction.transitions))
         funnel = [
             FunnelRow(
                 car_id=row.car_id,

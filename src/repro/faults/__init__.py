@@ -1,0 +1,56 @@
+"""Fault injection and degraded-mode execution.
+
+The paper's premise is that raw taxi feeds are unreliable; a production
+pipeline over them must be too-tolerant-to-notice.  This package makes
+failure a first-class, *deterministic* citizen:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, a seeded hash-based
+  description of which units fail and how (no RNG state);
+* :mod:`repro.faults.injector` — the process-local injector pipeline
+  code consults at its failure points (:func:`maybe_inject`);
+* :mod:`repro.faults.guard` — :func:`guarded_call` per-unit isolation
+  with bounded retry-with-backoff (:class:`RobustnessConfig`);
+* :mod:`repro.faults.errors` — :class:`TripError` quarantine records,
+  the :class:`Quarantine` collector behind ``errors.jsonl``, and the
+  :class:`ErrorRateExceeded` run-level threshold.
+
+Chaos is opt-in: with no active plan every hook is a single ``None``
+check, and with ``robustness=None`` pipelines fail fast exactly as
+before.  See ``docs/robustness.md``.
+"""
+
+from repro.faults.errors import (
+    ErrorRateExceeded,
+    Quarantine,
+    TripError,
+    read_errors_jsonl,
+)
+from repro.faults.guard import RobustnessConfig, guarded_call, is_transient
+from repro.faults.injector import (
+    InjectedFault,
+    InjectedTimeout,
+    activate,
+    active_plan,
+    deactivate,
+    inject_faults,
+    maybe_inject,
+)
+from repro.faults.plan import FaultPlan
+
+__all__ = [
+    "ErrorRateExceeded",
+    "FaultPlan",
+    "InjectedFault",
+    "InjectedTimeout",
+    "Quarantine",
+    "RobustnessConfig",
+    "TripError",
+    "activate",
+    "active_plan",
+    "deactivate",
+    "guarded_call",
+    "inject_faults",
+    "is_transient",
+    "maybe_inject",
+    "read_errors_jsonl",
+]

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import math
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 from repro.obs import get_logger, get_registry
@@ -130,6 +131,12 @@ class TripExecutor:
             return self.config.chunk_size
         return max(1, math.ceil(n_items / (self.config.workers * _CHUNKS_PER_WORKER)))
 
+    def _recycle_pool(self) -> None:
+        """Tear down a broken pool so :meth:`_ensure_pool` rebuilds it."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
     def map_chunked(self, kind: str, items: list) -> list:
         """Run ``kind`` over ``items`` across the pool; ordered results.
 
@@ -137,27 +144,69 @@ class TripExecutor:
         by chunk index and worker registries merged into the ambient
         registry in that same order, so output and metrics (minus
         timings) are independent of scheduling.
+
+        Degraded mode: a worker dying mid-chunk (chaos kill, OOM, segv)
+        breaks the whole :class:`ProcessPoolExecutor`.  The executor
+        recycles the pool and resubmits every chunk whose result had not
+        come back — each chunk at most once, so replay can neither
+        duplicate nor lose items; a chunk that kills the pool twice
+        escalates.  Chunks that completed before the crash keep their
+        results, preserving the byte-identical fold for survivors.
         """
         if not self.parallel:
             raise RuntimeError("map_chunked on a serial executor")
         if not items:
             return []
-        pool = self._ensure_pool()
         size = self._chunk_size(len(items))
         chunks = [items[i : i + size] for i in range(0, len(items), size)]
         max_inflight = max(self.config.workers * _INFLIGHT_PER_WORKER, self.config.workers + 1)
+        plan = self.payload.fault_plan
+        kill_index = plan.kill_chunk.get(kind) if plan is not None else None
+        registry = get_registry()
         by_chunk: dict[int, tuple[list, object]] = {}
         pending: dict[Future, int] = {}
-        next_chunk = 0
-        while next_chunk < len(chunks) or pending:
-            while next_chunk < len(chunks) and len(pending) < max_inflight:
-                future = pool.submit(run_chunk, kind, chunks[next_chunk])
-                pending[future] = next_chunk
-                next_chunk += 1
-            done, __ = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                by_chunk[pending.pop(future)] = future.result()
-        registry = get_registry()
+        resubmitted: set[int] = set()
+        todo = list(range(len(chunks)))
+        pos = 0
+        while pos < len(todo) or pending:
+            try:
+                pool = self._ensure_pool()
+                while pos < len(todo) and len(pending) < max_inflight:
+                    index = todo[pos]
+                    pos += 1
+                    inject_kill = index == kill_index and index not in resubmitted
+                    future = pool.submit(run_chunk, kind, chunks[index], inject_kill)
+                    pending[future] = index
+                done, __ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    # Only drop from pending once the result is in hand:
+                    # a raising future must still count as lost below.
+                    by_chunk[pending[future]] = future.result()
+                    del pending[future]
+            except BrokenProcessPool:
+                # Harvest results that finished before the pool died.
+                for future, index in list(pending.items()):
+                    if future.done() and not future.cancelled():
+                        try:
+                            by_chunk[index] = future.result()
+                        except Exception:  # noqa: BLE001 - crashed future
+                            pass
+                lost = sorted(i for i in pending.values() if i not in by_chunk)
+                repeat = [i for i in lost if i in resubmitted]
+                if repeat:
+                    raise RuntimeError(
+                        f"worker pool died twice on {kind} chunks {repeat}; "
+                        "giving up (chunks are resubmitted at most once)"
+                    )
+                resubmitted.update(lost)
+                pending.clear()
+                self._recycle_pool()
+                todo.extend(lost)
+                registry.counter("worker.restarts").inc()
+                _log.warning(
+                    "worker pool broken; restarted and resubmitting chunks",
+                    extra={"kind": kind, "resubmitted": lost},
+                )
         counter = registry.counter(f"parallel.{kind}_chunks")
         results: list = []
         for index in range(len(chunks)):

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.faults import RobustnessConfig, TripError, guarded_call, maybe_inject
 from repro.matching.types import MatchedRoute
 from repro.od import Gate, TransitionConfig, endpoints_near_gates
 from repro.traces.model import RoutePoint
@@ -39,12 +40,15 @@ class MatchOutcome:
 
     ``route`` is ``None`` when no point found a candidate or the edge
     sequence came back empty (off-network data); ``kept`` is the stage 5
-    post-filter verdict, always ``False`` without a route.
+    post-filter verdict, always ``False`` without a route.  ``error`` is
+    set when the transition was quarantined by the degradation guard
+    (the orchestrator folds it into the run's ``errors.jsonl``).
     """
 
     index: int
     route: MatchedRoute | None
     kept: bool
+    error: TripError | None = None
 
 
 def match_task(
@@ -53,23 +57,44 @@ def match_task(
     gates_by_name: dict[str, Gate],
     config: TransitionConfig | None,
     task: MatchTask,
+    robustness: RobustnessConfig | None = None,
 ) -> MatchOutcome:
     """Match one transition and post-filter it (funnel stage 5).
 
     Deterministic given the matcher's graph and configs, so any worker —
-    or the orchestrator itself — computes the same outcome.
+    or the orchestrator itself — computes the same outcome.  With
+    ``robustness`` set, a raising transition (including injected match
+    faults and routing timeouts bubbling up from gap-fill) is retried if
+    transient and otherwise returned as a quarantined outcome rather
+    than propagating.
     """
-    route = matcher.match(list(task.points), to_xy, task.segment_id, task.car_id)
-    if route is None or not route.edge_sequence:
-        return MatchOutcome(index=task.index, route=None, kept=False)
-    kept = endpoints_near_gates(
-        gates_by_name[task.origin],
-        gates_by_name[task.destination],
-        route.matched[0].snapped_xy,
-        route.matched[-1].snapped_xy,
-        config,
+
+    def attempt() -> MatchOutcome:
+        maybe_inject("match", task.index)
+        route = matcher.match(list(task.points), to_xy, task.segment_id, task.car_id)
+        if route is None or not route.edge_sequence:
+            return MatchOutcome(index=task.index, route=None, kept=False)
+        kept = endpoints_near_gates(
+            gates_by_name[task.origin],
+            gates_by_name[task.destination],
+            route.matched[0].snapped_xy,
+            route.matched[-1].snapped_xy,
+            config,
+        )
+        return MatchOutcome(index=task.index, route=route, kept=kept)
+
+    if robustness is None:
+        return attempt()
+    outcome, error = guarded_call(
+        "match",
+        attempt,
+        robustness=robustness,
+        segment_id=task.segment_id,
+        transition_index=task.index,
     )
-    return MatchOutcome(index=task.index, route=route, kept=kept)
+    if error is not None:
+        return MatchOutcome(index=task.index, route=None, kept=False, error=error)
+    return outcome
 
 
 def study_gates(city) -> list[Gate]:

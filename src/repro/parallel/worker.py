@@ -18,11 +18,13 @@ written into the contextvar state inherited from the parent process
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from repro import obs
 from repro.cleaning import CleaningPipeline, FilterConfig, SegmentationConfig
 from repro.cleaning.segmentation import TripSegment
+from repro.faults import FaultPlan, RobustnessConfig, activate
 from repro.obs import MetricsRegistry, use_registry
 from repro.parallel.tasks import MatchOutcome, MatchTask, match_task, study_gates
 from repro.roadnet import CitySpec, RouteCache, build_synthetic_oulu, make_routing_engine
@@ -56,6 +58,12 @@ class WorkerPayload:
     routing_engine: str = "dijkstra"
     ch_artifact_path: str | None = None
     vectorized: bool = True
+    #: Degraded-mode execution: per-unit guards + bounded retry inside
+    #: every worker (None = historical fail-fast).  ``fault_plan`` ships
+    #: the seeded chaos plan each worker activates at init, so injection
+    #: decisions are identical in serial and parallel runs.
+    robustness: RobustnessConfig | None = None
+    fault_plan: FaultPlan | None = None
 
 
 class WorkerContext:
@@ -68,6 +76,7 @@ class WorkerContext:
             payload.segmentation_config,
             payload.repair,
             vectorized=payload.vectorized,
+            robustness=payload.robustness,
         )
         self.city = None
         self.to_xy = None
@@ -118,7 +127,7 @@ class WorkerContext:
     # -- chunk handlers (one per task kind) ---------------------------------
 
     def clean(self, trips: list) -> list:
-        return [self.pipeline.clean_trip(trip) for trip in trips]
+        return [self.pipeline.clean_trip_unit(trip) for trip in trips]
 
     def extract(self, segments: list[TripSegment]) -> list:
         if self.extractor is None:
@@ -135,6 +144,7 @@ class WorkerContext:
                 self.gates_by_name,
                 self.payload.transition_config,
                 task,
+                robustness=self.payload.robustness,
             )
             for task in tasks
         ]
@@ -153,16 +163,26 @@ def init_worker(payload: WorkerPayload) -> None:
     """
     global _context
     obs.reset_worker_state()
+    activate(payload.fault_plan)
     _context = WorkerContext(payload)
 
 
-def run_chunk(kind: str, items: list) -> tuple[list, MetricsRegistry]:
+def run_chunk(
+    kind: str, items: list, inject_kill: bool = False
+) -> tuple[list, MetricsRegistry]:
     """Process one chunk of ``kind`` tasks; return results + chunk metrics.
 
     The chunk-local registry travels back with the results so the parent
     can fold it into the study's registry; worker-side state never leaks
     between chunks.
+
+    ``inject_kill`` is the executor-driven worker-kill fault: the process
+    dies *before* touching the chunk, so the resubmitted replay neither
+    duplicates nor loses any item.  The executor only ever sets it on a
+    chunk's first submission.
     """
+    if inject_kill:
+        os._exit(86)  # hard kill: no cleanup, exactly like an OOM/SIGKILL
     if _context is None:
         # Serial in-process use (or a pool without the initializer):
         # build a context lazily from an empty payload is wrong for

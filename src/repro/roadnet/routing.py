@@ -18,9 +18,12 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Literal
 
+from repro.faults import maybe_inject
 from repro.geo.geometry import LineString
-from repro.obs import get_registry
+from repro.obs import get_logger, get_registry
 from repro.roadnet.graph import RoadEdge, RoadGraph
+
+_log = get_logger(__name__)
 
 Weight = Literal["length", "time"]
 
@@ -197,21 +200,38 @@ class RouteCache:
     # -- persistence --------------------------------------------------------
 
     def load(self, path: str | Path | None = None) -> int:
-        """Warm the cache from a JSON spill file; returns entries loaded."""
+        """Warm the cache from a JSON spill file; returns entries loaded.
+
+        A corrupt or partially written spill file (interrupted save,
+        disk damage) is discarded wholesale — the cache starts cold and
+        a ``routing.route_cache_load_errors`` counter plus a warning log
+        record the event.  Nothing a cache warms from may fail a run.
+        """
         path = Path(path) if path is not None else self.path
         if path is None or not path.exists():
             return 0
-        doc = json.loads(path.read_text())
-        loaded = 0
-        for row in doc.get("routes", []):
-            result = PathResult(
-                nodes=tuple(row["nodes"]),
-                edges=tuple(row["edges"]),
-                cost=math.inf if row["cost"] is None else float(row["cost"]),
+        entries: list[tuple[int, int, str, PathResult]] = []
+        try:
+            doc = json.loads(path.read_text())
+            for row in doc.get("routes", []):
+                result = PathResult(
+                    nodes=tuple(int(n) for n in row["nodes"]),
+                    edges=tuple(int(e) for e in row["edges"]),
+                    cost=math.inf if row["cost"] is None else float(row["cost"]),
+                )
+                entries.append(
+                    (int(row["source"]), int(row["target"]), str(row["weight"]), result)
+                )
+        except (OSError, ValueError, KeyError, TypeError, AttributeError) as exc:
+            get_registry().counter("routing.route_cache_load_errors").inc()
+            _log.warning(
+                "route cache spill discarded",
+                extra={"path": str(path), "error": f"{type(exc).__name__}: {exc}"},
             )
-            self.put(int(row["source"]), int(row["target"]), row["weight"], result)
-            loaded += 1
-        return loaded
+            return 0
+        for source, target, weight, result in entries:
+            self.put(source, target, weight, result)
+        return len(entries)
 
     def save(self, path: str | Path | None = None) -> int:
         """Persist the cache as JSON; returns entries written."""
@@ -310,7 +330,14 @@ def cached_shortest_path(
     — all of which return optimal costs, so neither the cache nor the
     engine can change how *good* an answer is, only how fast it arrives
     (equal-cost ties may pick a different, equally short path).
+
+    Fault hook: an active :class:`~repro.faults.FaultPlan` with a
+    ``route_error_rate`` raises an injected timeout for chosen
+    ``(source, target)`` pairs — but only inside a degradation guard
+    (``require_guard``), so analysis code that routes outside the
+    guarded match stage is never collateral damage.
     """
+    maybe_inject("routing", (source, target), require_guard=True)
     if cache is None:
         return _engine_shortest_path(graph, source, target, weight, engine)
     hit = cache.get(source, target, weight)

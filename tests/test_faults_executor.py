@@ -1,0 +1,66 @@
+"""Chaos tests for worker-pool death and recovery.
+
+A chunk's worker is hard-killed (``os._exit``) before touching the
+chunk; the executor must recycle the pool, resubmit exactly the lost
+chunks, and still fold results byte-identical to a serial run — no
+duplicated and no lost items.
+"""
+
+from __future__ import annotations
+
+from repro.cleaning import CleaningPipeline
+from repro.faults import FaultPlan
+from repro.obs import MetricsRegistry, use_registry
+from repro.parallel import ExecutorConfig, TripExecutor, WorkerPayload
+
+
+def _artefacts(trip_results):
+    """The deterministic fields of clean results (drop wall timings)."""
+    return [
+        (r.segments, r.reordered, r.duplicates_removed, r.outliers_removed,
+         r.out_of_bounds_removed)
+        for r in trip_results
+    ]
+
+
+def _executor(plan: FaultPlan | None, workers: int = 2) -> TripExecutor:
+    """A cleaning-only pool executor with small chunks (several per worker)."""
+    return TripExecutor(
+        WorkerPayload(fault_plan=plan),
+        ExecutorConfig(workers=workers, chunk_size=8),
+    )
+
+
+def test_worker_kill_recovers_without_lost_or_duplicated_trips(fleet, chaos_seed):
+    plan = FaultPlan(seed=chaos_seed, kill_chunk={"clean": 1})
+    registry = MetricsRegistry()
+    with use_registry(registry), _executor(plan) as executor:
+        results = executor.clean_trips(fleet.trips)
+    serial = [CleaningPipeline().clean_trip(trip) for trip in fleet.trips]
+    assert _artefacts(results) == _artefacts(serial)
+    assert registry.counter("worker.restarts").value == 1
+    # Every chunk is accounted exactly once despite the resubmission.
+    n_chunks = -(-len(fleet.trips) // 8)
+    assert registry.counter("parallel.clean_chunks").value == n_chunks
+    assert registry.counter("parallel.clean_items").value == len(fleet.trips)
+
+
+def test_pipeline_run_through_killed_pool_matches_serial(fleet, chaos_seed):
+    plan = FaultPlan(seed=chaos_seed, kill_chunk={"clean": 0})
+    pipeline = CleaningPipeline()
+    with _executor(plan) as executor:
+        parallel = pipeline.run(fleet, executor=executor)
+    serial = pipeline.run(fleet)
+    assert parallel.segments == serial.segments
+    assert parallel.report.segments_out == serial.report.segments_out
+
+
+def test_kill_on_final_chunk(fleet):
+    """Killing the last chunk exercises the drain-phase recovery path."""
+    n_chunks = -(-len(fleet.trips) // 8)
+    plan = FaultPlan(kill_chunk={"clean": n_chunks - 1})
+    registry = MetricsRegistry()
+    with use_registry(registry), _executor(plan) as executor:
+        results = executor.clean_trips(fleet.trips)
+    assert len(results) == len(fleet.trips)
+    assert registry.counter("worker.restarts").value == 1

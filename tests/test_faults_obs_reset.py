@@ -1,0 +1,88 @@
+"""Observability state survives repeated forking plus worker crashes.
+
+A forked worker inherits the parent's contextvar registry binding and
+any open span frames; :func:`repro.obs.reset_worker_state` must scrub
+both — every time a replacement worker is forked, including workers
+forked *after* a sibling was hard-killed — and the parent's own ambient
+state must come through untouched.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro import obs
+from repro.obs import MetricsRegistry, get_registry, span, use_registry
+from repro.obs.metrics import _global_registry
+from repro.obs.tracing import current_span
+
+ROUNDS = 3
+
+
+def _probe(_index: int) -> tuple[bool, bool, int]:
+    """Run inside a worker: is the inherited obs state fully scrubbed?"""
+    return (
+        get_registry() is _global_registry,   # no orphaned parent binding
+        current_span() is None,               # no phantom parent frames
+        os.getpid(),  # nondet-ok: proves replacement workers are new forks
+    )
+
+
+def _die() -> None:
+    os._exit(86)  # hard kill, as an OOM/SIGKILL would
+
+
+def _pool() -> ProcessPoolExecutor:
+    return ProcessPoolExecutor(
+        max_workers=2,
+        mp_context=multiprocessing.get_context("fork"),
+        initializer=obs.reset_worker_state,
+    )
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable",
+)
+def test_reset_worker_state_under_repeated_fork_and_crash():
+    parent_registry = MetricsRegistry()
+    seen_pids: set[int] = set()
+    with use_registry(parent_registry), span("parent"):
+        parent_span = current_span()
+        assert parent_span is not None
+        for _ in range(ROUNDS):
+            # Workers fork while the parent holds a bound registry and an
+            # open span — the dirtiest possible inherited state.
+            pool = _pool()
+            try:
+                for clean_registry, clean_spans, pid in pool.map(
+                    _probe, range(4)
+                ):
+                    assert clean_registry and clean_spans
+                    seen_pids.add(pid)
+                with pytest.raises(BrokenProcessPool):
+                    pool.submit(_die).result()
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
+        # The crashes never corrupted the parent's ambient state.
+        assert get_registry() is parent_registry
+        assert current_span() is parent_span
+    assert current_span() is None
+    # Each round forked fresh workers; every one of them came up clean.
+    assert len(seen_pids) >= ROUNDS
+
+
+def test_reset_worker_state_is_idempotent_in_process():
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        obs.reset_worker_state()
+        assert get_registry() is _global_registry
+        obs.reset_worker_state()
+        assert get_registry() is _global_registry
+    # Outside the scope the global fallback still applies.
+    assert get_registry() is _global_registry

@@ -1,0 +1,92 @@
+"""Chaos tests at the cleaning-pipeline level.
+
+Property under test (ISSUE acceptance): under a seeded fault plan the
+surviving trips' artefacts are **bitwise identical** to a fault-free run
+over that same surviving subset, and quarantine accounting matches the
+injections exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cleaning import CleaningPipeline
+from repro.faults import (
+    FaultPlan,
+    InjectedFault,
+    Quarantine,
+    RobustnessConfig,
+    inject_faults,
+)
+from repro.obs import MetricsRegistry, use_registry
+from repro.traces.model import FleetData
+
+#: Retry config with no real sleeping — chaos tests never wait on clocks.
+FAST_RETRY = RobustnessConfig(retries=2, backoff_base_s=0.0)
+
+
+def test_clean_faults_survivors_bitwise_identical(fleet, chaos_seed):
+    plan = FaultPlan(seed=chaos_seed, clean_error_rate=0.1)
+    doomed = {t.trip_id for t in fleet.trips if plan.picks("clean", t.trip_id)}
+    assert doomed, "seeded plan must hit at least one trip"
+    assert len(doomed) < len(fleet.trips), "some trips must survive"
+
+    quarantine = Quarantine()
+    pipeline = CleaningPipeline(robustness=FAST_RETRY)
+    with inject_faults(plan):
+        degraded = pipeline.run(fleet, quarantine=quarantine)
+
+    # Accounting: exactly the picked trips were quarantined, each with
+    # the injection tag, and the report mirrors the quarantine.
+    assert {e.trip_id for e in quarantine.errors} == doomed
+    assert all(e.fault_tag == "injected:clean" for e in quarantine.errors)
+    assert all(e.stage == "clean" for e in quarantine.errors)
+    assert degraded.report.errors == quarantine.errors
+    assert degraded.report.trips_quarantined == len(doomed)
+
+    # Bitwise identity: a fault-free run over the surviving subset.
+    survivors = FleetData(
+        trips=[t for t in fleet.trips if t.trip_id not in doomed]
+    )
+    reference = CleaningPipeline().run(survivors)
+    assert degraded.segments == reference.segments
+    assert degraded.report.segments_out == reference.report.segments_out
+    assert degraded.report.points_out == reference.report.points_out
+
+
+def test_transient_clean_faults_recover_via_retry(fleet, chaos_seed):
+    plan = FaultPlan(
+        seed=chaos_seed, clean_error_rate=0.3, transient_rate=1.0
+    )
+    picked = sum(1 for t in fleet.trips if plan.picks("clean", t.trip_id))
+    assert picked > 0
+
+    quarantine = Quarantine()
+    registry = MetricsRegistry()
+    with use_registry(registry), inject_faults(plan):
+        degraded = CleaningPipeline(robustness=FAST_RETRY).run(
+            fleet, quarantine=quarantine
+        )
+    reference = CleaningPipeline().run(fleet)
+
+    # Every fault was transient: retries absorb all of them, nothing is
+    # quarantined, and the output is the fault-free artefact exactly.
+    assert len(quarantine) == 0
+    assert degraded.segments == reference.segments
+    assert registry.counter("faults.injected.clean").value == picked
+    assert registry.counter("faults.retries").value == picked
+    assert registry.counter("faults.retry_success").value == picked
+
+
+def test_without_robustness_faults_fail_fast(fleet, chaos_seed):
+    plan = FaultPlan(seed=chaos_seed, clean_error_rate=1.0)
+    with inject_faults(plan):
+        with pytest.raises(InjectedFault):
+            CleaningPipeline().run(fleet)
+
+
+def test_fault_free_robust_run_equals_legacy(fleet):
+    robust = CleaningPipeline(robustness=RobustnessConfig()).run(fleet)
+    legacy = CleaningPipeline().run(fleet)
+    assert robust.segments == legacy.segments
+    assert robust.report.errors == []

@@ -223,3 +223,55 @@ class TestBidirectionalDijkstra:
         assert path.cost == pytest.approx(plain.cost, rel=1e-9)
         # The direct one-way edge is illegal in this direction.
         assert path.cost > oneway.length - 1e-9
+
+
+class TestRouteCacheSpill:
+    """A corrupt or partial spill file must never fail a run (regression)."""
+
+    def _cache(self, tmp_path, text: str | bytes):
+        from repro.roadnet.routing import RouteCache
+
+        spill = tmp_path / "routes.json"
+        if isinstance(text, bytes):
+            spill.write_bytes(text)
+        else:
+            spill.write_text(text)
+        return RouteCache(max_entries=16, path=spill), spill
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not json at all {{{",
+            '{"routes": [{"source": 1}]}',            # missing fields
+            '{"routes": [{"source": 1, "target": 2, "weight": "length", '
+            '"nodes": [1, 2], "edges": [7], "cost": 1',  # truncated save
+            '{"routes": "oops"}',                      # wrong shape
+            b"\x80\x81 binary garbage",
+        ],
+        ids=["garbage", "missing-fields", "truncated", "wrong-shape", "binary"],
+    )
+    def test_corrupt_spill_discarded_with_warning_counter(self, tmp_path, payload):
+        from repro.obs import MetricsRegistry, use_registry
+        from repro.roadnet.routing import PathResult
+
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            cache, spill = self._cache(tmp_path, payload)
+        assert len(cache) == 0
+        assert registry.counter("routing.route_cache_load_errors").value == 1
+        # The cache stays fully usable after the discard...
+        result = PathResult(nodes=(1, 2), edges=(7,), cost=3.0)
+        cache.put(1, 2, "length", result)
+        assert cache.get(1, 2, "length") == result
+        # ...and the next save/load round-trips cleanly.
+        assert cache.save() == 1
+        assert cache.load() == 1
+
+    def test_partial_discard_is_wholesale(self, tmp_path):
+        """Valid leading rows of a damaged spill are not half-loaded."""
+        text = (
+            '{"routes": [{"source": 1, "target": 2, "weight": "length", '
+            '"nodes": [1, 2], "edges": [7], "cost": 1.0}, {"source": 3}]}'
+        )
+        cache, __ = self._cache(tmp_path, text)
+        assert len(cache) == 0

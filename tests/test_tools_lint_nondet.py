@@ -1,0 +1,71 @@
+"""Tests for tools/lint_nondeterminism.py — the chaos-flake lint."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+from lint_nondeterminism import DEFAULT_TARGETS, find_offenders, main  # noqa: E402
+
+
+class TestFindOffenders:
+    def test_flags_wall_clock_and_rng(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            "now = time.time()\n"
+            "jitter = random.random()\n"
+            "n = random.randint(0, 9)\n"
+        )
+        offenders = find_offenders([tmp_path])
+        assert [line_no for __, line_no, __ in offenders] == [1, 2, 3]
+
+    def test_flags_pid_uuid_and_datetime(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            "pid = os.getpid()\n"
+            "tag = uuid.uuid4()\n"
+            "ts = datetime.now()\n"
+            "raw = os.urandom(8)\n"
+        )
+        assert len(find_offenders([tmp_path])) == 4
+
+    def test_marker_suppresses(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            "pid = os.getpid()  # nondet-ok: asserting workers are new forks\n"
+        )
+        assert find_offenders([tmp_path]) == []
+
+    def test_sleep_and_seeded_rng_are_allowed(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            "time.sleep(delay)\n"           # pacing, never a decision
+            "rng = random.Random(seed)\n"   # explicit seed: replayable
+            "x = rng.random()\n"            # method on a seeded instance
+        )
+        # random.Random( matches random.\w+ by design — an explicit seed
+        # still needs to *come from the plan*, so it stays flagged...
+        offenders = find_offenders([tmp_path])
+        assert [line for __, __, line in offenders] == ["rng = random.Random(seed)"]
+
+    def test_file_target(self, tmp_path):
+        bad = tmp_path / "one.py"
+        bad.write_text("t = time.monotonic()\n")
+        (tmp_path / "other.py").write_text("t = time.time()\n")
+        assert len(find_offenders([bad])) == 1
+
+
+class TestMain:
+    def test_fault_layer_and_chaos_suite_are_clean(self, capsys):
+        assert main([]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_offending_dir_exits_nonzero(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("now = time.time()\n")
+        assert main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "bad.py:1" in out
+        assert "nondet-ok" in out
+
+    def test_default_targets_exist(self):
+        # The defaults must point at real paths, or the lint would
+        # silently pass on an empty glob after a rename.
+        assert DEFAULT_TARGETS[0].is_dir()
+        assert any(p.name.startswith("test_faults_") for p in DEFAULT_TARGETS)
+        assert DEFAULT_TARGETS[-1].name == "conftest.py"

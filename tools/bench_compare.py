@@ -29,6 +29,52 @@ DEFAULT_RESULTS = REPO / "benchmarks" / "out"
 #: shared CI runners; min/mean travel along in the dumps for diagnosis.
 STAT = "median"
 
+#: Same-run ratio gates: ``numerator / denominator`` of current-run
+#: medians must stay at or below ``limit``.  Unlike the baseline gate,
+#: both sides come from the *same* run on the *same* machine, so the
+#: ratio is immune to runner speed and measures a structural property —
+#: here, that degraded-mode guards cost <3% on the fault-free path.
+#: A pair with either side missing is reported and skipped, not failed.
+RATIO_GATES = [
+    {
+        "name": "robustness guard overhead",
+        "numerator": "test_perf_study_serial",
+        "denominator": "test_perf_study_unguarded",
+        "limit": 1.03,
+    },
+]
+
+
+def _find_entry(results: dict[str, dict], test_name: str) -> float | None:
+    """Current-run median of the benchmark whose fullname ends in ``test_name``."""
+    for fullname, entry in results.items():
+        if fullname.split("::")[-1] == test_name and STAT in entry:
+            return entry[STAT]
+    return None
+
+
+def compare_ratios(results: dict[str, dict]) -> tuple[list[str], bool]:
+    """Render one report line per ratio gate; True when any gate failed."""
+    lines = []
+    failed = False
+    for gate in RATIO_GATES:
+        num = _find_entry(results, gate["numerator"])
+        den = _find_entry(results, gate["denominator"])
+        if num is None or den is None or den <= 0:
+            missing = gate["numerator"] if num is None else gate["denominator"]
+            lines.append(f"  SKIPPED  {gate['name']}: {missing} not in this run (not gated)")
+            continue
+        ratio = num / den
+        verdict = "ok      " if ratio <= gate["limit"] else "EXCEEDED"
+        if ratio > gate["limit"]:
+            failed = True
+        lines.append(
+            f"  {verdict} {gate['name']}: "
+            f"{gate['numerator']}/{gate['denominator']} = {ratio:.3f} "
+            f"(limit {gate['limit']:.2f})"
+        )
+    return lines, failed
+
 
 def load_results(results_dir: Path) -> dict[str, dict]:
     """All benchmark entries from ``BENCH_*.json`` dumps, by fullname."""
@@ -120,8 +166,11 @@ def main(argv: list[str] | None = None) -> int:
     lines, failed = compare(baseline, results, args.threshold)
     print(f"bench_compare: {STAT} vs {args.baseline.name}, threshold +{args.threshold:.0%}")
     print("\n".join(lines))
-    if failed:
-        print("bench_compare: FAIL — at least one benchmark regressed", file=sys.stderr)
+    ratio_lines, ratio_failed = compare_ratios(results)
+    print("bench_compare: same-run ratio gates")
+    print("\n".join(ratio_lines))
+    if failed or ratio_failed:
+        print("bench_compare: FAIL — at least one gate exceeded", file=sys.stderr)
         return 1
     print("bench_compare: all benchmarks within threshold")
     return 0
