@@ -13,11 +13,13 @@ trajectory accumulates across PRs and regressions are diffable.
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
 
 import pytest
 
 from repro.experiments import OuluStudy, StudyConfig
+from repro.obs import RunContext, run_metadata
 from repro.roadnet import build_synthetic_oulu
 from repro.traces import FleetSpec
 
@@ -78,8 +80,19 @@ def pytest_sessionfinish(session, exitstatus):
             value = getattr(stats, field, None)
             if value is not None:
                 entry[field] = value
+        extra = getattr(bench, "extra_info", None)
+        if extra:
+            # Benches attach derived measurements here (e.g. the
+            # interleaved overhead ratios bench_compare gates on).
+            entry["extra_info"] = dict(extra)
         by_module.setdefault(module, []).append(entry)
     OUT_DIR.mkdir(exist_ok=True)
+    # One identity block per dump (run_id, git SHA, Python, wall clock)
+    # so BENCH_*.json files are comparable across machines and PRs;
+    # tools/bench_compare.py echoes it and ignores it for gating.
+    meta = {**run_metadata(RunContext.create()), "ended": round(time.time(), 3)}
     for module, entries in by_module.items():
         path = OUT_DIR / f"BENCH_{module}.json"
-        path.write_text(json.dumps({"benchmarks": entries}, indent=2) + "\n")
+        path.write_text(
+            json.dumps({"meta": meta, "benchmarks": entries}, indent=2) + "\n"
+        )

@@ -71,15 +71,88 @@ def _study_transitions(workers: int, guarded: bool = True) -> int:
     return len(OuluStudy(config).run().kept_transitions)
 
 
+def _journaled_study(out_dir) -> int:
+    """The serial study with the run journal and OpenMetrics export on."""
+    from repro.obs import FileJournal, RunContext, use_journal, write_textfile
+
+    config = StudyConfig(
+        fleet=FleetSpec(n_days=_PAR_DAYS, seed=31),
+        executor=ExecutorConfig(workers=0),
+        robustness=RobustnessConfig(),
+    )
+    ctx = RunContext.create()
+    journal = FileJournal(out_dir / "events.jsonl", ctx)
+    try:
+        with use_journal(journal):
+            result = OuluStudy(config).run(run_context=ctx)
+        journal.close("ok")
+    except Exception:
+        journal.close("error")
+        raise
+    write_textfile(out_dir / "metrics.prom", result.metrics)
+    return len(result.kept_transitions)
+
+
+def _interleaved_overhead(
+    base, instrumented, pairs: int = 24, trials: int = 3, settled: float = 1.02
+) -> float:
+    """Overhead ratio of two workloads, measured noise-robustly.
+
+    Each trial runs the pair back-to-back ``pairs`` times and compares
+    the sides' quiet-machine floors (mean of the 3 smallest timings).
+    Interleaving matters: timing all rounds of one side, then all rounds
+    of the other (what separate benchmarks do) bakes any machine-load
+    drift between the two blocks into the ratio — observed at 10%+ on
+    shared runners, swamping the few-percent structural overhead being
+    priced.
+
+    The gate this feeds is one-sided (only a *high* ratio fails), so a
+    high trial is re-measured and the best trial wins: a load burst that
+    covers one whole trial window inflates that trial only, while a real
+    regression exceeds the limit in every trial.  Trials stop early once
+    the ratio is comfortably inside the limit (``settled``).
+    """
+    from time import perf_counter
+
+    def floor(times: list[float]) -> float:
+        return sum(sorted(times)[:3]) / 3
+
+    base()
+    instrumented()  # warm both paths (imports, caches)
+    best = float("inf")
+    for __ in range(trials):
+        base_times, instrumented_times = [], []
+        for ___ in range(pairs):
+            t0 = perf_counter()
+            base()
+            base_times.append(perf_counter() - t0)
+            t0 = perf_counter()
+            instrumented()
+            instrumented_times.append(perf_counter() - t0)
+        best = min(best, floor(instrumented_times) / floor(base_times))
+        if best <= settled:
+            break
+    return best
+
+
 def test_perf_study_serial(benchmark):
     """Baseline for the parallel bench: the same study, one process.
 
     Runs with the default degradation guards on — this is the
-    production configuration, and ``tools/bench_compare.py`` gates its
-    ratio against ``test_perf_study_unguarded`` to bound the no-fault
-    overhead of the guards (<3%).
+    production configuration.  ``extra_info['guard_overhead']`` carries
+    the interleaved guarded/unguarded ratio that
+    ``tools/bench_compare.py`` gates at ≤1.03 (the guards' happy-path
+    cost).
     """
-    kept = benchmark.pedantic(_study_transitions, args=(0,), rounds=3, iterations=1)
+    kept = benchmark.pedantic(
+        _study_transitions, args=(0,), rounds=5, warmup_rounds=1, iterations=1
+    )
+    benchmark.extra_info["guard_overhead"] = round(
+        _interleaved_overhead(
+            lambda: _study_transitions(0, False), lambda: _study_transitions(0)
+        ),
+        4,
+    )
     assert kept > 0
 
 
@@ -87,11 +160,34 @@ def test_perf_study_unguarded(benchmark):
     """Reference without degradation guards (``robustness=None``).
 
     Identical work to ``test_perf_study_serial`` minus the per-unit
-    guard wrappers; the pair exists purely so the ratio gate can price
-    the guards' happy-path cost.
+    guard wrappers; tracked against the committed baseline like every
+    other bench (the guard-cost *ratio* gate lives in
+    ``test_perf_study_serial``'s ``extra_info``, measured interleaved).
     """
     kept = benchmark.pedantic(
-        _study_transitions, args=(0, False), rounds=3, iterations=1
+        _study_transitions, args=(0, False), rounds=5, warmup_rounds=1, iterations=1
+    )
+    assert kept == _study_transitions(0)
+
+
+def test_perf_study_journaled(benchmark, tmp_path):
+    """The serial study with the run journal and OpenMetrics export on.
+
+    Identical work to ``test_perf_study_serial`` plus everything the
+    observability layer adds per unit (journal span/lineage events,
+    detail spans, the textfile export at the end).
+    ``extra_info['journal_overhead']`` carries the interleaved
+    journaled/serial ratio that ``tools/bench_compare.py`` gates at
+    ≤1.03.
+    """
+    kept = benchmark.pedantic(
+        _journaled_study, args=(tmp_path,), rounds=5, warmup_rounds=1, iterations=1
+    )
+    benchmark.extra_info["journal_overhead"] = round(
+        _interleaved_overhead(
+            lambda: _study_transitions(0), lambda: _journaled_study(tmp_path)
+        ),
+        4,
     )
     assert kept == _study_transitions(0)
 

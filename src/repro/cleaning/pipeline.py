@@ -28,7 +28,7 @@ from repro.cleaning.filters import (
 )
 from repro.cleaning.ordering import repair_ordering
 from repro.faults import Quarantine, RobustnessConfig, TripError, guarded_call, maybe_inject
-from repro.obs import get_logger, get_registry, span
+from repro.obs import get_journal, get_logger, get_registry, span
 from repro.cleaning.segmentation import (
     SegmentationConfig,
     SegmentationReport,
@@ -178,15 +178,18 @@ class CleaningPipeline:
         The unit the serial fold *and* pool workers both run: with
         robustness configured, a raising trip comes back as a
         :class:`~repro.faults.TripError` value (picklable, foldable);
-        without it this is exactly :meth:`clean_trip`.
+        without it this is exactly :meth:`clean_trip`.  A journal-visible
+        ``clean_trip`` detail span times the unit on whichever process
+        runs it.
         """
-        if self.robustness is None:
-            return self.clean_trip(trip)
-        result, error = guarded_call(
-            "clean", self.clean_trip, trip,
-            robustness=self.robustness, trip_id=trip.trip_id,
-        )
-        return error if error is not None else result
+        with span("clean_trip", detail=True, attrs={"trip_id": trip.trip_id}):
+            if self.robustness is None:
+                return self.clean_trip(trip)
+            result, error = guarded_call(
+                "clean", self.clean_trip, trip,
+                robustness=self.robustness, trip_id=trip.trip_id,
+            )
+            return error if error is not None else result
 
     def run(
         self,
@@ -216,12 +219,45 @@ class CleaningPipeline:
                 per_trip = executor.clean_trips(fleet.trips)
             else:
                 per_trip = [self.clean_trip_unit(trip) for trip in fleet.trips]
+            journal = get_journal()
             next_segment_id = 1
-            for trip_result in per_trip:
+            for trip, trip_result in zip(fleet.trips, per_trip):
                 if isinstance(trip_result, TripError):
                     quarantine.add(trip_result)
                     report.errors.append(trip_result)
+                    if journal.enabled:
+                        journal.emit(
+                            "lineage",
+                            unit="trip",
+                            trip_id=trip.trip_id,
+                            disposition="quarantined",
+                            stage=trip_result.stage,
+                            reason=trip_result.kind,
+                            fault_tag=trip_result.fault_tag,
+                        )
                     continue
+                if journal.enabled:
+                    # Which Table 2 rules fired for this trip, and what
+                    # each filter removed — the per-trip provenance the
+                    # aggregate report cannot answer.
+                    journal.emit(
+                        "lineage",
+                        unit="trip",
+                        trip_id=trip.trip_id,
+                        disposition="cleaned",
+                        segments=len(trip_result.segments),
+                        reordered=trip_result.reordered,
+                        duplicates_removed=trip_result.duplicates_removed,
+                        outliers_removed=trip_result.outliers_removed,
+                        out_of_bounds_removed=trip_result.out_of_bounds_removed,
+                        rules={
+                            rule: hits
+                            for rule, hits in sorted(
+                                trip_result.segmentation.rule_hits.items()
+                            )
+                            if hits
+                        },
+                    )
                 if trip_result.reordered:
                     report.reordered_trips += 1
                     report.reordering_saved_m += trip_result.reordering_saved_m

@@ -7,20 +7,29 @@
 * ``clean`` — run the cleaning pipeline over a route-point CSV and print
   the per-stage report (counts and wall time);
 * ``study`` — run the full end-to-end study and write every table and
-  figure artefact (text, optionally SVG) into an output directory.
+  figure artefact (text, optionally SVG) into an output directory;
+* ``obs`` — inspect finished runs: ``report`` (funnel waterfall, stage
+  tree, slowest units), ``tail``, ``trip`` (one unit's lineage) and
+  ``diff`` (two runs' artefacts and comparable metrics).
 
 Observability: every command accepts ``--log-level``/``--log-json``
-(structured logs on stderr), and ``clean``/``study`` accept
-``--metrics-out FILE`` to dump the run's metrics registry (counters,
-latency histograms, stage-timing tree) as JSON.  ``study`` always writes
-a ``metrics.json`` artefact next to the tables.
+(structured logs on stderr) and ``--quiet`` (suppress the human-mode
+accounting tables; logging is unaffected).  ``clean``/``study``/
+``report`` accept ``--metrics-out FILE`` to dump the run's metrics
+registry (counters, latency histograms, stage-timing tree, run
+metadata) as JSON, ``--journal-out FILE`` for the append-only run
+journal (``study`` always writes ``events.jsonl`` into ``--out``),
+``--prom-out FILE`` for an OpenMetrics textfile, and ``--profile`` for
+a sampling span profiler (collapsed-stack output).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import time
 from pathlib import Path
 
 from repro import obs
@@ -64,6 +73,34 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--log-json", action="store_true", default=argparse.SUPPRESS,
         help="emit logs as one JSON object per line",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", default=argparse.SUPPRESS,
+        help="suppress human-readable accounting output (stdout only; "
+             "log level is unaffected)",
+    )
+
+
+def _add_journal_flags(parser: argparse.ArgumentParser) -> None:
+    """Run-journal / exporter / profiler flags (clean, study, report)."""
+    parser.add_argument(
+        "--journal-out", type=Path, default=None, metavar="FILE",
+        help="write the append-only run journal (events JSONL; study: "
+             "defaults to events.jsonl in --out)",
+    )
+    parser.add_argument(
+        "--prom-out", type=Path, default=None, metavar="FILE",
+        help="write the run's metrics as an OpenMetrics textfile",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="sample open spans while the run executes and write a "
+             "collapsed-stack profile (see --profile-out)",
+    )
+    parser.add_argument(
+        "--profile-out", type=Path, default=None, metavar="FILE",
+        help="collapsed-stack profile path (default: profile.txt in "
+             "--out for study, ./profile.txt otherwise)",
     )
 
 
@@ -163,6 +200,7 @@ def _build_parser() -> argparse.ArgumentParser:
     clean.add_argument("--metrics-out", type=Path, default=None,
                        help="write the run's metrics registry as JSON")
     _add_obs_flags(clean)
+    _add_journal_flags(clean)
     _add_parallel_flags(clean)
     _add_robustness_flags(clean)
 
@@ -178,6 +216,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="also write the metrics JSON to this path "
                             "(a metrics.json is always written to --out)")
     _add_obs_flags(study)
+    _add_journal_flags(study)
     _add_parallel_flags(study)
     _add_robustness_flags(study)
 
@@ -186,9 +225,82 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--seed", type=int, default=42)
     report.add_argument("--out", type=Path, default=Path("REPORT.md"))
     _add_obs_flags(report)
+    _add_journal_flags(report)
     _add_parallel_flags(report)
     _add_robustness_flags(report)
+
+    obs_p = sub.add_parser("obs", help="inspect run journals and metrics")
+    _add_obs_flags(obs_p)
+    obs_sub = obs_p.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report", help="render the run report from an events journal")
+    obs_report.add_argument("journal", type=Path)
+    obs_report.add_argument("--top", type=int, default=10, metavar="N",
+                            help="slowest units to list (default 10)")
+    obs_tail = obs_sub.add_parser(
+        "tail", help="print the last N journal events, one line each")
+    obs_tail.add_argument("journal", type=Path)
+    obs_tail.add_argument("-n", "--lines", type=int, default=20, metavar="N")
+    obs_trip = obs_sub.add_parser(
+        "trip", help="full lineage of one unit (trip/segment/transition id)")
+    obs_trip.add_argument("journal", type=Path)
+    obs_trip.add_argument("unit_id", type=int)
+    obs_diff = obs_sub.add_parser(
+        "diff", help="compare two run output directories "
+                     "(artefacts + comparable metrics; exit 1 on divergence)")
+    obs_diff.add_argument("run_a", type=Path)
+    obs_diff.add_argument("run_b", type=Path)
     return parser
+
+
+def _say(args: argparse.Namespace, *values) -> None:
+    """``print`` unless ``--quiet`` asked for machine-only output."""
+    if not getattr(args, "quiet", False):
+        print(*values)
+
+
+def _start_instruments(
+    args: argparse.Namespace,
+    run_ctx: obs.RunContext,
+    command: str,
+    journal_default: Path | None = None,
+) -> tuple[obs.FileJournal | None, obs.SpanProfiler | None]:
+    """Open the run journal and start the span profiler, per flags."""
+    journal = None
+    path = getattr(args, "journal_out", None) or journal_default
+    if path is not None:
+        journal = obs.FileJournal(path, run_ctx, extra_meta={"command": command})
+    profiler = None
+    if getattr(args, "profile", False):
+        profiler = obs.SpanProfiler()
+        profiler.start()
+    return journal, profiler
+
+
+def _stop_instruments(
+    args: argparse.Namespace,
+    journal: obs.FileJournal | None,
+    profiler: obs.SpanProfiler | None,
+    status: str,
+    profile_default: Path = Path("profile.txt"),
+) -> None:
+    if profiler is not None:
+        profiler.stop()
+        path = getattr(args, "profile_out", None) or profile_default
+        profiler.write(path)
+        _say(args, f"wrote span profile to {path}")
+    if journal is not None:
+        journal.close(status)
+        _say(args, f"wrote run journal to {journal.path}")
+
+
+def _run_meta(run_ctx: obs.RunContext, started: float, ended: float) -> dict:
+    return {
+        **obs.run_metadata(run_ctx),
+        "started": round(started, 3),
+        "ended": round(ended, 3),
+        "wall_seconds": round(ended - started, 3),
+    }
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -196,10 +308,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     spec = FleetSpec(n_days=args.days, seed=args.seed)
     fleet, runs = TaxiFleetSimulator(city, spec).simulate()
     n = write_points_csv(fleet, args.points)
-    print(f"wrote {n} route points ({len(fleet)} trips) to {args.points}")
+    _say(args, f"wrote {n} route points ({len(fleet)} trips) to {args.points}")
     if args.trips is not None:
         m = write_trips_jsonl(fleet, args.trips)
-        print(f"wrote {m} trip headers to {args.trips}")
+        _say(args, f"wrote {m} trip headers to {args.trips}")
     return 0
 
 
@@ -217,28 +329,43 @@ def _cmd_clean(args: argparse.Namespace) -> int:
         ),
         executor_config,
     )
-    with obs.use_registry(registry), inject_faults(plan):
-        fleet = read_points_csv(args.points, quarantine=quarantine)
-        rows_quarantined = len(quarantine)
-        if not len(fleet):
-            print(f"no trips in {args.points}", file=sys.stderr)
-            return 1
-        with executor:
-            result = CleaningPipeline(
-                vectorized=executor_config.vectorized, robustness=robustness
-            ).run(fleet, executor=executor, quarantine=quarantine)
-        try:
-            quarantine.check(len(fleet) + rows_quarantined)
-        except ErrorRateExceeded as exc:
-            _write_errors(args.errors_out, quarantine)
-            print(f"repro clean: {exc}", file=sys.stderr)
-            return 1
+    run_ctx = obs.RunContext.create()
+    # The journal rides alongside metrics.json when one is requested.
+    journal_default = (
+        args.metrics_out.parent / "events.jsonl"
+        if args.metrics_out is not None else None
+    )
+    journal, profiler = _start_instruments(args, run_ctx, "clean", journal_default)
+    started = time.time()
+    status = "error"
+    try:
+        with obs.use_run_context(run_ctx), obs.use_registry(registry), \
+                obs.use_journal(journal or obs.Journal()), inject_faults(plan):
+            fleet = read_points_csv(args.points, quarantine=quarantine)
+            rows_quarantined = len(quarantine)
+            if not len(fleet):
+                print(f"no trips in {args.points}", file=sys.stderr)
+                return 1
+            with executor:
+                result = CleaningPipeline(
+                    vectorized=executor_config.vectorized, robustness=robustness
+                ).run(fleet, executor=executor, quarantine=quarantine)
+            try:
+                quarantine.check(len(fleet) + rows_quarantined)
+            except ErrorRateExceeded as exc:
+                _write_errors(args, args.errors_out, quarantine)
+                print(f"repro clean: {exc}", file=sys.stderr)
+                return 1
+        status = "ok"
+    finally:
+        _stop_instruments(args, journal, profiler, status)
+    ended = time.time()
     r = result.report
 
     def sec(stage: str) -> str:
         return format(r.stage_seconds.get(stage, 0.0), ".3f")
 
-    print(format_table(
+    _say(args, format_table(
         ["Stage", "Count", "Seconds"],
         [
             ["trips in", r.trips_in, "-"],
@@ -253,14 +380,19 @@ def _cmd_clean(args: argparse.Namespace) -> int:
             ["points out", r.points_out, "-"],
         ],
     ))
-    print("rule firings:", dict(r.segmentation.rule_hits))
+    _say(args, "rule firings:", dict(r.segmentation.rule_hits))
     if quarantine.errors:
-        print(f"quarantined: {len(quarantine)} units "
-              f"({rows_quarantined} at ingest, {r.trips_quarantined} trips)")
-    _write_errors(args.errors_out, quarantine)
+        _say(args, f"quarantined: {len(quarantine)} units "
+             f"({rows_quarantined} at ingest, {r.trips_quarantined} trips)")
+    _write_errors(args, args.errors_out, quarantine)
+    snapshot = registry.snapshot()
+    snapshot["meta"] = _run_meta(run_ctx, started, ended)
     if args.metrics_out is not None:
-        _write_metrics(args.metrics_out, registry.to_json())
-        print(f"wrote metrics to {args.metrics_out}")
+        _write_metrics(args.metrics_out, json.dumps(snapshot, indent=2))
+        _say(args, f"wrote metrics to {args.metrics_out}")
+    if args.prom_out is not None:
+        obs.write_textfile(args.prom_out, snapshot)
+        _say(args, f"wrote OpenMetrics textfile to {args.prom_out}")
     return 0
 
 
@@ -269,10 +401,12 @@ def _write_metrics(path: Path, text: str) -> None:
     path.write_text(text + "\n")
 
 
-def _write_errors(path: Path | None, quarantine: Quarantine) -> None:
+def _write_errors(
+    args: argparse.Namespace, path: Path | None, quarantine: Quarantine
+) -> None:
     if path is not None:
         quarantine.write_jsonl(path)
-        print(f"wrote {len(quarantine)} quarantine records to {path}")
+        _say(args, f"wrote {len(quarantine)} quarantine records to {path}")
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
@@ -285,8 +419,15 @@ def _cmd_study(args: argparse.Namespace) -> int:
     out: Path = args.out
     out.mkdir(parents=True, exist_ok=True)
     errors_path: Path = args.errors_out or (out / "errors.jsonl")
+    run_ctx = obs.RunContext.create()
+    journal, profiler = _start_instruments(
+        args, run_ctx, "study", journal_default=out / "events.jsonl"
+    )
+    status = "error"
     try:
-        result = OuluStudy(config).run()
+        with obs.use_journal(journal or obs.Journal()):
+            result = OuluStudy(config).run(run_context=run_ctx)
+        status = "ok"
     except ErrorRateExceeded as exc:
         quarantine = Quarantine()
         quarantine.errors = list(exc.errors)
@@ -294,6 +435,10 @@ def _cmd_study(args: argparse.Namespace) -> int:
         print(f"repro study: {exc}", file=sys.stderr)
         print(f"quarantine records in {errors_path}", file=sys.stderr)
         return 1
+    finally:
+        _stop_instruments(
+            args, journal, profiler, status, profile_default=out / "profile.txt"
+        )
 
     def save(name: str, text: str) -> None:
         (out / name).write_text(text + "\n")
@@ -323,6 +468,9 @@ def _cmd_study(args: argparse.Namespace) -> int:
     quarantine.write_jsonl(errors_path)
     if args.metrics_out is not None:
         _write_metrics(args.metrics_out, metrics_json)
+    if args.prom_out is not None:
+        obs.write_textfile(args.prom_out, result.metrics)
+        _say(args, f"wrote OpenMetrics textfile to {args.prom_out}")
     if args.svg:
         from repro.experiments.svgmap import (
             render_fig3_svg,
@@ -344,9 +492,9 @@ def _cmd_study(args: argparse.Namespace) -> int:
 
         for name, fc in study_geojson(result).items():
             save(f"{name}.geojson", json.dumps(fc))
-    status = f"{len(result.errors)} quarantined" if result.errors else "no errors"
-    print(f"study complete: {len(result.kept_transitions)} transitions; "
-          f"{status}; artefacts in {out}/")
+    verdict = f"{len(result.errors)} quarantined" if result.errors else "no errors"
+    _say(args, f"study complete: {len(result.kept_transitions)} transitions; "
+         f"{verdict}; artefacts in {out}/")
     return 0
 
 
@@ -359,8 +507,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
         robustness=_robustness(args),
         faults=_fault_plan(args),
     )
+    run_ctx = obs.RunContext.create()
+    journal, profiler = _start_instruments(args, run_ctx, "report")
+    status = "error"
     try:
-        result = OuluStudy(config).run()
+        with obs.use_journal(journal or obs.Journal()):
+            result = OuluStudy(config).run(run_context=run_ctx)
+        status = "ok"
     except ErrorRateExceeded as exc:
         if args.errors_out is not None:
             quarantine = Quarantine()
@@ -368,10 +521,35 @@ def _cmd_report(args: argparse.Namespace) -> int:
             quarantine.write_jsonl(args.errors_out)
         print(f"repro report: {exc}", file=sys.stderr)
         return 1
+    finally:
+        _stop_instruments(args, journal, profiler, status)
+    if args.prom_out is not None:
+        obs.write_textfile(args.prom_out, result.metrics)
+        _say(args, f"wrote OpenMetrics textfile to {args.prom_out}")
     text = study_report(result)
     args.out.write_text(text)
-    print(f"wrote {args.out} ({len(text.splitlines())} lines)")
+    _say(args, f"wrote {args.out} ({len(text.splitlines())} lines)")
     return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import report as obs_report
+
+    if args.obs_command == "report":
+        events, metrics = obs_report.load_run(args.journal)
+        print(obs_report.render_report(events, metrics, top=args.top))
+        return 0
+    if args.obs_command == "tail":
+        print(obs_report.render_tail(obs.read_journal(args.journal),
+                                     n=args.lines))
+        return 0
+    if args.obs_command == "trip":
+        print(obs_report.render_trip(obs.read_journal(args.journal),
+                                     args.unit_id))
+        return 0
+    result = obs_report.diff_runs(args.run_a, args.run_b)
+    print("\n".join(result.lines))
+    return 1 if result.divergent else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -390,8 +568,16 @@ def main(argv: list[str] | None = None) -> int:
         "clean": _cmd_clean,
         "study": _cmd_study,
         "report": _cmd_report,
+        "obs": _cmd_obs,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # The stdout reader went away (e.g. `repro obs report | head`).
+        # Point stdout at devnull so the interpreter's exit flush does
+        # not raise a second time, and exit cleanly like other CLIs.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

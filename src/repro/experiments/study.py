@@ -7,6 +7,7 @@ can derive the evaluation outputs without re-running stages.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -21,7 +22,17 @@ from repro.faults import (
 from repro.features import GridAccumulator, GridSpec, cell_feature_counts
 from repro.features.routestats import RouteStats, transition_route_stats
 from repro.matching import HmmMatcher, IncrementalMatcher, MatchedRoute
-from repro.obs import MetricsRegistry, get_logger, span, use_registry
+from repro.obs import (
+    MetricsRegistry,
+    RunContext,
+    current_run,
+    get_journal,
+    get_logger,
+    run_metadata,
+    span,
+    use_registry,
+    use_run_context,
+)
 from repro.od import TransitionExtractor
 from repro.od.transitions import ExtractionResult, FunnelRow, Transition, TransitionConfig
 from repro.parallel import (
@@ -131,7 +142,7 @@ class OuluStudy:
     def __init__(self, config: StudyConfig | None = None) -> None:
         self.config = config or StudyConfig()
 
-    def run(self) -> StudyResult:
+    def run(self, run_context: RunContext | None = None) -> StudyResult:
         """Execute all stages and return the artefact bundle.
 
         Each run records into a fresh :class:`~repro.obs.MetricsRegistry`;
@@ -141,6 +152,10 @@ class OuluStudy:
         over a worker pool; worker registries are merged in, and the
         artefacts are identical to a serial run.
 
+        ``run_context`` identifies the run for tracing (defaults to the
+        ambient context, or a fresh one); its metadata plus wall-clock
+        bounds land in ``result.metrics["meta"]``.
+
         Degraded mode (``config.robustness``): per-trip and per-transition
         failures — injected by ``config.faults`` or organic — quarantine
         into ``result.errors`` and the run completes on the survivors,
@@ -148,17 +163,27 @@ class OuluStudy:
         (:class:`~repro.faults.ErrorRateExceeded`).
         """
         config = self.config
+        run_ctx = run_context or current_run() or RunContext.create()
         registry = MetricsRegistry()
         quarantine = Quarantine(
             config.robustness.max_error_rate
             if config.robustness is not None else None
         )
-        with use_registry(registry), inject_faults(config.faults), span("study"):
+        started = time.time()
+        with use_run_context(run_ctx), use_registry(registry), \
+                inject_faults(config.faults), span("study"):
             with TripExecutor(
                 config.worker_payload(), config.executor
             ) as executor:
                 result = self._run_stages(executor, quarantine)
+        ended = time.time()
         result.metrics = registry.snapshot()
+        result.metrics["meta"] = {
+            **run_metadata(run_ctx),
+            "started": round(started, 3),
+            "ended": round(ended, 3),
+            "wall_seconds": round(ended - started, 3),
+        }
         result.errors = list(quarantine.errors)
         return result
 
@@ -262,8 +287,26 @@ class OuluStudy:
         matched: dict[int, MatchedRoute] = {}
         kept: list[int] = []
         post_per_car: dict[int, int] = {}
+        journal = get_journal()
         for outcome in outcomes:
             transition = extraction.transitions[outcome.index]
+            if journal.enabled:
+                # Per-transition match provenance: latency and route
+                # source travel back on the outcome, so the lineage
+                # stream is identical for serial and parallel runs.
+                journal.emit(
+                    "lineage",
+                    unit="transition",
+                    transition_index=outcome.index,
+                    segment_id=transition.segment.segment_id,
+                    car_id=transition.segment.car_id,
+                    direction=transition.direction,
+                    matched=outcome.route is not None,
+                    kept=bool(outcome.kept),
+                    match_seconds=round(outcome.elapsed_s, 6),
+                    route_source=outcome.route_source,
+                    quarantined=outcome.error is not None,
+                )
             if outcome.error is not None:
                 quarantine.add(outcome.error)
             if outcome.route is None:

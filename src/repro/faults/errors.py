@@ -24,7 +24,7 @@ import json
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
-from repro.obs import get_logger, get_registry
+from repro.obs import get_journal, get_logger, get_registry
 
 _log = get_logger(__name__)
 
@@ -115,6 +115,19 @@ class Quarantine:
     def add(self, error: TripError) -> None:
         self.errors.append(error)
         get_registry().counter("trips.quarantined").inc()
+        journal = get_journal()
+        if journal.enabled:
+            journal.emit(
+                "quarantine",
+                stage=error.stage,
+                error_kind=error.kind,
+                message=error.message,
+                trip_id=error.trip_id,
+                segment_id=error.segment_id,
+                transition_index=error.transition_index,
+                row=error.row,
+                fault_tag=error.fault_tag,
+            )
         _log.warning(
             "unit quarantined",
             extra={"stage": error.stage, "kind": error.kind,

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 from repro.faults.errors import TripError
 from repro.faults import injector
-from repro.obs import get_logger, get_registry
+from repro.obs import get_journal, get_logger, get_registry
 
 _log = get_logger(__name__)
 
@@ -89,6 +89,17 @@ def guarded_call(
             last_exc = exc
             if attempt < robustness.retries and is_transient(exc):
                 registry.counter("faults.retries").inc()
+                journal = get_journal()
+                if journal.enabled:
+                    journal.emit(
+                        "retry",
+                        stage=stage,
+                        attempt=attempt + 1,
+                        error_kind=type(exc).__name__,
+                        trip_id=trip_id,
+                        segment_id=segment_id,
+                        transition_index=transition_index,
+                    )
                 delay = robustness.backoff_base_s * (
                     robustness.backoff_multiplier**attempt
                 )

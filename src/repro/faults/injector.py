@@ -18,7 +18,7 @@ from contextlib import contextmanager
 from typing import Iterator
 
 from repro.faults.plan import FaultPlan
-from repro.obs import get_logger, get_registry
+from repro.obs import get_journal, get_logger, get_registry
 
 _log = get_logger(__name__)
 
@@ -116,6 +116,11 @@ def maybe_inject(stage: str, key: object, require_guard: bool = False) -> None:
     registry = get_registry()
     registry.counter("faults.injected").inc()
     registry.counter(f"faults.injected.{stage}").inc()
+    journal = get_journal()
+    if journal.enabled:
+        journal.emit(
+            "fault_injected", stage=stage, key=repr(key), transient=transient
+        )
     _log.warning(
         "fault injected",
         extra={"stage": stage, "key": repr(key), "transient": transient},

@@ -1,0 +1,179 @@
+"""Run and trace identity — the context every span and journal event carries.
+
+A *run* is one orchestrated execution (`repro study`, a library call to
+:meth:`~repro.experiments.study.OuluStudy.run`, one CI bench).  Every run
+gets a ``run_id``; every span within it carries the run's ``trace_id``
+plus its own ``span_id``/``parent_id``, so the stage tree can be
+reconstructed from a flat event stream even when spans were produced by
+four worker processes.
+
+Propagation across the process boundary uses a :class:`TraceCarrier`:
+the orchestrator snapshots its context per chunk (with the chunk span as
+the parent), ships the carrier with the chunk, and the worker activates
+it before running — worker spans then re-parent under the orchestrator's
+chunk span instead of becoming anonymous roots.
+
+Identity never feeds a pipeline decision (ids are labels, not inputs),
+so random ids do not threaten reproducibility; artefact comparisons
+(`repro obs diff`) ignore them.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import platform
+import subprocess
+import sys
+import uuid
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+#: Version of the journal/metrics metadata schema (bump on breaking
+#: changes to event or meta layout; readers check it).
+SCHEMA_VERSION = 1
+
+#: Per-process prefix making span ids unique across a worker pool
+#: without coordination; the suffix is a cheap local counter.
+_PROC_PREFIX = uuid.uuid4().hex[:10]
+_span_counter = itertools.count(1)
+
+
+def _reseed_span_ids() -> None:
+    """Give a forked child its own span-id prefix and counter.
+
+    A fork-started pool worker inherits the parent's prefix *and*
+    counter position, so every worker would mint the same ids — and
+    colliding ids silently merge spans during journal reconstruction.
+    """
+    global _PROC_PREFIX, _span_counter
+    _PROC_PREFIX = uuid.uuid4().hex[:10]
+    _span_counter = itertools.count(1)
+
+
+os.register_at_fork(after_in_child=_reseed_span_ids)
+
+
+def new_run_id() -> str:
+    """A fresh globally unique run id."""
+    return uuid.uuid4().hex
+
+
+def new_span_id() -> str:
+    """A fresh span id, unique across every process of a run."""
+    return f"{_PROC_PREFIX}{next(_span_counter):08x}"
+
+
+@dataclass(frozen=True)
+class RunContext:
+    """Identity of one run; picklable so workers can inherit it."""
+
+    run_id: str
+    trace_id: str
+
+    @classmethod
+    def create(cls) -> "RunContext":
+        run_id = new_run_id()
+        return cls(run_id=run_id, trace_id=run_id[:16])
+
+
+@dataclass(frozen=True)
+class TraceCarrier:
+    """Trace context shipped across the process boundary with one chunk.
+
+    ``parent_span_id`` is the orchestrator-side chunk span: worker spans
+    opened at stack bottom adopt it as their parent, which is what makes
+    a 4-worker journal reconstruct into the serial span tree.
+    ``journal`` tells the worker whether to buffer journal events at all
+    (no ambient journal in the orchestrator means buffering is waste).
+    """
+
+    run: RunContext | None = None
+    parent_span_id: str | None = None
+    journal: bool = False
+
+
+_run_context: ContextVar[RunContext | None] = ContextVar("repro_obs_run", default=None)
+_parent_span: ContextVar[str | None] = ContextVar("repro_obs_parent_span", default=None)
+
+
+def current_run() -> RunContext | None:
+    """The ambient run context, if an orchestrator installed one."""
+    return _run_context.get()
+
+
+def set_run_context(run: RunContext | None) -> None:
+    """Bind ``run`` as ambient for the current context (no scope)."""
+    _run_context.set(run)
+
+
+@contextmanager
+def use_run_context(run: RunContext) -> Iterator[RunContext]:
+    """Scope ``run`` as ambient; restores the previous one on exit."""
+    token = _run_context.set(run)
+    try:
+        yield run
+    finally:
+        _run_context.reset(token)
+
+
+def current_parent_span_id() -> str | None:
+    """Cross-process parent adopted by spans opened at stack bottom."""
+    return _parent_span.get()
+
+
+@contextmanager
+def use_parent_span(span_id: str | None) -> Iterator[None]:
+    """Scope the cross-process re-parenting target (worker side)."""
+    token = _parent_span.set(span_id)
+    try:
+        yield
+    finally:
+        _parent_span.reset(token)
+
+
+def reset_context() -> None:
+    """Drop inherited run/parent bindings (worker initialiser hook)."""
+    _run_context.set(None)
+    _parent_span.set(None)
+
+
+# -- run metadata ------------------------------------------------------------
+
+_git_sha_cache: str | None = None
+
+
+def git_sha() -> str:
+    """The repo's HEAD commit, or ``"unknown"`` outside a git checkout."""
+    global _git_sha_cache
+    if _git_sha_cache is None:
+        try:
+            _git_sha_cache = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=5,
+                cwd=Path(__file__).resolve().parent,
+                check=True,
+            ).stdout.strip() or "unknown"
+        except (OSError, subprocess.SubprocessError):
+            _git_sha_cache = "unknown"
+    return _git_sha_cache
+
+
+def run_metadata(run: RunContext | None = None) -> dict:
+    """The comparability header stamped into ``metrics.json``, the run
+    journal and ``BENCH_*.json`` dumps: schema version, run identity,
+    code version and interpreter — everything needed to decide whether
+    two runs' numbers may be compared at all."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "run_id": run.run_id if run is not None else None,
+        "trace_id": run.trace_id if run is not None else None,
+        "git_sha": git_sha(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+    }

@@ -1,0 +1,222 @@
+"""OpenMetrics textfile export of a :class:`MetricsRegistry` snapshot.
+
+Renders a registry (or a ``metrics.json`` snapshot document) into the
+OpenMetrics text exposition format consumed by the Prometheus node
+exporter's textfile collector — a batch pipeline cannot be scraped, so
+it drops a textfile per run instead::
+
+    repro study --out out/ --prom-out out/metrics.prom
+
+Mapping:
+
+* counters  → ``# TYPE <name> counter`` with a ``<name>_total`` sample;
+* gauges    → ``# TYPE <name> gauge``;
+* histogram summaries → ``# TYPE <name> summary`` with ``quantile``
+  labels (p50/p90/p99) plus ``_count``/``_sum`` samples;
+* run metadata → one ``repro_run info`` metric whose labels carry
+  ``run_id``/``git_sha``/``python`` (values constant ``1``).
+
+Metric names are derived by prefixing ``repro_`` and replacing every
+non-``[a-zA-Z0-9_]`` character with ``_`` (``clean.trips_in`` →
+``repro_clean_trips_in``).  :func:`lint_openmetrics` is a strict
+self-check of the produced text (used by the CI ``obs-smoke`` job and
+the test-suite) — it validates TYPE ordering, sample/TYPE consistency,
+label syntax, float parseability and the mandatory ``# EOF`` trailer.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from pathlib import Path
+
+#: Everything outside this set is folded to ``_`` in metric names.
+_NAME_SANITISE = re.compile(r"[^a-zA-Z0-9_]")
+
+#: A valid OpenMetrics metric name (after sanitising ours always is).
+_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: One sample line: name, optional {labels}, value (validated by lint).
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+
+_LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def metric_name(name: str, prefix: str = "repro") -> str:
+    """Sanitise a registry instrument name into an OpenMetrics one."""
+    cleaned = _NAME_SANITISE.sub("_", name).strip("_")
+    return f"{prefix}_{cleaned}" if prefix else cleaned
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def to_openmetrics(snapshot: dict, meta: dict | None = None) -> str:
+    """Render a registry snapshot document as OpenMetrics text.
+
+    ``snapshot`` is what :meth:`MetricsRegistry.snapshot` returns (or a
+    parsed ``metrics.json``; a ``meta`` key inside it is used when the
+    ``meta`` argument is not given).  The result ends with the
+    ``# EOF`` terminator the format requires.
+    """
+    lines: list[str] = []
+    meta = meta if meta is not None else snapshot.get("meta")
+    if meta:
+        labels = ",".join(
+            f'{key}="{_escape_label(str(value))}"'
+            for key, value in sorted(meta.items())
+            if value is not None and not isinstance(value, (dict, list))
+        )
+        lines.append("# TYPE repro_run info")
+        lines.append("# HELP repro_run Run identity and environment metadata.")
+        lines.append(f"repro_run_info{{{labels}}} 1")
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = metric_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {_format_value(value)}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        metric = metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, summary in sorted(snapshot.get("histograms", {}).items()):
+        metric = metric_name(name)
+        lines.append(f"# TYPE {metric} summary")
+        for q_key, q_label in (("p50", "0.5"), ("p90", "0.9"), ("p99", "0.99")):
+            if q_key in summary:
+                lines.append(
+                    f'{metric}{{quantile="{q_label}"}} '
+                    f"{_format_value(summary[q_key])}"
+                )
+        lines.append(f"{metric}_count {summary.get('count', 0)}")
+        total = summary.get("mean", 0.0) * summary.get("count", 0)
+        lines.append(f"{metric}_sum {_format_value(total)}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_textfile(path: str | Path, snapshot: dict, meta: dict | None = None) -> Path:
+    """Write :func:`to_openmetrics` output to ``path`` (created parents)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_openmetrics(snapshot, meta))
+    return path
+
+
+def lint_openmetrics(text: str) -> list[str]:
+    """Validate OpenMetrics text; returns a list of problems (empty = ok).
+
+    Checks the invariants the textfile collector cares about: exactly one
+    trailing ``# EOF``; every sample preceded by a ``# TYPE`` for its
+    metric family; counter samples named ``*_total``; parseable values;
+    well-formed label pairs; no duplicate TYPE declarations.
+    """
+    problems: list[str] = []
+    lines = text.splitlines()
+    if not lines or lines[-1] != "# EOF":
+        problems.append("missing '# EOF' terminator as the final line")
+    types: dict[str, str] = {}
+    for lineno, line in enumerate(lines, start=1):
+        if not line:
+            problems.append(f"line {lineno}: blank line")
+            continue
+        if line == "# EOF":
+            if lineno != len(lines):
+                problems.append(f"line {lineno}: '# EOF' before end of file")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "summary", "histogram", "info", "unknown",
+            ):
+                problems.append(f"line {lineno}: malformed TYPE line: {line!r}")
+                continue
+            name = parts[2]
+            if not _NAME_RE.match(name):
+                problems.append(f"line {lineno}: bad metric name {name!r}")
+            if name in types:
+                problems.append(f"line {lineno}: duplicate TYPE for {name}")
+            types[name] = parts[3]
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("#"):
+            problems.append(f"line {lineno}: unknown comment form: {line!r}")
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        sample = match.group("name")
+        family = next(
+            (
+                name
+                for name in (
+                    sample,
+                    sample.removesuffix("_total"),
+                    sample.removesuffix("_count"),
+                    sample.removesuffix("_sum"),
+                    sample.removesuffix("_info"),
+                )
+                if name in types
+            ),
+            None,
+        )
+        if family is None:
+            problems.append(f"line {lineno}: sample {sample!r} has no TYPE")
+            continue
+        if types[family] == "counter" and not sample.endswith("_total"):
+            problems.append(
+                f"line {lineno}: counter sample {sample!r} must end '_total'"
+            )
+        value = match.group("value")
+        if value not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value)
+            except ValueError:
+                problems.append(f"line {lineno}: bad value {value!r}")
+        labels = match.group("labels")
+        if labels:
+            for pair in _split_labels(labels):
+                if not _LABEL_RE.match(pair):
+                    problems.append(f"line {lineno}: bad label pair {pair!r}")
+    return problems
+
+
+def _split_labels(labels: str) -> list[str]:
+    """Split ``a="x",b="y"`` on commas outside quoted values."""
+    out: list[str] = []
+    depth_quote = False
+    current = []
+    escaped = False
+    for ch in labels:
+        if escaped:
+            current.append(ch)
+            escaped = False
+            continue
+        if ch == "\\":
+            current.append(ch)
+            escaped = True
+            continue
+        if ch == '"':
+            depth_quote = not depth_quote
+            current.append(ch)
+            continue
+        if ch == "," and not depth_quote:
+            out.append("".join(current))
+            current = []
+            continue
+        current.append(ch)
+    if current:
+        out.append("".join(current))
+    return out

@@ -25,6 +25,12 @@ ROOT_LOGGER = "repro"
 #: Handler name used to find/replace our handler on re-configuration.
 _HANDLER_NAME = "repro-obs"
 
+#: Belt-and-braces ownership marker set as an attribute on our handlers.
+#: Handler *names* are mutable (``logging.Handler.set_name``) and shared
+#: test fixtures have been seen renaming handlers; re-configuration must
+#: still replace ours rather than stack a second stream.
+_OWNED_ATTR = "_repro_obs_owned"
+
 #: Attributes present on every LogRecord; anything else came via ``extra``.
 _RESERVED = frozenset(
     vars(logging.LogRecord("", 0, "", 0, "", (), None)).keys()
@@ -82,9 +88,12 @@ def configure(
 ) -> logging.Logger:
     """(Re)configure pipeline logging and return the root logger.
 
-    Idempotent: calling again replaces the previous handler, so tests and
-    CLI runs can flip level/mode freely.  Logs go to ``stream`` (default
-    stderr, keeping stdout clean for artefacts and tables).
+    Idempotent: calling again replaces the previous handler — matched by
+    name *or* ownership marker, so replacement works even when an earlier
+    call targeted a different stream or something renamed the handler —
+    and closes it, so no log line is ever emitted twice and replaced
+    streams are released.  Logs go to ``stream`` (default stderr, keeping
+    stdout clean for artefacts and tables).
     """
     root = logging.getLogger(ROOT_LOGGER)
     if isinstance(level, str):
@@ -95,8 +104,18 @@ def configure(
     root.setLevel(level)
     handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
     handler.set_name(_HANDLER_NAME)
+    setattr(handler, _OWNED_ATTR, True)
     handler.setFormatter(JsonFormatter() if json_mode else KeyValueFormatter())
-    root.handlers = [h for h in root.handlers if h.get_name() != _HANDLER_NAME]
+    for stale in [
+        h
+        for h in root.handlers
+        if h.get_name() == _HANDLER_NAME or getattr(h, _OWNED_ATTR, False)
+    ]:
+        root.removeHandler(stale)
+        try:
+            stale.close()
+        except (OSError, ValueError):  # pragma: no cover - stream already gone
+            pass
     root.addHandler(handler)
     root.propagate = False
     return root

@@ -157,6 +157,12 @@ class MetricsRegistry:
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
         self.spans: list = []  # completed root SpanRecords, in finish order
+        # Journal events buffered by a worker process (see
+        # repro.obs.journal.BufferJournal).  Deliberately NOT part of
+        # snapshot() or merge(): the executor replays them into the
+        # orchestrator's journal in chunk order and then drops them —
+        # folding them into merged counters/spans would double-count.
+        self.events: list[dict] = []
 
     # -- instrument access (get-or-create) ---------------------------------
 
@@ -219,6 +225,7 @@ class MetricsRegistry:
         self._gauges.clear()
         self._histograms.clear()
         self.spans.clear()
+        self.events.clear()
 
     def snapshot(self) -> dict:
         """The whole registry as one JSON-serialisable document."""

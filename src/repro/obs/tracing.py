@@ -15,6 +15,22 @@ building a stage tree.  When a *root* span closes, its finished
 (:func:`repro.obs.get_registry`), and every span also feeds a
 ``stage.<name>.seconds`` histogram so repeated stages get latency
 quantiles for free.
+
+Two orthogonal extensions serve the run journal:
+
+* **identity** — when a journal is bound (:func:`repro.obs.get_journal`)
+  each span draws a ``span_id``, inherits the run's ``trace_id`` and
+  resolves its ``parent_id`` from the enclosing span — or, at stack
+  bottom inside a worker, from the cross-process parent installed by
+  :func:`repro.obs.context.use_parent_span` — and emits
+  ``span_open``/``span_close`` journal events.  Without a journal none
+  of this runs and a span costs what it did before.
+* **detail spans** — ``span(name, detail=True)`` times one *unit* of a
+  stage (one trip cleaned, one route matched).  Detail spans feed the
+  ``stage.<name>.seconds`` histogram and the journal but never enter the
+  thread's span stack, so they cannot appear in the registry's stage
+  tree (tests pin that tree's exact shape) and cost nothing when no
+  journal is bound beyond the histogram observation.
 """
 
 from __future__ import annotations
@@ -24,6 +40,8 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.obs.context import current_parent_span_id, current_run, new_span_id
+from repro.obs.journal import get_journal
 from repro.obs.metrics import get_registry
 
 
@@ -34,6 +52,11 @@ class SpanRecord:
     name: str
     duration_s: float = 0.0
     children: list["SpanRecord"] = field(default_factory=list)
+    # Trace identity (populated only while a journal is bound; never part
+    # of to_dict(), whose exact shape is pinned by tests and metrics.json).
+    span_id: str | None = None
+    trace_id: str | None = None
+    parent_id: str | None = None
 
     def to_dict(self) -> dict:
         out: dict = {"name": self.name, "seconds": round(self.duration_s, 6)}
@@ -59,6 +82,17 @@ class _SpanStack(threading.local):
 
 _stack = _SpanStack()
 
+#: Optional profiler hook: an object with ``span_opened(name)`` /
+#: ``span_closed(name)`` methods, called from the opening thread for
+#: every span (stage and detail).  None when no profiler is attached.
+_span_observer = None
+
+
+def set_span_observer(observer) -> None:
+    """Install (or with ``None`` remove) the global span observer."""
+    global _span_observer
+    _span_observer = observer
+
 
 def current_span() -> SpanRecord | None:
     """The innermost open span of this thread, if any."""
@@ -78,43 +112,117 @@ def reset_span_stack() -> None:
 
 
 class span:
-    """Time a stage; use as ``with span("x"):`` or ``@span("x")``."""
+    """Time a stage; use as ``with span("x"):`` or ``@span("x")``.
 
-    def __init__(self, name: str) -> None:
+    ``detail=True`` marks a per-unit span (kept out of the stage tree,
+    see module docstring); ``kind`` overrides the journal ``span_kind``
+    (the executor uses ``"chunk"`` for its synthetic per-chunk spans);
+    ``attrs`` are extra fields inlined into the span's journal event
+    (unit ids, chunk indices).  Stage spans emit an open/close event
+    pair; detail spans emit one self-contained ``span_close``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        detail: bool = False,
+        kind: str | None = None,
+        attrs: dict | None = None,
+    ) -> None:
         self.name = name
+        self.detail = detail
+        self.kind = kind if kind is not None else ("detail" if detail else "stage")
+        self.attrs = attrs
         self.record: SpanRecord | None = None
+        self._journal = None
         self._t0 = 0.0
 
     def __enter__(self) -> SpanRecord:
-        self.record = SpanRecord(name=self.name)
-        _stack.stack.append(self.record)
+        record = SpanRecord(name=self.name)
+        journal = get_journal()
+        if journal.enabled:
+            self._journal = journal
+            stack = _stack.stack
+            record.span_id = new_span_id()
+            run = current_run()
+            record.trace_id = run.trace_id if run is not None else None
+            if stack:
+                record.parent_id = stack[-1].span_id
+            else:
+                record.parent_id = current_parent_span_id()
+            if not self.detail:
+                journal.emit(
+                    "span_open",
+                    name=record.name,
+                    span_id=record.span_id,
+                    parent_id=record.parent_id,
+                    trace_id=record.trace_id,
+                    span_kind=self.kind,
+                    **(self.attrs or {}),
+                )
+        if not self.detail:
+            _stack.stack.append(record)
+        observer = _span_observer
+        if observer is not None:
+            observer.span_opened(record.name)
+        self.record = record
         self._t0 = time.perf_counter()
-        return self.record
+        return record
 
     def __exit__(self, exc_type, exc, tb) -> None:
         record = self.record
         assert record is not None
         record.duration_s = time.perf_counter() - self._t0
-        stack = _stack.stack
-        if record in stack:
-            # Normally ``record`` is the top frame; anything above it means
-            # the stack desynchronised (e.g. reset_span_stack raced a fork)
-            # and those stale frames are dropped with it.
-            del stack[stack.index(record):]
         registry = get_registry()
         registry.histogram(f"stage.{record.name}.seconds").observe(record.duration_s)
-        if stack:
-            stack[-1].children.append(record)
-        else:
-            registry.record_span(record)
+        observer = _span_observer
+        if observer is not None:
+            observer.span_closed(record.name)
+        journal = self._journal
+        if journal is not None:
+            if self.detail:
+                # Detail spans are leaves timing one unit; a single
+                # self-contained close event (identity + attrs + timing)
+                # halves their journal traffic vs an open/close pair.
+                journal.emit(
+                    "span_close",
+                    name=record.name,
+                    span_id=record.span_id,
+                    parent_id=record.parent_id,
+                    trace_id=record.trace_id,
+                    span_kind=self.kind,
+                    seconds=round(record.duration_s, 6),
+                    status="ok" if exc_type is None else "error",
+                    **(self.attrs or {}),
+                )
+            else:
+                journal.emit(
+                    "span_close",
+                    name=record.name,
+                    span_id=record.span_id,
+                    seconds=round(record.duration_s, 6),
+                    status="ok" if exc_type is None else "error",
+                )
+            self._journal = None
+        if not self.detail:
+            stack = _stack.stack
+            if record in stack:
+                # Normally ``record`` is the top frame; anything above it means
+                # the stack desynchronised (e.g. reset_span_stack raced a fork)
+                # and those stale frames are dropped with it.
+                del stack[stack.index(record):]
+            if stack:
+                stack[-1].children.append(record)
+            else:
+                registry.record_span(record)
         self.record = None
 
     def __call__(self, fn):
-        name = self.name
+        name, detail, kind, attrs = self.name, self.detail, self.kind, self.attrs
 
         @functools.wraps(fn)
         def wrapped(*args, **kwargs):
-            with span(name):
+            with span(name, detail=detail, kind=kind, attrs=attrs):
                 return fn(*args, **kwargs)
 
         return wrapped

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.cleaning.segmentation import TripSegment
 from repro.geo.polygon import Polygon
-from repro.obs import get_logger, get_registry
+from repro.obs import get_journal, get_logger, get_registry, span
 from repro.od.gates import CrossingEvent, Gate, find_crossings
 
 _log = get_logger(__name__)
@@ -130,6 +130,12 @@ class TransitionExtractor:
 
     def extract_segment(self, seg: TripSegment, to_xy) -> SegmentExtraction:
         """Run funnel stages 2-4 on one segment — pure and parallelisable."""
+        with span(
+            "extract_segment", detail=True, attrs={"segment_id": seg.segment_id}
+        ):
+            return self._extract_segment(seg, to_xy)
+
+    def _extract_segment(self, seg: TripSegment, to_xy) -> SegmentExtraction:
         xys = [to_xy(p) for p in seg.points]
         times = [p.time_s for p in seg.points]
         events = find_crossings(xys, times, self.gates, vectorized=self.vectorized)
@@ -162,16 +168,33 @@ class TransitionExtractor:
             extractions = [self.extract_segment(seg, to_xy) for seg in segments]
         per_car: dict[int, dict[str, int]] = {}
         transitions: list[Transition] = []
-        for extraction in extractions:
+        journal = get_journal()
+        for seg, extraction in zip(segments, extractions):
             stats = per_car.setdefault(
                 extraction.car_id,
                 {"total": 0, "filtered": 0, "transitions": 0, "centre": 0},
             )
             stats["total"] += 1
+            transition = extraction.transition
+            if journal.enabled:
+                # Funnel stages 2-4 provenance per segment: did it cross a
+                # gate, which studied pair did it form, did it stay inside
+                # the centre — folded in segment order, so the lineage
+                # stream is identical for serial and parallel runs.
+                journal.emit(
+                    "lineage",
+                    unit="segment",
+                    segment_id=seg.segment_id,
+                    car_id=extraction.car_id,
+                    gate_crossed=extraction.crossed,
+                    direction=transition.direction if transition else None,
+                    within_centre=bool(transition.within_centre)
+                    if transition
+                    else False,
+                )
             if not extraction.crossed:
                 continue
             stats["filtered"] += 1
-            transition = extraction.transition
             if transition is None:
                 continue
             stats["transitions"] += 1

@@ -17,9 +17,19 @@ from __future__ import annotations
 import math
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from time import perf_counter
 
-from repro.obs import get_logger, get_registry
+from repro.obs import (
+    TraceCarrier,
+    current_parent_span_id,
+    current_run,
+    current_span,
+    get_journal,
+    get_logger,
+    get_registry,
+    new_span_id,
+)
 from repro.parallel.worker import WorkerPayload, init_worker, run_chunk
 from repro.roadnet.routing import ROUTING_ENGINES
 
@@ -109,11 +119,18 @@ class TripExecutor:
                 import multiprocessing
 
                 mp_context = multiprocessing.get_context(self.config.start_method)
+            # Stamp the orchestrator's run identity into the payload at
+            # pool creation so every worker installs the same trace_id at
+            # init (a pool recycled after a crash re-stamps it too).
+            payload = self.payload
+            run = current_run()
+            if run is not None and payload.run_context != run:
+                payload = replace(payload, run_context=run)
             self._pool = ProcessPoolExecutor(
                 max_workers=self.config.workers,
                 mp_context=mp_context,
                 initializer=init_worker,
-                initargs=(self.payload,),
+                initargs=(payload,),
             )
             _log.info(
                 "worker pool started",
@@ -163,7 +180,25 @@ class TripExecutor:
         plan = self.payload.fault_plan
         kill_index = plan.kill_chunk.get(kind) if plan is not None else None
         registry = get_registry()
+        journal = get_journal()
+        run = current_run()
+        # Per-chunk trace context: each chunk gets a synthetic "chunk"
+        # span, minted up front so the carrier can ship its id to the
+        # worker before the chunk runs.  The span's journal events are
+        # emitted at fold time (in chunk-index order), which keeps the
+        # journal layout — and the reconstructed span tree — identical
+        # for any worker count or scheduling order.
+        chunk_span_ids: list[str] | None = None
+        parent_span_id: str | None = None
+        if journal.enabled:
+            chunk_span_ids = [new_span_id() for _ in chunks]
+            enclosing = current_span()
+            parent_span_id = (
+                enclosing.span_id if enclosing is not None else current_parent_span_id()
+            )
         by_chunk: dict[int, tuple[list, object]] = {}
+        chunk_seconds: dict[int, float] = {}
+        submitted_at: dict[int, float] = {}
         pending: dict[Future, int] = {}
         resubmitted: set[int] = set()
         todo = list(range(len(chunks)))
@@ -175,13 +210,25 @@ class TripExecutor:
                     index = todo[pos]
                     pos += 1
                     inject_kill = index == kill_index and index not in resubmitted
-                    future = pool.submit(run_chunk, kind, chunks[index], inject_kill)
+                    trace = None
+                    if chunk_span_ids is not None:
+                        trace = TraceCarrier(
+                            run=run,
+                            parent_span_id=chunk_span_ids[index],
+                            journal=True,
+                        )
+                    submitted_at[index] = perf_counter()
+                    future = pool.submit(
+                        run_chunk, kind, chunks[index], inject_kill, trace
+                    )
                     pending[future] = index
                 done, __ = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
                     # Only drop from pending once the result is in hand:
                     # a raising future must still count as lost below.
-                    by_chunk[pending[future]] = future.result()
+                    index = pending[future]
+                    by_chunk[index] = future.result()
+                    chunk_seconds[index] = perf_counter() - submitted_at[index]
                     del pending[future]
             except BrokenProcessPool:
                 # Harvest results that finished before the pool died.
@@ -189,6 +236,9 @@ class TripExecutor:
                     if future.done() and not future.cancelled():
                         try:
                             by_chunk[index] = future.result()
+                            chunk_seconds[index] = (
+                                perf_counter() - submitted_at[index]
+                            )
                         except Exception:  # noqa: BLE001 - crashed future
                             pass
                 lost = sorted(i for i in pending.values() if i not in by_chunk)
@@ -203,6 +253,7 @@ class TripExecutor:
                 self._recycle_pool()
                 todo.extend(lost)
                 registry.counter("worker.restarts").inc()
+                journal.emit("worker_restart", scope=kind, resubmitted=lost)
                 _log.warning(
                     "worker pool broken; restarted and resubmitting chunks",
                     extra={"kind": kind, "resubmitted": lost},
@@ -211,6 +262,28 @@ class TripExecutor:
         results: list = []
         for index in range(len(chunks)):
             chunk_results, chunk_registry = by_chunk[index]
+            if chunk_span_ids is not None:
+                journal.emit(
+                    "span_open",
+                    name=f"{kind}_chunk",
+                    span_id=chunk_span_ids[index],
+                    parent_id=parent_span_id,
+                    trace_id=run.trace_id if run is not None else None,
+                    span_kind="chunk",
+                    chunk_index=index,
+                    items=len(chunks[index]),
+                )
+                for event in chunk_registry.events:
+                    fields = dict(event)
+                    journal.emit(fields.pop("kind", "note"), **fields)
+                chunk_registry.events.clear()
+                journal.emit(
+                    "span_close",
+                    name=f"{kind}_chunk",
+                    span_id=chunk_span_ids[index],
+                    seconds=round(chunk_seconds.get(index, 0.0), 6),
+                    status="ok",
+                )
             results.extend(chunk_results)
             registry.merge(chunk_registry)
             counter.inc()

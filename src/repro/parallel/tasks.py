@@ -10,11 +10,24 @@ than a test-enforced hope.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.faults import RobustnessConfig, TripError, guarded_call, maybe_inject
 from repro.matching.types import MatchedRoute
+from repro.obs import get_registry, span
 from repro.od import Gate, TransitionConfig, endpoints_near_gates
 from repro.traces.model import RoutePoint
+
+#: Route-provenance counters, in reporting priority order: the per-task
+#: delta of each classifies where the task's gap-fill answers came from
+#: (the ``route_source`` field of :class:`MatchOutcome`).
+_ROUTE_SOURCE_COUNTERS = (
+    ("cache", "routing.route_cache_hits"),
+    ("ch", "routing.ch_query_calls"),
+    ("dijkstra", "routing.dijkstra_calls"),
+    ("astar", "routing.astar_calls"),
+    ("bidirectional", "routing.bidirectional_calls"),
+)
 
 
 @dataclass(frozen=True)
@@ -49,6 +62,14 @@ class MatchOutcome:
     route: MatchedRoute | None
     kept: bool
     error: TripError | None = None
+    #: Wall time this task took on whichever process ran it — worker
+    #: facts travel home on the outcome so orchestrator-side lineage is
+    #: identical for serial and parallel runs.
+    elapsed_s: float = 0.0
+    #: Where gap-fill answers came from: ``"cache"``/``"ch"``/
+    #: ``"dijkstra"``/... joined with ``+`` when mixed, ``"none"`` when
+    #: no shortest-path query was needed.
+    route_source: str = "none"
 
 
 def match_task(
@@ -83,17 +104,35 @@ def match_task(
         )
         return MatchOutcome(index=task.index, route=route, kept=kept)
 
-    if robustness is None:
-        return attempt()
-    outcome, error = guarded_call(
-        "match",
-        attempt,
-        robustness=robustness,
-        segment_id=task.segment_id,
-        transition_index=task.index,
-    )
-    if error is not None:
-        return MatchOutcome(index=task.index, route=None, kept=False, error=error)
+    registry = get_registry()
+    before = [registry.counter(name).value for _, name in _ROUTE_SOURCE_COUNTERS]
+    t0 = perf_counter()
+    with span(
+        "match_one",
+        detail=True,
+        attrs={"transition_index": task.index, "segment_id": task.segment_id},
+    ):
+        if robustness is None:
+            outcome = attempt()
+        else:
+            outcome, error = guarded_call(
+                "match",
+                attempt,
+                robustness=robustness,
+                segment_id=task.segment_id,
+                transition_index=task.index,
+            )
+            if error is not None:
+                outcome = MatchOutcome(
+                    index=task.index, route=None, kept=False, error=error
+                )
+    outcome.elapsed_s = perf_counter() - t0
+    sources = [
+        label
+        for (label, name), start in zip(_ROUTE_SOURCE_COUNTERS, before)
+        if registry.counter(name).value > start
+    ]
+    outcome.route_source = "+".join(sources) if sources else "none"
     return outcome
 
 

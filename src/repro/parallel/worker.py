@@ -19,13 +19,24 @@ written into the contextvar state inherited from the parent process
 from __future__ import annotations
 
 import os
+from contextlib import ExitStack
 from dataclasses import dataclass
 
 from repro import obs
 from repro.cleaning import CleaningPipeline, FilterConfig, SegmentationConfig
 from repro.cleaning.segmentation import TripSegment
 from repro.faults import FaultPlan, RobustnessConfig, activate
-from repro.obs import MetricsRegistry, use_registry
+from repro.obs import (
+    BufferJournal,
+    MetricsRegistry,
+    RunContext,
+    TraceCarrier,
+    set_run_context,
+    use_journal,
+    use_parent_span,
+    use_registry,
+    use_run_context,
+)
 from repro.parallel.tasks import MatchOutcome, MatchTask, match_task, study_gates
 from repro.roadnet import CitySpec, RouteCache, build_synthetic_oulu, make_routing_engine
 from repro.od import TransitionConfig, TransitionExtractor
@@ -64,6 +75,12 @@ class WorkerPayload:
     #: decisions are identical in serial and parallel runs.
     robustness: RobustnessConfig | None = None
     fault_plan: FaultPlan | None = None
+    #: The orchestrator run's trace identity; workers install it at init
+    #: so every worker span carries the same ``trace_id``/``run_id`` as
+    #: the orchestrator's.  (The per-chunk parent span travels separately
+    #: in a :class:`~repro.obs.TraceCarrier` — it changes per chunk, the
+    #: run identity does not.)  The executor stamps this automatically.
+    run_context: RunContext | None = None
 
 
 class WorkerContext:
@@ -153,34 +170,53 @@ class WorkerContext:
 #: The process's context; set once by :func:`init_worker`.
 _context: WorkerContext | None = None
 
+#: Metrics recorded while *building* the context (route-cache warm load,
+#: CH preparation).  ``init_worker`` runs outside any chunk, so without
+#: this capture those counters/gauges would land in the worker's global
+#: registry and never reach the orchestrator — which is exactly the bug
+#: that made ``routing.route_cache_entries`` read 0 on warm-started
+#: parallel runs.  The first chunk each process executes folds it in.
+_init_registry: MetricsRegistry | None = None
+
 
 def init_worker(payload: WorkerPayload) -> None:
     """Process-pool initialiser: build the shared per-worker context.
 
     Must reset observability state first — a forked worker inherits the
     parent's ambient registry binding and any open span frames, and
-    metrics written there would be silently lost.
+    metrics written there would be silently lost.  The orchestrator run's
+    trace identity then comes back in via ``payload.run_context``.
     """
-    global _context
+    global _context, _init_registry
     obs.reset_worker_state()
+    set_run_context(payload.run_context)
     activate(payload.fault_plan)
-    _context = WorkerContext(payload)
+    _init_registry = MetricsRegistry()
+    with use_registry(_init_registry):
+        _context = WorkerContext(payload)
 
 
 def run_chunk(
-    kind: str, items: list, inject_kill: bool = False
+    kind: str,
+    items: list,
+    inject_kill: bool = False,
+    trace: TraceCarrier | None = None,
 ) -> tuple[list, MetricsRegistry]:
     """Process one chunk of ``kind`` tasks; return results + chunk metrics.
 
     The chunk-local registry travels back with the results so the parent
     can fold it into the study's registry; worker-side state never leaks
-    between chunks.
+    between chunks.  With a :class:`~repro.obs.TraceCarrier`, spans
+    opened inside the chunk re-parent under the orchestrator's chunk span
+    and journal events buffer into ``registry.events`` for chunk-ordered
+    replay by the executor.
 
     ``inject_kill`` is the executor-driven worker-kill fault: the process
     dies *before* touching the chunk, so the resubmitted replay neither
     duplicates nor loses any item.  The executor only ever sets it on a
     chunk's first submission.
     """
+    global _init_registry
     if inject_kill:
         os._exit(86)  # hard kill: no cleanup, exactly like an OOM/SIGKILL
     if _context is None:
@@ -189,7 +225,32 @@ def run_chunk(
         # city-bound work, so fail loudly instead of guessing.
         raise RuntimeError("run_chunk called before init_worker")
     registry = MetricsRegistry()
+    if _init_registry is not None:
+        registry.merge(_init_registry)
+        _init_registry = None
     handler = getattr(_context, kind)
-    with use_registry(registry):
+    with ExitStack() as scopes:
+        scopes.enter_context(use_registry(registry))
+        if trace is not None:
+            if trace.run is not None:
+                scopes.enter_context(use_run_context(trace.run))
+            scopes.enter_context(use_parent_span(trace.parent_span_id))
+            if trace.journal:
+                scopes.enter_context(use_journal(BufferJournal(registry.events)))
         results = handler(items)
+        if _context.route_cache is not None:
+            # Last-write-wins gauge: after the orchestrator's chunk-order
+            # merge this reports a live worker cache size instead of the
+            # serial-only value (0 on parallel runs before this fix).
+            registry.gauge("routing.route_cache_entries").set(
+                len(_context.route_cache)
+            )
+            if trace is not None and trace.journal:
+                obs.get_journal().emit(
+                    "cache",
+                    scope=kind,
+                    hits=registry.counter("routing.route_cache_hits").value,
+                    misses=registry.counter("routing.route_cache_misses").value,
+                    entries=len(_context.route_cache),
+                )
     return results, registry

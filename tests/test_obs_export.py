@@ -1,0 +1,135 @@
+"""OpenMetrics export, its linter, and the sampling span profiler."""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs import (
+    MetricsRegistry,
+    SpanProfiler,
+    lint_openmetrics,
+    metric_name,
+    span,
+    to_openmetrics,
+    use_registry,
+    write_textfile,
+)
+from repro.obs.profile import IDLE
+
+
+def _snapshot() -> dict:
+    registry = MetricsRegistry()
+    registry.counter("clean.trips_in").inc(42)
+    registry.gauge("routing.route_cache_entries").set(7)
+    for v in (0.1, 0.2, 0.3, 0.4):
+        registry.histogram("stage.match.seconds").observe(v)
+    return registry.snapshot()
+
+
+class TestMetricName:
+    def test_prefixes_and_sanitises(self):
+        assert metric_name("clean.trips_in") == "repro_clean_trips_in"
+        assert metric_name("faults.injected.match") == "repro_faults_injected_match"
+
+    def test_no_prefix(self):
+        assert metric_name("a.b", prefix="") == "a_b"
+
+
+class TestToOpenmetrics:
+    def test_counters_gauges_histograms_render(self):
+        text = to_openmetrics(_snapshot())
+        assert "# TYPE repro_clean_trips_in counter" in text
+        assert "repro_clean_trips_in_total 42" in text
+        assert "# TYPE repro_routing_route_cache_entries gauge" in text
+        assert "# TYPE repro_stage_match_seconds summary" in text
+        assert 'repro_stage_match_seconds{quantile="0.5"}' in text
+        assert "repro_stage_match_seconds_count 4" in text
+        assert text.endswith("# EOF\n")
+
+    def test_meta_becomes_info_metric_with_escaped_labels(self):
+        meta = {"run_id": "abc", "git_sha": "f00", "note": 'say "hi"\nok'}
+        text = to_openmetrics({"counters": {}}, meta)
+        assert "# TYPE repro_run info" in text
+        assert 'run_id="abc"' in text
+        assert '\\"hi\\"' in text and "\\n" in text
+
+    def test_meta_key_inside_snapshot_is_used(self):
+        text = to_openmetrics({"counters": {}, "meta": {"run_id": "xyz"}})
+        assert 'run_id="xyz"' in text
+
+    def test_output_passes_own_lint(self):
+        snapshot = _snapshot()
+        snapshot["meta"] = {"run_id": "abc", "python": "3.11.7"}
+        assert lint_openmetrics(to_openmetrics(snapshot)) == []
+
+    def test_write_textfile_creates_parents(self, tmp_path):
+        out = write_textfile(tmp_path / "deep" / "m.prom", _snapshot())
+        assert out.exists()
+        assert lint_openmetrics(out.read_text()) == []
+
+
+class TestLint:
+    def test_missing_eof(self):
+        problems = lint_openmetrics("# TYPE repro_x counter\nrepro_x_total 1")
+        assert any("EOF" in p for p in problems)
+
+    def test_sample_without_type(self):
+        problems = lint_openmetrics("repro_x_total 1\n# EOF")
+        assert any("no TYPE" in p for p in problems)
+
+    def test_counter_sample_must_end_total(self):
+        text = "# TYPE repro_x counter\nrepro_x 1\n# EOF"
+        assert any("_total" in p for p in lint_openmetrics(text))
+
+    def test_bad_value_and_bad_label(self):
+        text = (
+            "# TYPE repro_x gauge\n"
+            "repro_x not_a_number\n"
+            '# TYPE repro_y gauge\n'
+            "repro_y{bad-label=\"v\"} 1\n"
+            "# EOF"
+        )
+        problems = lint_openmetrics(text)
+        assert any("bad value" in p for p in problems)
+        assert any("label" in p for p in problems)
+
+    def test_duplicate_type_declaration(self):
+        text = "# TYPE repro_x gauge\n# TYPE repro_x gauge\nrepro_x 1\n# EOF"
+        assert any("duplicate" in p for p in lint_openmetrics(text))
+
+
+class TestSpanProfiler:
+    def test_attributes_samples_to_open_span_paths(self):
+        profiler = SpanProfiler(interval=0.001)
+        with use_registry(MetricsRegistry()), profiler:
+            with span("study"):
+                with span("clean"):
+                    time.sleep(0.05)
+        paths = set(profiler.samples)
+        assert ("study", "clean") in paths
+        assert profiler.total_samples() > 0
+
+    def test_idle_samples_counted_separately(self):
+        profiler = SpanProfiler(interval=0.001)
+        with profiler:
+            time.sleep(0.02)
+        assert (IDLE,) in profiler.samples
+
+    def test_collapsed_stack_format(self, tmp_path):
+        profiler = SpanProfiler(interval=0.001)
+        profiler.samples = {("study", "match"): 12, (IDLE,): 3}
+        out = profiler.write(tmp_path / "prof" / "profile.txt")
+        lines = out.read_text().splitlines()
+        assert "study;match 12" in lines
+        assert f"{IDLE} 3" in lines
+
+    def test_observer_uninstalled_after_stop(self):
+        from repro.obs import tracing
+
+        profiler = SpanProfiler(interval=0.001)
+        profiler.start()
+        profiler.stop()
+        assert tracing._span_observer is None
+
+    def test_stop_without_start_is_noop(self):
+        SpanProfiler().stop()

@@ -1,0 +1,249 @@
+"""Run journal: durability, crash recovery, and span-tree reconstruction.
+
+Covers the write/read round-trip of :class:`~repro.obs.FileJournal`, the
+crash-tolerance contract of :func:`~repro.obs.read_journal` (a truncated
+*final* line is an interrupted write and is dropped; corruption earlier
+in the file is damage and raises), and the reconstruction helpers the
+``repro obs`` CLI is built on (span forest, scheduling-independent
+structural signature, lineage queries).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.obs import (
+    EVENT_KINDS,
+    BufferJournal,
+    FileJournal,
+    Journal,
+    RunContext,
+    get_journal,
+    lineage_records,
+    read_journal,
+    reconstruct_spans,
+    structural_signature,
+    use_journal,
+)
+from repro.obs.context import new_span_id
+
+
+class TestFileJournal:
+    def test_round_trip_with_header_and_footer(self, tmp_path):
+        ctx = RunContext.create()
+        journal = FileJournal(tmp_path / "events.jsonl", ctx, extra_meta={"command": "test"})
+        journal.emit("note", detail="hello")
+        journal.close("ok")
+
+        events = read_journal(journal.path)
+        assert [e["kind"] for e in events] == ["run_start", "note", "run_end"]
+        header, note, footer = events
+        assert header["run_id"] == ctx.run_id
+        assert header["journal_schema"] == 1
+        assert header["command"] == "test"
+        assert note["detail"] == "hello"
+        assert footer["status"] == "ok"
+        assert footer["wall_seconds"] >= 0
+
+    def test_sequence_numbers_strictly_increase(self, tmp_path):
+        journal = FileJournal(tmp_path / "j.jsonl", RunContext.create())
+        for __ in range(5):
+            journal.emit("note")
+        journal.close()
+        seqs = [e["i"] for e in read_journal(journal.path)]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_header_is_flushed_before_close(self, tmp_path):
+        # A run that never closes (crash) must still leave an
+        # identifiable journal: the header write is flushed eagerly.
+        journal = FileJournal(tmp_path / "j.jsonl", RunContext.create())
+        journal.emit("note", n=1)  # may sit in the buffer — that's fine
+        on_disk = read_journal(journal.path)
+        assert on_disk and on_disk[0]["kind"] == "run_start"
+        journal.close()
+
+    def test_non_serialisable_fields_fall_back_to_repr(self, tmp_path):
+        journal = FileJournal(tmp_path / "j.jsonl", RunContext.create())
+        journal.emit("note", weird=object())
+        journal.close()
+        note = read_journal(journal.path)[1]
+        assert isinstance(note["weird"], str)
+
+    def test_emit_after_close_is_a_safe_noop(self, tmp_path):
+        journal = FileJournal(tmp_path / "j.jsonl", RunContext.create())
+        journal.close()
+        journal.emit("note")  # must not raise
+        journal.close()  # idempotent
+        assert [e["kind"] for e in read_journal(journal.path)] == ["run_start", "run_end"]
+
+    def test_context_manager_records_error_status(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            with FileJournal(tmp_path / "j.jsonl", RunContext.create()) as journal:
+                raise RuntimeError("boom")
+        assert read_journal(journal.path)[-1]["status"] == "error"
+
+
+class TestCrashRecovery:
+    def _journal_lines(self, tmp_path) -> list[str]:
+        journal = FileJournal(tmp_path / "j.jsonl", RunContext.create())
+        for n in range(3):
+            journal.emit("note", n=n)
+        journal.close()
+        return journal.path.read_text().splitlines()
+
+    def test_truncated_final_line_is_dropped(self, tmp_path):
+        lines = self._journal_lines(tmp_path)
+        cut = tmp_path / "cut.jsonl"
+        cut.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2])
+        events = read_journal(cut)
+        assert [e["kind"] for e in events] == ["run_start", "note", "note", "note"]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        lines = self._journal_lines(tmp_path)
+        lines[2] = lines[2][:10]  # damage a non-final line
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="corrupt journal line 3"):
+            read_journal(bad)
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        lines = self._journal_lines(tmp_path)
+        spaced = tmp_path / "spaced.jsonl"
+        spaced.write_text("\n\n".join(lines) + "\n")
+        assert len(read_journal(spaced)) == len(lines)
+
+
+class TestAmbientJournal:
+    def test_default_is_disabled_noop(self):
+        journal = get_journal()
+        assert not journal.enabled
+        journal.emit("note")  # no-op, no raise
+
+    def test_use_journal_scopes_and_restores(self):
+        buffer = BufferJournal()
+        with use_journal(buffer):
+            assert get_journal() is buffer
+            get_journal().emit("note", x=1)
+        assert not get_journal().enabled
+        assert len(buffer.buffer) == 1
+        assert buffer.buffer[0]["kind"] == "note"
+        assert buffer.buffer[0]["x"] == 1
+
+    def test_null_journal_base_class_is_disabled(self):
+        assert Journal().enabled is False
+
+
+class TestSpanIds:
+    def test_unique_within_process(self):
+        ids = {new_span_id() for __ in range(100)}
+        assert len(ids) == 100
+
+    def test_forked_children_get_distinct_prefixes(self):
+        # Fork-started pool workers inherit the parent's id generator
+        # state; without the at-fork reseed every worker would mint the
+        # same ids and reconstruction would silently merge their spans.
+        fork = multiprocessing.get_context("fork")
+        with fork.Pool(2) as pool:
+            child_ids = dict(pool.map(_pid_and_span_id, range(8)))
+        parent_prefix = new_span_id()[:10]
+        child_prefixes = {span_id[:10] for span_id in child_ids.values()}
+        assert parent_prefix not in child_prefixes
+        # Distinct processes mint distinct prefixes.
+        assert len(child_prefixes) == len(child_ids)
+
+
+def _pid_and_span_id(_: int) -> tuple[int, str]:
+    import os
+
+    return os.getpid(), new_span_id()
+
+
+def _span_events() -> list[dict]:
+    """A hand-built journal stream: study > (clean > 2 details, chunked match)."""
+    return [
+        {"kind": "run_start", "i": 0, "ts": 1.0, "run_id": "r", "journal_schema": 1},
+        {"kind": "span_open", "i": 1, "ts": 1.0, "name": "study", "span_id": "s1"},
+        {"kind": "span_open", "i": 2, "ts": 1.0, "name": "clean", "span_id": "s2",
+         "parent_id": "s1"},
+        # Detail spans are self-contained closes: no span_open.
+        {"kind": "span_close", "i": 3, "ts": 1.1, "name": "clean_trip", "span_id": "d1",
+         "parent_id": "s2", "span_kind": "detail", "seconds": 0.1, "trip_id": 4},
+        {"kind": "span_close", "i": 4, "ts": 1.2, "name": "clean_trip", "span_id": "d2",
+         "parent_id": "s2", "span_kind": "detail", "seconds": 0.2, "trip_id": 5},
+        {"kind": "span_close", "i": 5, "ts": 1.3, "name": "clean", "span_id": "s2",
+         "seconds": 0.3},
+        {"kind": "span_open", "i": 6, "ts": 1.3, "name": "match_chunk", "span_id": "c1",
+         "parent_id": "s1", "span_kind": "chunk"},
+        {"kind": "span_close", "i": 7, "ts": 1.4, "name": "match_one", "span_id": "d3",
+         "parent_id": "c1", "span_kind": "detail", "seconds": 0.1},
+        {"kind": "span_close", "i": 8, "ts": 1.4, "name": "match_chunk", "span_id": "c1",
+         "seconds": 0.1},
+        {"kind": "span_close", "i": 9, "ts": 1.5, "name": "study", "span_id": "s1",
+         "seconds": 0.5},
+        {"kind": "run_end", "i": 10, "ts": 1.5, "status": "ok", "wall_seconds": 0.5},
+    ]
+
+
+class TestReconstruction:
+    def test_forest_shape_and_timings(self):
+        roots = reconstruct_spans(_span_events())
+        assert [r.name for r in roots] == ["study"]
+        study = roots[0]
+        assert [c.name for c in study.children] == ["clean", "match_chunk"]
+        clean = study.children[0]
+        assert [c.name for c in clean.children] == ["clean_trip", "clean_trip"]
+        assert clean.children[0].span_kind == "detail"
+        assert clean.seconds == 0.3
+        assert clean.children[1].seconds == 0.2
+
+    def test_signature_collapses_chunk_spans(self):
+        signature = structural_signature(reconstruct_spans(_span_events()))
+        assert signature == (
+            ("study", (
+                ("clean", (("clean_trip", ()), ("clean_trip", ()))),
+                ("match_one", ()),  # chunk spliced out, child promoted
+            )),
+        )
+
+    def test_never_closed_span_survives_with_none_seconds(self):
+        events = [e for e in _span_events() if not (
+            e["kind"] == "span_close" and e.get("span_id") == "s2"
+        )]
+        roots = reconstruct_spans(events)
+        clean = roots[0].children[0]
+        assert clean.name == "clean" and clean.seconds is None
+
+    def test_to_dict_round_trips_through_json(self):
+        doc = [r.to_dict() for r in reconstruct_spans(_span_events())]
+        assert json.loads(json.dumps(doc)) == doc
+
+
+class TestLineage:
+    EVENTS = [
+        {"kind": "lineage", "unit": "trip", "trip_id": 4, "kept": True},
+        {"kind": "lineage", "unit": "transition", "transition_index": 4,
+         "segment_id": 9, "matched": True},
+        {"kind": "note"},
+    ]
+
+    def test_all_records(self):
+        assert len(lineage_records(self.EVENTS)) == 2
+
+    def test_filter_by_unit(self):
+        assert lineage_records(self.EVENTS, unit="trip") == [self.EVENTS[0]]
+
+    def test_id_matches_any_identity_field(self):
+        # 4 matches both the trip and the transition-index record.
+        assert len(lineage_records(self.EVENTS, unit_id=4)) == 2
+        assert lineage_records(self.EVENTS, unit_id=9) == [self.EVENTS[1]]
+        assert lineage_records(self.EVENTS, unit_id=99) == []
+
+
+def test_event_kinds_cover_everything_the_pipeline_emits():
+    assert {"run_start", "run_end", "span_open", "span_close", "lineage",
+            "quarantine", "retry", "fault_injected", "worker_restart",
+            "cache"} <= EVENT_KINDS

@@ -120,3 +120,52 @@ def test_merge_into_disabled_registry_drops_everything():
     b.record_span(SpanRecord(name="s"))
     a.merge(b)
     assert a.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}, "spans": []}
+
+
+def _hist(values, max_samples: int = 4096) -> Histogram:
+    h = Histogram("lat", max_samples=max_samples)
+    for v in values:
+        h.observe(v)
+    return h
+
+
+def test_histogram_merge_is_associative():
+    """(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c) — chunk folds must not depend on
+    how the orchestrator groups them, only on their order."""
+    chunks = ([1.0, 5.0, 2.0], [9.0, 3.0], [4.0, 8.0, 7.0, 6.0])
+
+    left = _hist(chunks[0])
+    left.merge(_hist(chunks[1]))
+    left.merge(_hist(chunks[2]))
+
+    tail = _hist(chunks[1])
+    tail.merge(_hist(chunks[2]))
+    right = _hist(chunks[0])
+    right.merge(tail)
+
+    assert left.summary() == right.summary()
+    assert left._samples == right._samples  # exact below the reservoir bound
+
+
+def test_histogram_merge_exact_stats_associative_even_when_thinned():
+    # Above the reservoir bound the retained samples are a deterministic
+    # subsample (grouping-dependent), but the exact stats stay exact.
+    chunks = (
+        [float(v) for v in range(10)],
+        [float(v) for v in range(10, 25)],
+        [float(v) for v in range(25, 30)],
+    )
+    left = _hist(chunks[0], max_samples=8)
+    left.merge(_hist(chunks[1], max_samples=8))
+    left.merge(_hist(chunks[2], max_samples=8))
+
+    tail = _hist(chunks[1], max_samples=8)
+    tail.merge(_hist(chunks[2], max_samples=8))
+    right = _hist(chunks[0], max_samples=8)
+    right.merge(tail)
+
+    for h in (left, right):
+        assert h.count == 30
+        assert h.total == sum(sum(c) for c in chunks)
+        assert h.min == 0.0 and h.max == 29.0
+        assert len(h._samples) <= 8

@@ -25,31 +25,41 @@ REPO = Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO / "benchmarks" / "baseline.json"
 DEFAULT_RESULTS = REPO / "benchmarks" / "out"
 
-#: The stat the gate compares.  Median is robust to scheduler noise on
-#: shared CI runners; min/mean travel along in the dumps for diagnosis.
+#: The stat the baseline gate compares.  Median is robust to scheduler
+#: noise on shared CI runners; min/mean travel along in the dumps.
 STAT = "median"
 
-#: Same-run ratio gates: ``numerator / denominator`` of current-run
-#: medians must stay at or below ``limit``.  Unlike the baseline gate,
-#: both sides come from the *same* run on the *same* machine, so the
-#: ratio is immune to runner speed and measures a structural property —
-#: here, that degraded-mode guards cost <3% on the fault-free path.
-#: A pair with either side missing is reported and skipped, not failed.
+#: Overhead ratio gates, read from a benchmark's ``extra_info``.  A
+#: ratio prices a small structural overhead (a few %), which machine-load
+#: drift between two separately-timed benchmarks easily dwarfs — so the
+#: benchmarks measure each ratio themselves with *interleaved* pairs
+#: (both workloads back-to-back under the same load; quiet-machine
+#: floors compared) and publish the result in ``extra_info``.  This gate just
+#: compares the published number against the limit.  A missing bench or
+#: key is reported and skipped, not failed.
 RATIO_GATES = [
     {
         "name": "robustness guard overhead",
-        "numerator": "test_perf_study_serial",
-        "denominator": "test_perf_study_unguarded",
+        "bench": "test_perf_study_serial",
+        "key": "guard_overhead",
+        "limit": 1.03,
+    },
+    {
+        "name": "journal+export overhead",
+        "bench": "test_perf_study_journaled",
+        "key": "journal_overhead",
         "limit": 1.03,
     },
 ]
 
 
-def _find_entry(results: dict[str, dict], test_name: str) -> float | None:
-    """Current-run median of the benchmark whose fullname ends in ``test_name``."""
+def _find_extra(results: dict[str, dict], test_name: str, key: str) -> float | None:
+    """The ``extra_info[key]`` of the benchmark named ``test_name``."""
     for fullname, entry in results.items():
-        if fullname.split("::")[-1] == test_name and STAT in entry:
-            return entry[STAT]
+        if fullname.split("::")[-1] == test_name:
+            value = entry.get("extra_info", {}).get(key)
+            if isinstance(value, (int, float)):
+                return float(value)
     return None
 
 
@@ -58,19 +68,19 @@ def compare_ratios(results: dict[str, dict]) -> tuple[list[str], bool]:
     lines = []
     failed = False
     for gate in RATIO_GATES:
-        num = _find_entry(results, gate["numerator"])
-        den = _find_entry(results, gate["denominator"])
-        if num is None or den is None or den <= 0:
-            missing = gate["numerator"] if num is None else gate["denominator"]
-            lines.append(f"  SKIPPED  {gate['name']}: {missing} not in this run (not gated)")
+        ratio = _find_extra(results, gate["bench"], gate["key"])
+        if ratio is None:
+            lines.append(
+                f"  SKIPPED  {gate['name']}: "
+                f"{gate['bench']} extra_info[{gate['key']!r}] not in this run (not gated)"
+            )
             continue
-        ratio = num / den
         verdict = "ok      " if ratio <= gate["limit"] else "EXCEEDED"
         if ratio > gate["limit"]:
             failed = True
         lines.append(
             f"  {verdict} {gate['name']}: "
-            f"{gate['numerator']}/{gate['denominator']} = {ratio:.3f} "
+            f"{gate['bench']}.{gate['key']} = {ratio:.3f} "
             f"(limit {gate['limit']:.2f})"
         )
     return lines, failed
@@ -84,6 +94,15 @@ def load_results(results_dir: Path) -> dict[str, dict]:
         for entry in doc.get("benchmarks", []):
             entries[entry["fullname"]] = entry
     return entries
+
+
+def load_meta(results_dir: Path) -> dict:
+    """The run-identity block of the dumps (all modules share one run)."""
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        meta = json.loads(path.read_text()).get("meta")
+        if meta:
+            return meta
+    return {}
 
 
 def load_baseline(path: Path) -> dict[str, dict]:
@@ -163,6 +182,14 @@ def main(argv: list[str] | None = None) -> int:
         print(f"bench_compare: no baseline at {args.baseline}; run with --update", file=sys.stderr)
         return 2
 
+    meta = load_meta(args.results)
+    if meta:
+        ident = " ".join(
+            f"{key}={meta[key]}"
+            for key in ("run_id", "git_sha", "python")
+            if meta.get(key)
+        )
+        print(f"bench_compare: results from {ident}")
     lines, failed = compare(baseline, results, args.threshold)
     print(f"bench_compare: {STAT} vs {args.baseline.name}, threshold +{args.threshold:.0%}")
     print("\n".join(lines))
