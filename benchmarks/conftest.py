@@ -13,6 +13,7 @@ trajectory accumulates across PRs and regressions are diffable.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -93,6 +94,10 @@ def pytest_sessionfinish(session, exitstatus):
     meta = {**run_metadata(RunContext.create()), "ended": round(time.time(), 3)}
     for module, entries in by_module.items():
         path = OUT_DIR / f"BENCH_{module}.json"
-        path.write_text(
+        # Stage + atomic rename: an interrupt mid-dump must never leave a
+        # truncated BENCH_*.json for bench_compare to choke on.
+        tmp = path.with_suffix(f".json.tmp-{os.getpid()}")
+        tmp.write_text(
             json.dumps({"meta": meta, "benchmarks": entries}, indent=2) + "\n"
         )
+        os.replace(tmp, path)

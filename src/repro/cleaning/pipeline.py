@@ -191,11 +191,24 @@ class CleaningPipeline:
             )
             return error if error is not None else result
 
+    def compute_units(self, trips: list, executor=None) -> list:
+        """Per-trip results for ``trips``, serial or pooled.
+
+        The compute half of :meth:`run`, factored out so the shard-store
+        planner (:class:`repro.store.planner.StudyPlanner`) can run it
+        over just the dirty subset and feed the folded whole back through
+        ``per_trip``.
+        """
+        if executor is not None and executor.parallel:
+            return executor.clean_trips(trips)
+        return [self.clean_trip_unit(trip) for trip in trips]
+
     def run(
         self,
         fleet: FleetData,
         executor=None,
         quarantine: Quarantine | None = None,
+        per_trip: list | None = None,
     ) -> CleanResult:
         """Clean and segment a whole fleet's raw trips.
 
@@ -203,6 +216,11 @@ class CleaningPipeline:
         when it is parallel, trips are cleaned across worker processes.
         Results are folded in trip order and segment ids renumbered
         sequentially, so the output is byte-identical to a serial run.
+
+        ``per_trip`` optionally supplies precomputed per-trip results
+        (aligned with ``fleet.trips``) — the shard store's delta path;
+        the fold below is identical either way, which is what makes a
+        warm cached run byte-identical to a cold one.
 
         With :attr:`robustness` set, failing trips are quarantined (into
         ``quarantine`` when given, and always onto ``report.errors``)
@@ -215,10 +233,8 @@ class CleaningPipeline:
         stage_s = dict.fromkeys(STAGES, 0.0)
         segments: list[TripSegment] = []
         with span("clean"):
-            if executor is not None and executor.parallel:
-                per_trip = executor.clean_trips(fleet.trips)
-            else:
-                per_trip = [self.clean_trip_unit(trip) for trip in fleet.trips]
+            if per_trip is None:
+                per_trip = self.compute_units(fleet.trips, executor)
             journal = get_journal()
             next_segment_id = 1
             for trip, trip_result in zip(fleet.trips, per_trip):

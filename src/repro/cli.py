@@ -10,7 +10,9 @@
   figure artefact (text, optionally SVG) into an output directory;
 * ``obs`` — inspect finished runs: ``report`` (funnel waterfall, stage
   tree, slowest units), ``tail``, ``trip`` (one unit's lineage) and
-  ``diff`` (two runs' artefacts and comparable metrics).
+  ``diff`` (two runs' artefacts and comparable metrics);
+* ``store`` — inspect (``ls``) and garbage-collect (``gc``) the shard
+  store behind ``study --store-dir`` delta recomputation.
 
 Observability: every command accepts ``--log-level``/``--log-json``
 (structured logs on stderr) and ``--quiet`` (suppress the human-mode
@@ -56,6 +58,7 @@ from repro.experiments import (
     table5_cell_speed_strata,
 )
 from repro.roadnet import ROUTING_ENGINES, build_synthetic_oulu
+from repro.store.shards import ShardStore, StoreConfig, StoreError
 from repro.traces import FleetSpec, TaxiFleetSimulator
 from repro.traces.io import read_points_csv, write_points_csv, write_trips_jsonl
 
@@ -155,6 +158,30 @@ def _add_robustness_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_store_flags(parser: argparse.ArgumentParser) -> None:
+    """Shard-store flags (delta recomputation; see docs/performance.md)."""
+    parser.add_argument(
+        "--store-dir", type=Path, default=None, metavar="DIR",
+        help="persist per-(city, day) stage artefacts in DIR and "
+             "recompute only dirty shards on reruns (byte-identical "
+             "results; default: $REPRO_STORE_DIR, else disabled)",
+    )
+    parser.add_argument(
+        "--no-store", action="store_true",
+        help="disable the shard store even if $REPRO_STORE_DIR is set",
+    )
+
+
+def _store_config(args: argparse.Namespace) -> StoreConfig | None:
+    if getattr(args, "no_store", False):
+        return None
+    path = getattr(args, "store_dir", None)
+    if path is None:
+        env = os.environ.get("REPRO_STORE_DIR")
+        path = Path(env) if env else None
+    return StoreConfig(dir=str(path)) if path is not None else None
+
+
 def _robustness(args: argparse.Namespace) -> RobustnessConfig:
     return RobustnessConfig(max_error_rate=args.max_error_rate)
 
@@ -215,10 +242,14 @@ def _build_parser() -> argparse.ArgumentParser:
     study.add_argument("--metrics-out", type=Path, default=None,
                        help="also write the metrics JSON to this path "
                             "(a metrics.json is always written to --out)")
+    study.add_argument("--matcher", choices=("incremental", "hmm"),
+                       default="incremental",
+                       help="map-matching algorithm (default: incremental)")
     _add_obs_flags(study)
     _add_journal_flags(study)
     _add_parallel_flags(study)
     _add_robustness_flags(study)
+    _add_store_flags(study)
 
     report = sub.add_parser("report", help="run a study and write REPORT.md")
     report.add_argument("--days", type=int, default=30)
@@ -250,6 +281,26 @@ def _build_parser() -> argparse.ArgumentParser:
                      "(artefacts + comparable metrics; exit 1 on divergence)")
     obs_diff.add_argument("run_a", type=Path)
     obs_diff.add_argument("run_b", type=Path)
+
+    store_p = sub.add_parser("store", help="inspect / maintain a shard store")
+    _add_obs_flags(store_p)
+    store_sub = store_p.add_subparsers(dest="store_command", required=True)
+    store_ls = store_sub.add_parser(
+        "ls", help="print the store manifest (one line per artefact)")
+    store_ls.add_argument("--store-dir", type=Path, default=None, metavar="DIR",
+                          help="store root (default: $REPRO_STORE_DIR)")
+    store_ls.add_argument("--json", action="store_true",
+                          help="emit the manifest as JSON lines")
+    store_gc = store_sub.add_parser(
+        "gc", help="evict least-recently-used artefacts")
+    store_gc.add_argument("--store-dir", type=Path, default=None, metavar="DIR",
+                          help="store root (default: $REPRO_STORE_DIR)")
+    store_gc.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                          help="evict oldest-used artefacts until the store "
+                               "fits in N bytes")
+    store_gc.add_argument("--max-age", type=float, default=None,
+                          metavar="SECONDS",
+                          help="evict artefacts not hit within SECONDS")
     return parser
 
 
@@ -412,9 +463,11 @@ def _write_errors(
 def _cmd_study(args: argparse.Namespace) -> int:
     config = StudyConfig(
         fleet=FleetSpec(n_days=args.days, seed=args.seed),
+        matcher=args.matcher,
         executor=_executor_config(args),
         robustness=_robustness(args),
         faults=_fault_plan(args),
+        store=_store_config(args),
     )
     out: Path = args.out
     out.mkdir(parents=True, exist_ok=True)
@@ -532,6 +585,40 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    path = args.store_dir or (
+        Path(os.environ["REPRO_STORE_DIR"])
+        if os.environ.get("REPRO_STORE_DIR") else None
+    )
+    if path is None:
+        print("repro store: no --store-dir given and $REPRO_STORE_DIR unset",
+              file=sys.stderr)
+        return 2
+    try:
+        store = ShardStore(path)
+    except StoreError as exc:
+        print(f"repro store: {exc}", file=sys.stderr)
+        return 2
+    if args.store_command == "ls":
+        records = store.ls()
+        if args.json:
+            for record in records:
+                print(json.dumps(record, sort_keys=True))
+        else:
+            _say(args, format_table(
+                ["Shard", "Stage", "Key", "Bytes"],
+                [[r["shard"], r["stage"], r["key"][:12], r["bytes"]]
+                 for r in records],
+            ))
+            _say(args, f"{len(records)} artefacts, "
+                 f"{sum(r['bytes'] for r in records)} bytes in {path}")
+        return 0
+    evicted = store.gc(max_bytes=args.max_bytes, max_age_s=args.max_age)
+    _say(args, f"evicted {len(evicted)} artefacts "
+         f"({sum(r['bytes'] for r in evicted)} bytes) from {path}")
+    return 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs import report as obs_report
 
@@ -569,6 +656,7 @@ def main(argv: list[str] | None = None) -> int:
         "study": _cmd_study,
         "report": _cmd_report,
         "obs": _cmd_obs,
+        "store": _cmd_store,
     }
     try:
         return handlers[args.command](args)

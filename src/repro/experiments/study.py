@@ -51,6 +51,8 @@ from repro.roadnet import (
     make_routing_engine,
 )
 from repro.stats import MixedModelResult, RandomInterceptModel
+from repro.store.planner import StudyPlanner
+from repro.store.shards import ShardStore, StoreConfig
 from repro.traces import CustomerRun, FleetData, FleetSpec, TaxiFleetSimulator
 
 _log = get_logger(__name__)
@@ -74,6 +76,12 @@ class StudyConfig:
     robustness: RobustnessConfig | None = field(default_factory=RobustnessConfig)
     #: Seeded chaos plan (tests/CLI ``--fault-plan``); None = no faults.
     faults: FaultPlan | None = None
+    #: Sharded artefact store (CLI ``--store-dir``): with a config, the
+    #: study shards its inputs by (city, day), persists per-shard stage
+    #: outputs content-addressed, and on rerun recomputes only dirty
+    #: shards — byte-identical artefacts either way.  ``None`` disables
+    #: caching entirely.
+    store: StoreConfig | None = None
 
     def __post_init__(self) -> None:
         if self.matcher not in ("incremental", "hmm"):
@@ -217,10 +225,28 @@ class OuluStudy:
                    "days": config.fleet.n_days},
         )
 
-        clean = CleaningPipeline(
+        # Delta recomputation: with a store configured, a planner shards
+        # the fleet by (city, day) and serves each stage's per-unit
+        # results from content-addressed artefacts, computing only dirty
+        # shards through the exact serial/pooled code paths below.  The
+        # folds all stay here, so warm results are byte-identical.
+        planner: StudyPlanner | None = None
+        if config.store is not None:
+            planner = StudyPlanner(ShardStore(config.store.dir), config)
+            planner.plan(fleet)
+
+        pipeline = CleaningPipeline(
             vectorized=config.executor.vectorized,
             robustness=config.robustness,
-        ).run(fleet, executor=executor, quarantine=quarantine)
+        )
+        per_trip = None
+        if planner is not None:
+            per_trip = planner.clean_stage(
+                fleet, lambda trips: pipeline.compute_units(trips, executor)
+            )
+        clean = pipeline.run(
+            fleet, executor=executor, quarantine=quarantine, per_trip=per_trip
+        )
 
         projector = city.projector
 
@@ -233,7 +259,15 @@ class OuluStudy:
             vectorized=config.executor.vectorized,
         )
         with span("extract"):
-            extraction = extractor.extract(clean.segments, to_xy, executor=executor)
+            extractions = None
+            if planner is not None:
+                extractions = planner.extract_stage(
+                    clean.segments,
+                    lambda segs: extractor.compute_units(segs, to_xy, executor),
+                )
+            extraction = extractor.extract(
+                clean.segments, to_xy, executor=executor, extractions=extractions
+            )
 
         tasks = [
             MatchTask(
@@ -246,40 +280,49 @@ class OuluStudy:
             )
             for i, transition in enumerate(extraction.transitions)
         ]
-        with span("match"):
+        def compute_outcomes(subset: list[MatchTask]) -> list:
+            """Match the given tasks through the serial or pooled path."""
             if executor.parallel:
-                outcomes = executor.match_transitions(tasks)
+                return executor.match_transitions(subset)
+            route_cache = RouteCache(
+                config.executor.route_cache_size,
+                config.executor.route_cache_path,
+            )
+            engine = make_routing_engine(
+                city.graph,
+                config.executor.routing_engine,
+                weight="length",
+                ch_artifact=config.executor.ch_artifact_path,
+            )
+            if config.matcher == "hmm":
+                matcher = HmmMatcher(
+                    city.graph, route_cache=route_cache, routing_engine=engine,
+                    vectorized=config.executor.vectorized,
+                )
             else:
-                route_cache = RouteCache(
-                    config.executor.route_cache_size,
-                    config.executor.route_cache_path,
+                matcher = IncrementalMatcher(
+                    city.graph, route_cache=route_cache, routing_engine=engine,
+                    vectorized=config.executor.vectorized,
                 )
-                engine = make_routing_engine(
-                    city.graph,
-                    config.executor.routing_engine,
-                    weight="length",
-                    ch_artifact=config.executor.ch_artifact_path,
+            computed = [
+                match_task(
+                    matcher, to_xy, extractor.gates_by_name,
+                    config.transition, task,
+                    robustness=config.robustness,
                 )
-                if config.matcher == "hmm":
-                    matcher = HmmMatcher(
-                        city.graph, route_cache=route_cache, routing_engine=engine,
-                        vectorized=config.executor.vectorized,
-                    )
-                else:
-                    matcher = IncrementalMatcher(
-                        city.graph, route_cache=route_cache, routing_engine=engine,
-                        vectorized=config.executor.vectorized,
-                    )
-                outcomes = [
-                    match_task(
-                        matcher, to_xy, extractor.gates_by_name,
-                        config.transition, task,
-                        robustness=config.robustness,
-                    )
-                    for task in tasks
-                ]
-                if config.executor.route_cache_path is not None:
-                    route_cache.save()
+                for task in subset
+            ]
+            if config.executor.route_cache_path is not None:
+                route_cache.save()
+            return computed
+
+        with span("match"):
+            if planner is not None:
+                outcomes = planner.match_stage(
+                    tasks, extraction.transitions, compute_outcomes
+                )
+            else:
+                outcomes = compute_outcomes(tasks)
 
         # Fold outcomes back in transition order (chunks may have run in
         # any order on any worker; index order restores serial layout).
@@ -348,13 +391,27 @@ class OuluStudy:
         speeds: list[float] = []
         cells: list = []
         with span("features"):
-            for i in kept:
-                transition = extraction.transitions[i]
-                route = matched[i]
-                route_stats.append(
-                    transition_route_stats(transition, route, city.graph, city.map_db)
+            if planner is not None:
+                stats_by_index = planner.features_stage(
+                    kept, extraction.transitions, matched,
+                    lambda t, r: transition_route_stats(
+                        t, r, city.graph, city.map_db
+                    ),
                 )
-                for m in route.matched:
+            else:
+                stats_by_index = {
+                    i: transition_route_stats(
+                        extraction.transitions[i], matched[i],
+                        city.graph, city.map_db,
+                    )
+                    for i in kept
+                }
+            # The grid always replays from the matched points — cached or
+            # fresh — in kept order; Welford accumulation is order-exact,
+            # so the Table 5 grid is identical warm, cold, or store-off.
+            for i in kept:
+                route_stats.append(stats_by_index[i])
+                for m in matched[i].matched:
                     key = grid.add_point(m.snapped_xy, m.point.speed_kmh)
                     speeds.append(m.point.speed_kmh)
                     cells.append(key)

@@ -69,6 +69,7 @@ EVENT_KINDS = frozenset({
     "fault_injected",
     "worker_restart",
     "cache",
+    "store",
     "note",
 })
 

@@ -147,8 +147,25 @@ class TransitionExtractor:
         transition.within_centre = self._within_centre(transition, xys)
         return SegmentExtraction(car_id=seg.car_id, crossed=True, transition=transition)
 
-    def extract(
+    def compute_units(
         self, segments: list[TripSegment], to_xy, executor=None
+    ) -> list[SegmentExtraction]:
+        """Per-segment funnel outcomes, serial or pooled.
+
+        The compute half of :meth:`extract`, factored out so the shard
+        store planner can run it over only the dirty segments and pass
+        the folded whole back through ``extractions``.
+        """
+        if executor is not None and executor.parallel:
+            return executor.extract_segments(segments)
+        return [self.extract_segment(seg, to_xy) for seg in segments]
+
+    def extract(
+        self,
+        segments: list[TripSegment],
+        to_xy,
+        executor=None,
+        extractions: list[SegmentExtraction] | None = None,
     ) -> ExtractionResult:
         """Extract transitions from cleaned segments.
 
@@ -160,12 +177,13 @@ class TransitionExtractor:
 
         ``executor`` is an optional :class:`repro.parallel.TripExecutor`;
         per-segment outcomes are folded in segment order either way, so
-        parallel runs match serial ones exactly.
+        parallel runs match serial ones exactly.  ``extractions``
+        optionally supplies precomputed outcomes aligned with
+        ``segments`` (the shard store's delta path) — the funnel fold is
+        identical either way.
         """
-        if executor is not None and executor.parallel:
-            extractions = executor.extract_segments(segments)
-        else:
-            extractions = [self.extract_segment(seg, to_xy) for seg in segments]
+        if extractions is None:
+            extractions = self.compute_units(segments, to_xy, executor)
         per_car: dict[int, dict[str, int]] = {}
         transitions: list[Transition] = []
         journal = get_journal()

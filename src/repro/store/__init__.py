@@ -13,8 +13,25 @@ package provides the same logical capabilities in pure Python:
 * :class:`~repro.store.spatial.SpatialColumn` — a PostGIS-style spatial
   index over a geometry column (radius / box / nearest queries);
 * :class:`~repro.store.database.Database` — a named container of tables.
+
+It also hosts the **sharded artefact store** behind ``repro study``'s
+delta recomputation: :class:`~repro.store.shards.ShardStore` persists
+per-(city, day) stage outputs content-addressed by
+:mod:`repro.store.cachekey`, and :class:`~repro.store.planner.StudyPlanner`
+(imported directly, not re-exported — it pulls in the pipeline stages)
+recomputes only dirty shards.
 """
 
+from repro.store.cachekey import (
+    EXCLUDED_FIELDS,
+    STAGE_FIELDS,
+    STAGES,
+    canonical,
+    chain_key,
+    code_version,
+    config_key,
+    shard_input_hash,
+)
 from repro.store.database import Database
 from repro.store.index import HashIndex, SortedIndex
 from repro.store.query import (
@@ -32,18 +49,31 @@ from repro.store.query import (
     or_,
     where,
 )
+from repro.store.shards import ShardArtefact, ShardStore, StoreConfig, StoreError
 from repro.store.spatial import SpatialColumn
 from repro.store.table import Column, Row, Table
 
 __all__ = [
     "Column",
     "Database",
+    "EXCLUDED_FIELDS",
     "HashIndex",
     "Query",
     "Row",
+    "STAGES",
+    "STAGE_FIELDS",
+    "ShardArtefact",
+    "ShardStore",
     "SortedIndex",
     "SpatialColumn",
+    "StoreConfig",
+    "StoreError",
     "Table",
+    "canonical",
+    "chain_key",
+    "code_version",
+    "config_key",
+    "shard_input_hash",
     "and_",
     "between",
     "eq",

@@ -1,0 +1,274 @@
+"""Sharded, content-addressed store of study intermediates.
+
+Artefacts — one per (shard, stage) — live under ``<root>/objects`` in a
+directory named by their content-hash key (see
+:mod:`repro.store.cachekey`)::
+
+    <root>/
+      STORE_VERSION
+      objects/<key[:2]>/<key>/
+        meta.json        artefact header + codec payload (JSON)
+        c_<name>.npy     one file per numeric column
+        used             LRU touch file (mtime = last hit)
+
+Columns are loaded with ``np.load(..., mmap_mode="r")`` — zero-copy,
+memory-mapped reads; the bytes stay on disk until a consumer touches
+them.  Writes are atomic (staged into a sibling temp directory, then
+renamed), so an interrupted run can never leave a half-written artefact
+under a valid key.  A corrupt or truncated artefact is dropped and
+reported as a miss — the planner recomputes, never crashes.
+
+Hits, misses, writes, corruption and evictions are surfaced through
+``store.*`` counters on the ambient metrics registry and ``store``
+journal events.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs import get_journal, get_logger, get_registry
+
+_log = get_logger(__name__)
+
+#: On-disk layout version; mismatched stores are rejected loudly rather
+#: than silently mis-read.
+STORE_LAYOUT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """Where (and whether) a study persists shard artefacts."""
+
+    dir: str
+
+
+@dataclass
+class ShardArtefact:
+    """One loaded artefact: codec payload plus memory-mapped columns."""
+
+    key: str
+    stage: str
+    shard: str
+    meta: dict
+    columns: dict[str, np.ndarray]
+
+
+class StoreError(RuntimeError):
+    """The store root exists but is not a compatible shard store."""
+
+
+class ShardStore:
+    """Content-addressed artefact store rooted at one directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.objects = self.root / "objects"
+        version_file = self.root / "STORE_VERSION"
+        if version_file.exists():
+            found = version_file.read_text().strip()
+            if found != str(STORE_LAYOUT_VERSION):
+                raise StoreError(
+                    f"{self.root} is a v{found} store; this build reads "
+                    f"v{STORE_LAYOUT_VERSION}"
+                )
+        else:
+            self.objects.mkdir(parents=True, exist_ok=True)
+            version_file.write_text(f"{STORE_LAYOUT_VERSION}\n")
+
+    # -- addressing ---------------------------------------------------------
+
+    def _dir_for(self, key: str) -> Path:
+        return self.objects / key[:2] / key
+
+    def __contains__(self, key: str) -> bool:
+        return (self._dir_for(key) / "meta.json").exists()
+
+    # -- read ---------------------------------------------------------------
+
+    def get(self, key: str, stage: str = "", shard: str = "") -> ShardArtefact | None:
+        """Load an artefact, or ``None`` on miss or corruption.
+
+        Column arrays come back memory-mapped read-only.  Any load
+        failure (truncated ``.npy``, mangled JSON, missing column file)
+        counts as ``store.corrupt``, removes the damaged artefact and
+        reports a miss — the caller recomputes.
+        """
+        path = self._dir_for(key)
+        registry = get_registry()
+        if not (path / "meta.json").exists():
+            self._account("miss", stage, shard, key)
+            return None
+        try:
+            header = json.loads((path / "meta.json").read_text())
+            if header.get("key") != key:
+                raise ValueError("key mismatch in meta.json")
+            columns = {
+                name: np.load(path / f"c_{name}.npy", mmap_mode="r",
+                              allow_pickle=False)
+                for name in header.get("columns", [])
+            }
+        except Exception as exc:  # corrupt artefact: recompute, don't crash
+            registry.counter("store.corrupt").inc()
+            _log.warning(
+                "dropping corrupt shard artefact",
+                extra={"key": key, "stage": stage, "error": str(exc)},
+            )
+            shutil.rmtree(path, ignore_errors=True)
+            self._account("miss", stage, shard, key)
+            return None
+        (path / "used").touch()
+        self._account("hit", stage, shard, key)
+        return ShardArtefact(
+            key=key,
+            stage=header.get("stage", stage),
+            shard=header.get("shard", shard),
+            meta=header.get("meta", {}),
+            columns=columns,
+        )
+
+    # -- write --------------------------------------------------------------
+
+    def put(
+        self,
+        key: str,
+        stage: str,
+        shard: str,
+        meta: dict,
+        columns: dict[str, np.ndarray],
+    ) -> None:
+        """Persist one artefact atomically; an existing key wins.
+
+        Everything is staged into a sibling temp directory and renamed
+        into place, so a crash mid-write leaves only an ignorable
+        ``<key>.tmp-*`` orphan (cleared by :meth:`gc`).
+        """
+        final = self._dir_for(key)
+        if (final / "meta.json").exists():
+            return
+        final.parent.mkdir(parents=True, exist_ok=True)
+        tmp = final.parent / f"{key}.tmp-{id(self) & 0xFFFF:x}"
+        shutil.rmtree(tmp, ignore_errors=True)
+        tmp.mkdir()
+        try:
+            for name, column in columns.items():
+                np.save(tmp / f"c_{name}.npy", np.ascontiguousarray(column),
+                        allow_pickle=False)
+            header = {
+                "layout": STORE_LAYOUT_VERSION,
+                "key": key,
+                "stage": stage,
+                "shard": shard,
+                "columns": sorted(columns),
+                "meta": meta,
+            }
+            (tmp / "meta.json").write_text(
+                json.dumps(header, sort_keys=True) + "\n"
+            )
+            (tmp / "used").touch()
+            try:
+                tmp.rename(final)
+            except OSError:
+                # Lost a race with another writer; content-addressing
+                # guarantees both sides wrote identical bytes.
+                shutil.rmtree(tmp, ignore_errors=True)
+                return
+        except BaseException:
+            shutil.rmtree(tmp, ignore_errors=True)
+            raise
+        registry = get_registry()
+        registry.counter("store.writes").inc()
+        if stage:
+            registry.counter(f"store.writes.{stage}").inc()
+        journal = get_journal()
+        if journal.enabled:
+            journal.emit("store", outcome="write", stage=stage, shard=shard,
+                         key=key)
+
+    # -- maintenance --------------------------------------------------------
+
+    def drop(self, key: str) -> None:
+        """Remove one artefact (used when a decode turns out poisoned)."""
+        shutil.rmtree(self._dir_for(key), ignore_errors=True)
+
+    def ls(self) -> list[dict]:
+        """One manifest record per stored artefact, stable order.
+
+        Sorted by (shard, stage, key) — the debugging view ``repro store
+        ls`` prints and CI uploads to diagnose cache churn.
+        """
+        records = []
+        if not self.objects.exists():
+            return records
+        for meta_path in self.objects.glob("*/*/meta.json"):
+            path = meta_path.parent
+            try:
+                header = json.loads(meta_path.read_text())
+            except Exception:
+                header = {"key": path.name, "stage": "?", "shard": "?"}
+            size = sum(f.stat().st_size for f in path.iterdir() if f.is_file())
+            used = path / "used"
+            records.append({
+                "key": header.get("key", path.name),
+                "stage": header.get("stage", "?"),
+                "shard": header.get("shard", "?"),
+                "bytes": size,
+                "last_used": (used if used.exists() else meta_path).stat().st_mtime,
+            })
+        records.sort(key=lambda r: (r["shard"], r["stage"], r["key"]))
+        return records
+
+    def gc(
+        self,
+        max_bytes: int | None = None,
+        max_age_s: float | None = None,
+        now: float | None = None,
+    ) -> list[dict]:
+        """Evict artefacts, least-recently-used first; returns evictions.
+
+        ``max_age_s`` drops anything not hit within the window;
+        ``max_bytes`` then evicts oldest-used artefacts until the store
+        fits.  Orphaned temp directories from interrupted writes are
+        always cleared.  ``now`` is injectable for tests.
+        """
+        import time
+
+        now = time.time() if now is None else now
+        evicted: list[dict] = []
+        if self.objects.exists():
+            for tmp in self.objects.glob("*/*.tmp-*"):
+                shutil.rmtree(tmp, ignore_errors=True)
+        records = sorted(self.ls(), key=lambda r: r["last_used"])
+        total = sum(r["bytes"] for r in records)
+        for record in list(records):
+            too_old = (
+                max_age_s is not None
+                and now - record["last_used"] > max_age_s
+            )
+            too_big = max_bytes is not None and total > max_bytes
+            if not (too_old or too_big):
+                continue
+            shutil.rmtree(self._dir_for(record["key"]), ignore_errors=True)
+            total -= record["bytes"]
+            evicted.append(record)
+        if evicted:
+            get_registry().counter("store.evictions").inc(len(evicted))
+        return evicted
+
+    # -- accounting ---------------------------------------------------------
+
+    def _account(self, outcome: str, stage: str, shard: str, key: str) -> None:
+        registry = get_registry()
+        name = "hits" if outcome == "hit" else "misses"
+        registry.counter(f"store.{name}").inc()
+        if stage:
+            registry.counter(f"store.{name}.{stage}").inc()
+        journal = get_journal()
+        if journal.enabled:
+            journal.emit("store", outcome=outcome, stage=stage, shard=shard,
+                         key=key)

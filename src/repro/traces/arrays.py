@@ -91,6 +91,29 @@ class TraceArrays:
     def __len__(self) -> int:
         return int(self.lat.shape[0])
 
+    # -- columnar (de)serialisation -----------------------------------------
+
+    #: The persisted columns, in schema order (``x``/``y`` are derived
+    #: and never persisted).
+    COLUMN_NAMES = ("point_id", "lat", "lon", "time_s", "speed_kmh", "fuel_ml")
+
+    def columns(self) -> dict[str, np.ndarray]:
+        """The persistable columns by name (views, not copies)."""
+        return {name: getattr(self, name) for name in self.COLUMN_NAMES}
+
+    @classmethod
+    def from_columns(cls, columns: dict[str, np.ndarray]) -> "TraceArrays":
+        """Wrap existing columns without copying.
+
+        The arrays are adopted as-is — passing ``np.load(...,
+        mmap_mode="r")`` views gives a zero-copy, memory-mapped trace:
+        column data stays on disk until a kernel actually touches it,
+        which is how the shard store serves cleaned traces
+        (:mod:`repro.store.shards`).  Columns must be treated as
+        read-only, like every ``TraceArrays``.
+        """
+        return cls(**{name: columns[name] for name in cls.COLUMN_NAMES})
+
     # -- cached gap geometry ------------------------------------------------
 
     def gaps(self) -> tuple[np.ndarray, np.ndarray]:

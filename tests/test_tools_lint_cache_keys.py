@@ -1,0 +1,62 @@
+"""The cache-key coverage lint: no StudyConfig field escapes the keys."""
+
+from __future__ import annotations
+
+import dataclasses
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+from lint_cache_keys import escaped_fields, lint  # noqa: E402
+
+
+def test_repo_is_clean():
+    assert lint() == []
+
+
+def test_cli_exit_zero():
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "lint_cache_keys.py")],
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "OK" in proc.stdout
+
+
+def test_uncovered_field_is_flagged():
+    @dataclasses.dataclass
+    class RogueConfig:
+        matcher: str = "incremental"      # keyed via STAGE_FIELDS
+        fleet: object = None              # excluded via EXCLUDED_FIELDS
+        brand_new_knob: int = 3           # covered by nothing
+
+    problems = lint(RogueConfig, source="")
+    assert any("brand_new_knob" in p for p in problems)
+    assert not any("matcher" in p for p in problems)
+
+
+def test_cachekey_ok_escape_hatch():
+    @dataclasses.dataclass
+    class EscapedConfig:
+        matcher: str = "incremental"
+        fleet: object = None
+        display_name: str = ""
+
+    source = "    display_name: str = ''  # cachekey-ok\n"
+    assert escaped_fields(source) == {"display_name"}
+    assert not any("display_name" in p for p in lint(EscapedConfig, source))
+
+
+def test_stale_entries_are_flagged():
+    @dataclasses.dataclass
+    class TinyConfig:
+        matcher: str = "incremental"
+
+    # Every other STAGE_FIELDS / EXCLUDED_FIELDS name is stale for this
+    # config — the lint must name each one.
+    problems = lint(TinyConfig, source="")
+    assert any("stale" in p and "'fleet'" in p for p in problems)
+    assert any("stale" in p and "'robustness'" in p for p in problems)

@@ -50,6 +50,15 @@ RATIO_GATES = [
         "key": "journal_overhead",
         "limit": 1.03,
     },
+    {
+        # A warm shard-store rerun must stay at least 2x faster than a
+        # cold populate, or delta recomputation has regressed into
+        # overhead (decode slower than compute, spurious misses, ...).
+        "name": "warm store speedup",
+        "bench": "test_perf_study_warm_store",
+        "key": "warm_cold_ratio",
+        "limit": 0.5,
+    },
 ]
 
 

@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""CI gate: delta recomputation is warm, byte-identical, and precise.
+
+Drives ``repro study`` as a subprocess (the real CLI path) three times
+against one shard store and asserts the store's contract:
+
+1. **Cold** populates the store.
+2. **Warm** (identical config) must serve ≥90% of stage artefacts from
+   cache with *zero* misses, and reproduce every table/figure artefact
+   and ``errors.jsonl`` byte-for-byte, plus the deterministic
+   (fold-side) metric counters exactly.  Compute-side counters (e.g.
+   ``od.crossings_detected``, ``routing.*``) legitimately don't fire on
+   cache hits and are not compared.
+3. **Flipped** (``--matcher hmm``) must recompute *only* the dependent
+   stages: clean and extract artefacts still hit (the matcher cannot
+   change them), match and features miss on every shard.  The flip runs
+   against a pruned *copy* of the store holding only the base run's
+   keys — so the assertions stay exact even when CI restores a store
+   (via ``actions/cache``) that already saw a flipped run, and the
+   persisted store itself never accumulates flip artefacts.
+
+Run from the repo root: ``python tools/check_incremental.py``.
+Exits non-zero with a diagnosis on any violation; wired into the CI
+``incremental`` job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Artefacts that must be byte-identical between cold and warm runs.
+ARTEFACTS = (
+    "table2.txt", "table3.txt", "table4.txt", "table5.txt",
+    "fig5.txt", "fig10.txt", "errors.jsonl",
+)
+
+#: Counter families that are deterministic fold-side accounting — always
+#: published from the folded per-unit results, so they must match
+#: exactly between cold and warm runs.
+DETERMINISTIC_COUNTERS = (
+    "clean.", "od.segments_total", "od.filtered_cleaned",
+    "od.transitions_total", "od.within_centre",
+)
+
+
+def run_study(out: Path, store: Path, days: int, extra: list[str]) -> None:
+    env = {**os.environ, "PYTHONPATH": str(REPO / "src")}
+    cmd = [
+        sys.executable, "-m", "repro", "study",
+        "--days", str(days), "--out", str(out),
+        "--store-dir", str(store), "--quiet", *extra,
+    ]
+    subprocess.run(cmd, check=True, env=env, cwd=REPO)
+
+
+def store_counters(out: Path) -> dict[str, float]:
+    counters = json.loads((out / "metrics.json").read_text())["counters"]
+    return {k: v for k, v in counters.items() if k.startswith("store.")}
+
+
+def deterministic_counters(out: Path) -> dict[str, float]:
+    counters = json.loads((out / "metrics.json").read_text())["counters"]
+    return {
+        k: v for k, v in counters.items()
+        if any(k.startswith(prefix) for prefix in DETERMINISTIC_COUNTERS)
+    }
+
+
+def touched_keys(out: Path) -> set[str]:
+    """Every store key the run's journal saw (hit, miss or write)."""
+    keys = set()
+    for line in (out / "events.jsonl").read_text().splitlines():
+        try:
+            event = json.loads(line)
+        except ValueError:
+            continue
+        if event.get("kind") == "store" and event.get("key"):
+            keys.add(event["key"])
+    return keys
+
+
+def pruned_copy(store: Path, dest: Path, keys: set[str]) -> None:
+    """A store at ``dest`` holding only ``keys`` of ``store``."""
+    shutil.rmtree(dest, ignore_errors=True)
+    (dest / "objects").mkdir(parents=True)
+    shutil.copy2(store / "STORE_VERSION", dest / "STORE_VERSION")
+    for key in keys:
+        src = store / "objects" / key[:2] / key
+        if src.exists():
+            shutil.copytree(src, dest / "objects" / key[:2] / key)
+
+
+def check(condition: bool, message: str, failures: list[str]) -> None:
+    tag = "ok  " if condition else "FAIL"
+    print(f"  {tag} {message}")
+    if not condition:
+        failures.append(message)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--days", type=int, default=6,
+                        help="study scale (default 6 — several shards)")
+    parser.add_argument("--workdir", type=Path, default=None,
+                        help="working directory (default: a temp dir); "
+                             "the store goes in WORKDIR/store, so CI can "
+                             "persist it across workflow runs")
+    args = parser.parse_args()
+
+    workdir = args.workdir or Path(tempfile.mkdtemp(prefix="incremental-"))
+    workdir.mkdir(parents=True, exist_ok=True)
+    store = workdir / "store"
+    failures: list[str] = []
+
+    print(f"incremental check: days={args.days} workdir={workdir}")
+    run_study(workdir / "cold", store, args.days, [])
+    run_study(workdir / "warm", store, args.days, [])
+
+    print("warm rerun:")
+    sc = store_counters(workdir / "warm")
+    hits = sc.get("store.hits", 0)
+    misses = sc.get("store.misses", 0)
+    check(misses == 0, f"zero misses (got {misses})", failures)
+    check(
+        hits > 0 and hits / (hits + misses) >= 0.9,
+        f"hit rate >= 90% ({hits} hits / {misses} misses)", failures,
+    )
+    check(
+        sc.get("store.recomputed", 0) == 0,
+        f"zero shards recomputed (got {sc.get('store.recomputed', 0)})",
+        failures,
+    )
+    for name in ARTEFACTS:
+        cold_bytes = (workdir / "cold" / name).read_bytes()
+        warm_bytes = (workdir / "warm" / name).read_bytes()
+        check(cold_bytes == warm_bytes, f"{name} byte-identical", failures)
+    cold_counters = deterministic_counters(workdir / "cold")
+    warm_counters = deterministic_counters(workdir / "warm")
+    check(
+        cold_counters == warm_counters,
+        "deterministic metric counters identical", failures,
+    )
+
+    # A config flip must dirty only the stages that depend on the field:
+    # matcher enters at the match stage, so clean/extract stay warm.
+    # Flip against a pruned copy holding only the base run's keys, so a
+    # store restored from a previous CI run (which already saw a flip)
+    # cannot fake the miss counts — and the persisted store stays
+    # flip-free.
+    flip_store = workdir / "store-flip"
+    pruned_copy(store, flip_store, touched_keys(workdir / "warm"))
+    run_study(workdir / "flipped", flip_store, args.days, ["--matcher", "hmm"])
+    print("config flip (--matcher hmm):")
+    fc = store_counters(workdir / "flipped")
+    shards = fc.get("store.hits.clean", 0)
+    check(shards > 0, f"clean artefacts still hit ({shards} shards)", failures)
+    check(
+        fc.get("store.hits.extract", 0) == shards,
+        "extract artefacts still hit", failures,
+    )
+    check(
+        fc.get("store.misses.clean", 0) == 0
+        and fc.get("store.misses.extract", 0) == 0,
+        "no upstream shard recomputed", failures,
+    )
+    check(
+        fc.get("store.misses.match", 0) == shards,
+        f"every match shard recomputed ({shards})", failures,
+    )
+    check(
+        fc.get("store.misses.features", 0) == shards,
+        f"every features shard recomputed ({shards})", failures,
+    )
+
+    if failures:
+        print(f"incremental check: {len(failures)} failure(s)", file=sys.stderr)
+        return 1
+    print("incremental check: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

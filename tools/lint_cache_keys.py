@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Lint: every StudyConfig field must be covered by the cache keys.
+
+The shard store's correctness hinges on one invariant: any
+``StudyConfig`` field that can change a stage's output must be part of
+that stage's cache key.  A field added without key coverage would make
+warm runs silently serve stale artefacts — the worst possible failure
+mode for a cache.
+
+This lint enforces the invariant structurally: each ``StudyConfig``
+field must appear in ``repro.store.cachekey.STAGE_FIELDS`` (keyed), in
+``EXCLUDED_FIELDS`` (explicitly excluded, with a reason), or carry a
+``# cachekey-ok`` comment on its declaration line in ``study.py`` (the
+escape hatch for fields that are provably output-neutral).  Entries
+naming fields that no longer exist are flagged too, so the maps cannot
+rot.
+
+Run from the repo root: ``PYTHONPATH=src python tools/lint_cache_keys.py``.
+Exits non-zero on any violation; wired into the CI lint job.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+import re
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.study import StudyConfig  # noqa: E402
+from repro.store.cachekey import EXCLUDED_FIELDS, STAGE_FIELDS  # noqa: E402
+
+_ESCAPE_RE = re.compile(r"^\s*(\w+)\s*:.*#\s*cachekey-ok\b")
+
+
+def escaped_fields(source: str) -> set[str]:
+    """Field names whose declaration carries a ``# cachekey-ok`` comment."""
+    return {
+        m.group(1)
+        for line in source.splitlines()
+        if (m := _ESCAPE_RE.match(line))
+    }
+
+
+def lint(config_cls=StudyConfig, source: str | None = None) -> list[str]:
+    """All coverage violations (empty = clean)."""
+    if source is None:
+        source = inspect.getsource(sys.modules[config_cls.__module__])
+    keyed = {name for fields in STAGE_FIELDS.values() for name in fields}
+    escaped = escaped_fields(source)
+    config_fields = {f.name for f in dataclasses.fields(config_cls)}
+    problems = []
+    for name in sorted(config_fields):
+        covered = name in keyed or name in EXCLUDED_FIELDS or name in escaped
+        if not covered:
+            problems.append(
+                f"{config_cls.__name__}.{name} is not covered: add it to a "
+                "stage in STAGE_FIELDS, to EXCLUDED_FIELDS with a reason, or "
+                "mark the field declaration with '# cachekey-ok'"
+            )
+    for name in sorted(keyed - config_fields):
+        problems.append(
+            f"STAGE_FIELDS names {name!r}, which is not a "
+            f"{config_cls.__name__} field (stale entry?)"
+        )
+    for name in sorted(set(EXCLUDED_FIELDS) - config_fields):
+        problems.append(
+            f"EXCLUDED_FIELDS names {name!r}, which is not a "
+            f"{config_cls.__name__} field (stale entry?)"
+        )
+    for name in sorted(keyed & set(EXCLUDED_FIELDS)):
+        problems.append(
+            f"{name!r} is both keyed (STAGE_FIELDS) and excluded "
+            "(EXCLUDED_FIELDS) — pick one"
+        )
+    return problems
+
+
+def main() -> int:
+    problems = lint()
+    for problem in problems:
+        print(f"lint_cache_keys: {problem}", file=sys.stderr)
+    if not problems:
+        keyed = {name for fields in STAGE_FIELDS.values() for name in fields}
+        n = len(dataclasses.fields(StudyConfig))
+        print(
+            f"lint_cache_keys: OK — {n} StudyConfig fields covered "
+            f"({len(keyed)} keyed, {len(EXCLUDED_FIELDS)} excluded)"
+        )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
