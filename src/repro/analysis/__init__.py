@@ -31,13 +31,22 @@ from repro.analysis.ecodriving import (
     eco_route_comparison,
 )
 from repro.analysis.hotspots import DwellEvent, Hotspot, dbscan, detect_hotspots, extract_dwells
-from repro.analysis.odflows import OdMatrix, build_od_matrix, flow_table
+from repro.analysis.odflows import (
+    GateDistanceMatrix,
+    OdMatrix,
+    build_od_matrix,
+    flow_table,
+    gate_distance_matrix,
+)
 from repro.analysis.pedestrians import PedestrianModel, fuse_with_intercepts
 from repro.analysis.routefreq import (
+    DirectionDetour,
     DirectionProfile,
     RouteVariant,
     build_direction_profiles,
+    direction_detours,
     overlap_fraction,
+    route_length_m,
     route_signature,
 )
 from repro.analysis.trafficstate import EdgeState, TrafficStateEstimator
@@ -46,11 +55,13 @@ __all__ = [
     "AnomalyConfig",
     "AnomalyFlags",
     "CriticalEdge",
+    "DirectionDetour",
     "DirectionProfile",
     "DriverReport",
     "DrivingCoach",
     "DwellEvent",
     "EdgeState",
+    "GateDistanceMatrix",
     "Hotspot",
     "OdMatrix",
     "PedestrianModel",
@@ -64,11 +75,14 @@ __all__ = [
     "dbscan",
     "detect_anomalies",
     "detect_hotspots",
+    "direction_detours",
     "eco_route_comparison",
     "extract_dwells",
     "flow_table",
     "fuse_with_intercepts",
+    "gate_distance_matrix",
     "overlap_fraction",
+    "route_length_m",
     "route_signature",
     "usage_counts",
 ]

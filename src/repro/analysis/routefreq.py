@@ -110,3 +110,65 @@ def overlap_fraction(a: RouteSignature, b: RouteSignature) -> float:
     if not sa and not sb:
         return 1.0
     return len(sa & sb) / len(sa | sb)
+
+
+@dataclass(frozen=True)
+class DirectionDetour:
+    """How far one direction's observed routes stray from the shortest.
+
+    ``shortest_m`` is the gate-to-gate network distance from a
+    :class:`~repro.analysis.odflows.GateDistanceMatrix`; ``typical_m``
+    and ``fastest_m`` are the driven lengths of the direction's most
+    frequent and recommended (fastest mean time) variants.
+    """
+
+    direction: str
+    shortest_m: float
+    typical_m: float
+    fastest_m: float
+
+    @property
+    def typical_detour(self) -> float:
+        """Driven/shortest length ratio of the most frequent variant."""
+        return self.typical_m / self.shortest_m if self.shortest_m else 1.0
+
+    @property
+    def fastest_detour(self) -> float:
+        return self.fastest_m / self.shortest_m if self.shortest_m else 1.0
+
+
+def route_length_m(graph, signature: RouteSignature) -> float:
+    """Driven length of a route signature (sum of edge lengths)."""
+    return sum(graph.edge(edge_id).length for edge_id in signature)
+
+
+def direction_detours(
+    graph,
+    profiles: dict[str, DirectionProfile],
+    matrix,
+) -> dict[str, DirectionDetour]:
+    """Detour statistics per direction against one gate-to-gate matrix.
+
+    ``matrix`` is a :class:`~repro.analysis.odflows.GateDistanceMatrix`
+    (built once, from a single batched query) keyed by the same gate
+    names the direction labels are made of; directions whose gates are
+    not in the matrix — or with no finite shortest distance — are
+    skipped.
+    """
+    out: dict[str, DirectionDetour] = {}
+    for direction, profile in sorted(profiles.items()):
+        if not profile.variants:
+            continue
+        try:
+            shortest = matrix.direction_distance(direction)
+        except (KeyError, ValueError):
+            continue
+        if shortest == float("inf"):
+            continue
+        out[direction] = DirectionDetour(
+            direction=direction,
+            shortest_m=shortest,
+            typical_m=route_length_m(graph, profile.most_frequent().signature),
+            fastest_m=route_length_m(graph, profile.fastest().signature),
+        )
+    return out

@@ -137,6 +137,13 @@ def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
         help="run the scalar reference kernels instead of the NumPy "
              "batch fast path (identical results, slower)",
     )
+    parser.add_argument(
+        "--batch-routing", action=argparse.BooleanOptionalAction,
+        default=True,
+        help="resolve each trip's gap-fill queries in one many-to-many "
+             "batch on engines that support it (identical results; "
+             "default: on)",
+    )
 
 
 def _add_robustness_flags(parser: argparse.ArgumentParser) -> None:
@@ -203,6 +210,7 @@ def _executor_config(args: argparse.Namespace) -> ExecutorConfig:
         routing_engine=getattr(args, "routing_engine", "dijkstra"),
         ch_artifact_path=str(ch_artifact) if ch_artifact is not None else None,
         vectorized=not getattr(args, "no_vectorize", False),
+        batch_routing=getattr(args, "batch_routing", True),
     )
 
 

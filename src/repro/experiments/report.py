@@ -12,8 +12,10 @@ from repro.analysis import (
     build_direction_profiles,
     build_od_matrix,
     detect_hotspots,
+    direction_detours,
     extract_dwells,
     flow_table,
+    gate_distance_matrix,
 )
 from repro.experiments.figures import (
     fig10_weather_low_speed,
@@ -26,6 +28,7 @@ from repro.experiments.rendering import (
     render_table5,
 )
 from repro.experiments.study import StudyResult
+from repro.parallel import study_gates
 from repro.experiments.tables import (
     table2_rule_hits,
     table4_route_summaries,
@@ -135,14 +138,27 @@ def study_report(result: StudyResult) -> str:
 
     profiles = build_direction_profiles(result.kept())
     if profiles:
-        freq_rows = [
-            [d, p.n_trips, p.n_variants, round(p.diversity, 2)]
-            for d, p in sorted(profiles.items())
-        ]
+        # One batched gate-to-gate matrix answers every direction's
+        # shortest network distance (see analysis.odflows).
+        gate_matrix = gate_distance_matrix(
+            result.city.graph, study_gates(result.city)
+        )
+        detours = direction_detours(result.city.graph, profiles, gate_matrix)
+        freq_rows = []
+        for d, p in sorted(profiles.items()):
+            detour = detours.get(d)
+            freq_rows.append([
+                d, p.n_trips, p.n_variants, round(p.diversity, 2),
+                "-" if detour is None else round(detour.shortest_m),
+                "-" if detour is None else round(detour.typical_detour, 2),
+            ])
         parts.append(_section(
             "Route variants per direction",
-            format_table(["Direction", "Trips", "Variants", "Eff. routes"],
-                         freq_rows),
+            format_table(
+                ["Direction", "Trips", "Variants", "Eff. routes",
+                 "Shortest m", "Detour"],
+                freq_rows,
+            ),
         ))
 
     if result.route_stats:

@@ -98,6 +98,7 @@ class StudyConfig:
             routing_engine=self.executor.routing_engine,
             ch_artifact_path=self.executor.ch_artifact_path,
             vectorized=self.executor.vectorized,
+            batch_routing=self.executor.batch_routing,
             robustness=self.robustness,
             fault_plan=self.faults,
         )
@@ -298,11 +299,13 @@ class OuluStudy:
                 matcher = HmmMatcher(
                     city.graph, route_cache=route_cache, routing_engine=engine,
                     vectorized=config.executor.vectorized,
+                    batch_routing=config.executor.batch_routing,
                 )
             else:
                 matcher = IncrementalMatcher(
                     city.graph, route_cache=route_cache, routing_engine=engine,
                     vectorized=config.executor.vectorized,
+                    batch_routing=config.executor.batch_routing,
                 )
             computed = [
                 match_task(

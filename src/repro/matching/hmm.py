@@ -49,6 +49,7 @@ class HmmMatcher:
         route_cache=None,
         routing_engine=None,
         vectorized: bool = True,
+        batch_routing: bool = True,
     ) -> None:
         self.graph = graph
         self.config = config or HmmConfig()
@@ -60,6 +61,10 @@ class HmmMatcher:
         #: (identical candidates; see
         #: :func:`repro.matching.candidates.candidates_for_points`).
         self.vectorized = vectorized
+        #: Resolve each trip's gap queries in one many-to-many batch when
+        #: the engine supports it (identical edge sequences; see
+        #: :func:`repro.matching.gapfill.connect_matches`).
+        self.batch_routing = batch_routing
 
     def match(
         self,
@@ -140,6 +145,7 @@ class HmmMatcher:
         connect_matches(
             self.graph, route,
             route_cache=self.route_cache, engine=self.routing_engine,
+            batch_routing=self.batch_routing,
         )
         return route
 

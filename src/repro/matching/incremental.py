@@ -54,6 +54,7 @@ class IncrementalMatcher:
         route_cache: RouteCache | None = None,
         routing_engine=None,
         vectorized: bool = True,
+        batch_routing: bool = True,
     ) -> None:
         self.graph = graph
         self.config = config or IncrementalConfig()
@@ -65,6 +66,10 @@ class IncrementalMatcher:
         #: (identical candidates; see
         #: :func:`repro.matching.candidates.candidates_for_points`).
         self.vectorized = vectorized
+        #: Resolve each trip's gap queries in one many-to-many batch when
+        #: the engine supports it (identical edge sequences; see
+        #: :func:`repro.matching.gapfill.connect_matches`).
+        self.batch_routing = batch_routing
         self._adjacent: dict[int, set[int]] = {}
 
     # -- adjacency ------------------------------------------------------------
@@ -154,6 +159,7 @@ class IncrementalMatcher:
         connect_matches(
             self.graph, route, max_cost_m=self.config.max_gap_cost_m,
             route_cache=self.route_cache, engine=self.routing_engine,
+            batch_routing=self.batch_routing,
         )
         registry.histogram("matching.match_seconds").observe(perf_counter() - t0)
         _log.debug(

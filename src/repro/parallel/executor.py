@@ -58,6 +58,9 @@ class ExecutorConfig:
     hierarchy that workers load instead of each re-contracting.
     ``vectorized`` runs the cleaning/gate/candidate kernels through the
     NumPy batch fast path (identical results; ``--no-vectorize``).
+    ``batch_routing`` resolves each trip's gap-fill queries in one
+    many-to-many batch on engines that support it (identical artefacts;
+    ``--no-batch-routing``).
     """
 
     workers: int = 0
@@ -68,6 +71,7 @@ class ExecutorConfig:
     routing_engine: str = "dijkstra"
     ch_artifact_path: str | None = None
     vectorized: bool = True
+    batch_routing: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 0:

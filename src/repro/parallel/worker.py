@@ -56,6 +56,9 @@ class WorkerPayload:
     on every cache-missing query.  ``vectorized`` switches cleaning,
     gate checks and candidate generation to the NumPy batch kernels
     (identical results; CLI ``--no-vectorize`` turns it off).
+    ``batch_routing`` resolves each trip's gap-fill queries in one
+    many-to-many batch on engines that support it (identical artefacts;
+    CLI ``--no-batch-routing`` turns it off).
     """
 
     filter_config: FilterConfig | None = None
@@ -69,6 +72,7 @@ class WorkerPayload:
     routing_engine: str = "dijkstra"
     ch_artifact_path: str | None = None
     vectorized: bool = True
+    batch_routing: bool = True
     #: Degraded-mode execution: per-unit guards + bounded retry inside
     #: every worker (None = historical fail-fast).  ``fault_plan`` ships
     #: the seeded chaos plan each worker activates at init, so injection
@@ -130,6 +134,7 @@ class WorkerContext:
                     route_cache=self.route_cache,
                     routing_engine=self.routing_engine,
                     vectorized=payload.vectorized,
+                    batch_routing=payload.batch_routing,
                 )
             else:
                 from repro.matching import IncrementalMatcher
@@ -139,6 +144,7 @@ class WorkerContext:
                     route_cache=self.route_cache,
                     routing_engine=self.routing_engine,
                     vectorized=payload.vectorized,
+                    batch_routing=payload.batch_routing,
                 )
 
     # -- chunk handlers (one per task kind) ---------------------------------

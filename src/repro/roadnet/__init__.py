@@ -38,6 +38,7 @@ from repro.roadnet.graphbuild import JunctionPair, build_road_graph, classify_en
 from repro.roadnet.routing import (
     ROUTING_ENGINES,
     PathResult,
+    RouteBatch,
     RouteCache,
     astar,
     bidirectional_dijkstra,
@@ -48,7 +49,15 @@ from repro.roadnet.routing import (
     shortest_path,
     shortest_path_geometry,
 )
-from repro.roadnet.ch import CHEngine, load_ch, prepare_ch, save_ch
+from repro.roadnet.ch import (
+    CHEngine,
+    RouteMatrix,
+    load_ch,
+    prepare_ch,
+    route_matrix,
+    route_pairs,
+    save_ch,
+)
 from repro.roadnet.synthcity import CitySpec, SyntheticCity, build_synthetic_oulu
 from repro.roadnet.validate import MapIssue, MapValidationReport, validate_map
 
@@ -63,12 +72,14 @@ __all__ = [
     "MapValidationReport",
     "PathResult",
     "PointObject",
+    "RouteBatch",
     "RouteCache",
     "PointObjectKind",
     "ROUTING_ENGINES",
     "RoadEdge",
     "RoadGraph",
     "RoadNode",
+    "RouteMatrix",
     "SegmentedAttribute",
     "SyntheticCity",
     "TrafficElement",
@@ -83,6 +94,8 @@ __all__ = [
     "make_routing_engine",
     "path_travel_time_s",
     "prepare_ch",
+    "route_matrix",
+    "route_pairs",
     "save_ch",
     "shortest_path",
     "shortest_path_geometry",

@@ -23,25 +23,35 @@ The package splits along the classic CH phases:
   plain :class:`~repro.roadnet.routing.PathResult` and downstream
   helpers (``shortest_path_geometry``, ``path_travel_time_s``) work
   unchanged;
+* :mod:`repro.roadnet.ch.matrix` — bucket-based many-to-many queries
+  (:func:`route_matrix` / :func:`route_pairs`): one backward upward
+  search per target fills per-node buckets, one forward search per
+  source scans them, and every answer is bitwise-identical to the
+  point-to-point query;
 * :mod:`repro.roadnet.ch.io` — ``.npz`` save/load so worker processes
   load a shared prepared artifact instead of re-contracting per process.
 
 Entry points: :func:`prepare_ch` builds an engine from a road graph;
-:func:`save_ch` / :func:`load_ch` persist it.
+:func:`save_ch` / :func:`load_ch` persist it; :func:`route_matrix` /
+:func:`route_pairs` answer batches.
 """
 
 from repro.roadnet.ch.contract import ContractionResult, contract_graph
 from repro.roadnet.ch.csr import CSRGraph, build_csr
 from repro.roadnet.ch.engine import CHEngine, prepare_ch
 from repro.roadnet.ch.io import load_ch, save_ch
+from repro.roadnet.ch.matrix import RouteMatrix, route_matrix, route_pairs
 
 __all__ = [
     "CHEngine",
     "CSRGraph",
     "ContractionResult",
+    "RouteMatrix",
     "build_csr",
     "contract_graph",
     "load_ch",
     "prepare_ch",
+    "route_matrix",
+    "route_pairs",
     "save_ch",
 ]

@@ -33,8 +33,11 @@ from repro.roadnet.routing import PathResult, Weight
 
 _NO_PATH = PathResult(nodes=(), edges=(), cost=float("inf"))
 
-#: Format version stamped into saved artifacts (see :mod:`.io`).
-CH_FORMAT_VERSION = 1
+#: Format version stamped into saved artifacts (see :mod:`.io`).  v2
+#: added the upward/downward arc permutation used by the many-to-many
+#: matrix kernels; v1 artifacts still load (the permutation is
+#: reconstructed from the arc arrays).
+CH_FORMAT_VERSION = 2
 
 
 @dataclass(eq=False)
@@ -59,6 +62,15 @@ class CHEngine:
     arc_edge: np.ndarray      # original RoadEdge id, -1 for shortcuts
     arc_skip1: np.ndarray
     arc_skip2: np.ndarray
+    #: Upward arc permutation: ``up_fwd_arcs[up_fwd_offsets[u]:
+    #: up_fwd_offsets[u+1]]`` are the positions of the upward arcs
+    #: leaving node ``u`` (ascending position), and the ``bwd`` pair is
+    #: the same grouping by head node for the backward search.  Saved in
+    #: v2 artifacts; reconstructed from the arc arrays when absent.
+    up_fwd_offsets: np.ndarray | None = None
+    up_fwd_arcs: np.ndarray | None = None
+    up_bwd_offsets: np.ndarray | None = None
+    up_bwd_arcs: np.ndarray | None = None
     _index: dict[int, int] = field(default_factory=dict, repr=False)
     _up_fwd: list[list[tuple[int, float, int]]] = field(default_factory=list, repr=False)
     _up_bwd: list[list[tuple[int, float, int]]] = field(default_factory=list, repr=False)
@@ -87,22 +99,68 @@ class CHEngine:
         self._arc_edge_list: list[int] = self.arc_edge.tolist()
         self._arc_skip1_list: list[int] = self.arc_skip1.tolist()
         self._arc_skip2_list: list[int] = self.arc_skip2.tolist()
+        # Shortcut-expansion memo shared by every query and by the
+        # many-to-many kernels (see :mod:`.matrix`): arc position ->
+        # flattened original-arc positions, in path order.
+        self._expansion: dict[int, tuple[int, ...]] = {}
+        # Upward-search memo for the many-to-many kernels: node index ->
+        # completed ``(dist, prev)`` search state, forward and backward
+        # separately.  An upward search depends only on its
+        # start node, and batched workloads revisit the same endpoints
+        # constantly (gate anchors, recurring gap endpoints), so caching
+        # amortises the complete searches the bucket algorithm pays to
+        # near zero over a study.  The states are never mutated after
+        # construction, so reuse is deterministic and batch answers stay
+        # bitwise-identical.
+        self._fwd_search_memo: dict[int, tuple] = {}
+        self._bwd_search_memo: dict[int, tuple] = {}
 
     def _build_upward(self) -> None:
         n = len(self.node_ids)
-        rank = self.rank
+        if self.up_fwd_offsets is None:
+            self._derive_permutation(n)
         fwd: list[list[tuple[int, float, int]]] = [[] for __ in range(n)]
         bwd: list[list[tuple[int, float, int]]] = [[] for __ in range(n)]
+        arc_to = self.arc_to
+        arc_from = self.arc_from
+        arc_weight = self.arc_weight
+        fwd_off = self.up_fwd_offsets.tolist()
+        bwd_off = self.up_bwd_offsets.tolist()
+        fwd_arcs = self.up_fwd_arcs.tolist()
+        bwd_arcs = self.up_bwd_arcs.tolist()
+        for u in range(n):
+            fwd[u] = [
+                (int(arc_to[pos]), float(arc_weight[pos]), pos)
+                for pos in fwd_arcs[fwd_off[u]:fwd_off[u + 1]]
+            ]
+            bwd[u] = [
+                (int(arc_from[pos]), float(arc_weight[pos]), pos)
+                for pos in bwd_arcs[bwd_off[u]:bwd_off[u + 1]]
+            ]
+        self._up_fwd = fwd
+        self._up_bwd = bwd
+
+    def _derive_permutation(self, n: int) -> None:
+        """Reconstruct the upward arc permutation from the arc arrays
+        (v1 artifacts and freshly contracted hierarchies)."""
+        rank = self.rank
+        fwd: list[list[int]] = [[] for __ in range(n)]
+        bwd: list[list[int]] = [[] for __ in range(n)]
         for pos in range(len(self.arc_from)):
             u = int(self.arc_from[pos])
             v = int(self.arc_to[pos])
-            w = float(self.arc_weight[pos])
             if rank[v] > rank[u]:
-                fwd[u].append((v, w, pos))
+                fwd[u].append(pos)
             if rank[u] > rank[v]:
-                bwd[v].append((u, w, pos))
-        self._up_fwd = fwd
-        self._up_bwd = bwd
+                bwd[v].append(pos)
+        self.up_fwd_offsets = np.cumsum([0] + [len(arcs) for arcs in fwd], dtype=np.int64)
+        self.up_fwd_arcs = np.array(
+            [pos for arcs in fwd for pos in arcs], dtype=np.int64
+        )
+        self.up_bwd_offsets = np.cumsum([0] + [len(arcs) for arcs in bwd], dtype=np.int64)
+        self.up_bwd_arcs = np.array(
+            [pos for arcs in bwd for pos in arcs], dtype=np.int64
+        )
 
     # -- introspection ------------------------------------------------------
 
@@ -145,7 +203,15 @@ class CHEngine:
             prev[side][start] = -1
             seen[side][start] = gen
         best_cost = float("inf")
+        # Canonical apex rule (shared with the many-to-many kernels in
+        # :mod:`.matrix`): among all nodes settled by BOTH sides, pick
+        # the lexicographic minimum of (forward+backward cost, node
+        # index).  Pruning is strict (`>`), so every total-minimiser
+        # settles on both sides and the argmin is order-independent —
+        # which is what makes batched answers bitwise-identical to
+        # point-to-point ones.
         apex = -1
+        apex_total = float("inf")
         settled = 0
         while heaps[0] or heaps[1]:
             # Work on the direction with the smaller frontier head; a
@@ -158,17 +224,25 @@ class CHEngine:
             cost, node = heapq.heappop(heaps[side])
             if done[side][node] == gen:
                 continue
-            if cost >= best_cost:
+            if cost > best_cost:
                 heaps[side] = []
                 continue
             done[side][node] = gen
             settled += 1
             other_side = 1 - side
             if seen[other_side][node] == gen:
+                # Tentative meeting cost: a valid upper bound for the
+                # pruning rule (tentative distances only over-estimate).
                 total = cost + dist[other_side][node]
                 if total < best_cost:
                     best_cost = total
-                    apex = node
+                if done[other_side][node] == gen:
+                    # Both sides final: an apex candidate.
+                    if total < apex_total or (
+                        total == apex_total and node < apex
+                    ):
+                        apex_total = total
+                        apex = node
             side_dist = dist[side]
             side_seen = seen[side]
             side_prev = prev[side]
@@ -189,6 +263,20 @@ class CHEngine:
         arcs = self._arc_chain(apex, prev[0], reverse=True)
         arcs += self._arc_chain(apex, prev[1], reverse=False)
         return self._unpack(s, arcs)
+
+    # -- batched queries (see repro.roadnet.ch.matrix) -----------------------
+
+    def route_matrix(self, sources, targets):
+        """Many-to-many distance table; see :func:`.matrix.route_matrix`."""
+        from repro.roadnet.ch.matrix import route_matrix
+
+        return route_matrix(self, sources, targets)
+
+    def route_pairs(self, pairs):
+        """Batched pair queries; see :func:`.matrix.route_pairs`."""
+        from repro.roadnet.ch.matrix import route_pairs
+
+        return route_pairs(self, pairs)
 
     def _arc_chain(self, apex: int, prev: list[int], reverse: bool) -> list[int]:
         """Arc positions from the search root to ``apex`` (root-first when

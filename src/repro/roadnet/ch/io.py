@@ -8,8 +8,12 @@ the hierarchy once — in the orchestrator or a previous run — and every
 worker loads the shared artifact instead of re-contracting.
 
 The file embeds a format version plus the weight kind and one-way
-semantics the hierarchy was built under; loading rejects mismatched
+semantics the hierarchy was built under; loading rejects unknown
 versions loudly rather than answering queries from the wrong geometry.
+Format v2 additionally persists the upward/downward arc permutation the
+many-to-many matrix kernels iterate (:mod:`repro.roadnet.ch.matrix`);
+v1 artifacts still load, reconstructing the permutation from the arc
+arrays at load time.
 """
 
 from __future__ import annotations
@@ -32,12 +36,29 @@ _ARRAY_FIELDS = (
     "arc_skip2",
 )
 
+#: v2 additions: the upward/downward arc permutation (CSR offsets plus
+#: arc positions grouped per node) that the engine otherwise re-derives
+#: with a Python scan over every arc at load time.
+_PERMUTATION_FIELDS = (
+    "up_fwd_offsets",
+    "up_fwd_arcs",
+    "up_bwd_offsets",
+    "up_bwd_arcs",
+)
+
+#: Formats :func:`load_ch` accepts.  v1 artifacts (no permutation
+#: arrays) reconstruct the permutation on load; new saves are always v2.
+_SUPPORTED_VERSIONS = (1, 2)
+
 
 def save_ch(engine: CHEngine, path: str | Path) -> Path:
     """Write ``engine`` to ``path`` as a compressed ``.npz`` artifact."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    arrays = {name: getattr(engine, name) for name in _ARRAY_FIELDS}
+    arrays = {
+        name: getattr(engine, name)
+        for name in _ARRAY_FIELDS + _PERMUTATION_FIELDS
+    }
     with path.open("wb") as handle:
         np.savez_compressed(
             handle,
@@ -55,15 +76,21 @@ def load_ch(path: str | Path) -> CHEngine:
     path = Path(path)
     with np.load(path, allow_pickle=False) as doc:
         version = int(doc["version"])
-        if version != CH_FORMAT_VERSION:
+        if version not in _SUPPORTED_VERSIONS:
             raise ValueError(
-                f"{path}: CH artifact format v{version}, "
-                f"expected v{CH_FORMAT_VERSION}"
+                f"{path}: unsupported CH artifact format version "
+                f"v{version} (supported: "
+                f"{', '.join(f'v{v}' for v in _SUPPORTED_VERSIONS)})"
+            )
+        arrays = {name: doc[name].copy() for name in _ARRAY_FIELDS}
+        if version >= 2:
+            arrays.update(
+                {name: doc[name].copy() for name in _PERMUTATION_FIELDS}
             )
         engine = CHEngine(
             weight=str(doc["weight"]),
             respect_oneway=bool(doc["respect_oneway"]),
-            **{name: doc[name].copy() for name in _ARRAY_FIELDS},
+            **arrays,
         )
     get_registry().counter("routing.ch_artifact_loads").inc()
     return engine

@@ -1,0 +1,390 @@
+"""Bucket-based many-to-many CH queries.
+
+Point-to-point CH pays two upward Dijkstras per pair; a batch of S×T
+pairs over shared endpoints re-runs the same searches S·T times.  The
+classic many-to-many algorithm (Knopp et al., ALENEX'07) runs each
+search once instead: one *backward* upward search per target drops
+``(target, distance)`` entries into per-node buckets, then one *forward*
+upward search per source scans the buckets of every node it settles —
+each scan hit is a candidate apex for that (source, target) pair.
+
+Answers are bitwise-identical to repeated
+:meth:`~repro.roadnet.ch.CHEngine.shortest_path`:
+
+* the one-sided searches run to completion with the engine's exact
+  relaxation rule, so their shortest-path trees match the truncated
+  point-to-point sides wherever those settled;
+* the apex is the same canonical lexicographic minimum of
+  ``(forward+backward cost, node index)`` the engine uses — strict
+  pruning there guarantees every minimiser is in both candidate sets;
+* per-pair cost is re-derived as the left-to-right sum of the unpacked
+  original arc weights, the same accumulation ``_unpack`` performs.
+
+Costs are computed eagerly into a NumPy table (`inf` marks unreachable
+pairs, exactly the point-to-point sentinel); node/edge tuples are only
+materialised when :meth:`RouteMatrix.path` is called for a pair.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.obs import get_registry
+from repro.roadnet.routing import PathResult
+
+_NO_PATH = PathResult(nodes=(), edges=(), cost=float("inf"))
+
+
+def _upward_search(
+    adjacency: list[list[tuple[int, float, int]]], start: int
+) -> tuple[dict[int, float], dict[int, int]]:
+    """One complete upward Dijkstra; final distances and prev-arc tree.
+
+    Identical relaxation rule to the engine's bidirectional sides (skip
+    settled, strict improvement, ``(cost, node)`` heap order), so the
+    tree agrees with a point-to-point query's wherever both settle.
+    """
+    dist: dict[int, float] = {start: 0.0}
+    prev: dict[int, int] = {start: -1}
+    done: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, start)]
+    while heap:
+        cost, node = heapq.heappop(heap)
+        if node in done:
+            continue
+        done.add(node)
+        for other, weight, pos in adjacency[node]:
+            if other in done:
+                continue
+            new_cost = cost + weight
+            current = dist.get(other)
+            if current is None or new_cost < current:
+                dist[other] = new_cost
+                prev[other] = pos
+                heapq.heappush(heap, (new_cost, other))
+    return dist, prev
+
+
+def _expand(engine, pos: int) -> tuple[int, ...]:
+    """Original-arc positions of arc ``pos`` in path order (memoised).
+
+    The memo lives on the engine, so expansion work is shared across
+    every pair of every batch (and every later batch on the engine).
+    An explicit stack keeps deeply nested shortcuts off the Python
+    recursion limit.
+    """
+    memo = engine._expansion
+    cached = memo.get(pos)
+    if cached is not None:
+        return cached
+    skip1s = engine._arc_skip1_list
+    skip2s = engine._arc_skip2_list
+    out: list[int] = []
+    stack = [pos]
+    while stack:
+        p = stack.pop()
+        hit = memo.get(p)
+        if hit is not None:
+            out.extend(hit)
+            continue
+        skip1 = skip1s[p]
+        if skip1 < 0:
+            out.append(p)
+        else:
+            stack.append(skip2s[p])
+            stack.append(skip1)
+    result = tuple(out)
+    memo[pos] = result
+    return result
+
+
+def _pair_positions(
+    engine,
+    apex: int,
+    fwd_prev: dict[int, int],
+    bwd_prev: dict[int, int],
+) -> list[int]:
+    """Flattened original-arc positions of the up-down path through
+    ``apex``, in path order — the sequence ``_unpack`` would produce."""
+    arc_from = engine._arc_from_list
+    arc_to = engine._arc_to_list
+    chain: list[int] = []
+    node = apex
+    while True:
+        pos = fwd_prev[node]
+        if pos < 0:
+            break
+        chain.append(pos)
+        node = arc_from[pos]
+    chain.reverse()
+    node = apex
+    while True:
+        pos = bwd_prev[node]
+        if pos < 0:
+            break
+        chain.append(pos)
+        node = arc_to[pos]
+    positions: list[int] = []
+    for pos in chain:
+        positions.extend(_expand(engine, pos))
+    return positions
+
+
+def _pair_result(engine, start_index: int, positions: list[int]) -> PathResult:
+    """Materialise nodes/edges/cost exactly like ``CHEngine._unpack``."""
+    node_ids = engine._node_id_list
+    arc_to = engine._arc_to_list
+    arc_edge = engine._arc_edge_list
+    arc_weight = engine._arc_weight_list
+    nodes = [node_ids[start_index]]
+    edges: list[int] = []
+    cost = 0.0
+    for pos in positions:
+        nodes.append(node_ids[arc_to[pos]])
+        edges.append(arc_edge[pos])
+        cost += arc_weight[pos]
+    return PathResult(nodes=tuple(nodes), edges=tuple(edges), cost=cost)
+
+
+class RouteMatrix:
+    """A computed many-to-many distance table with lazy path unpacking.
+
+    ``costs`` is a ``(len(sources), len(targets))`` float64 array of
+    shortest-path costs (``inf`` = unreachable, matching the
+    point-to-point no-path sentinel).  :meth:`path` materialises the
+    full :class:`~repro.roadnet.routing.PathResult` of one pair on
+    demand and memoises it.
+    """
+
+    def __init__(
+        self,
+        engine,
+        sources: tuple[int, ...],
+        targets: tuple[int, ...],
+        costs: np.ndarray,
+        apexes: list[list[int]],
+        fwd_states: list[tuple[dict[int, float], dict[int, int]] | None],
+        bwd_states: list[tuple[dict[int, float], dict[int, int]] | None],
+    ) -> None:
+        self._engine = engine
+        self.sources = sources
+        self.targets = targets
+        self.costs = costs
+        self._source_index = {s: i for i, s in enumerate(sources)}
+        self._target_index = {t: j for j, t in enumerate(targets)}
+        self._apexes = apexes
+        self._fwd_states = fwd_states
+        self._bwd_states = bwd_states
+        self._paths: dict[tuple[int, int], PathResult] = {}
+
+    def cost(self, source: int, target: int) -> float:
+        """Shortest-path cost of one (source, target) pair by node id."""
+        return float(
+            self.costs[self._source_index[source], self._target_index[target]]
+        )
+
+    def path(self, source: int, target: int) -> PathResult:
+        """The pair's full path — bitwise what ``shortest_path`` returns."""
+        key = (source, target)
+        cached = self._paths.get(key)
+        if cached is not None:
+            return cached
+        i = self._source_index[source]
+        j = self._target_index[target]
+        engine = self._engine
+        if source == target:
+            result = PathResult(nodes=(source,), edges=(), cost=0.0)
+        else:
+            apex = self._apexes[i][j]
+            if apex < 0:
+                result = _NO_PATH
+            else:
+                positions = _pair_positions(
+                    engine,
+                    apex,
+                    self._fwd_states[i][1],
+                    self._bwd_states[j][1],
+                )
+                result = _pair_result(
+                    engine, engine._index[source], positions
+                )
+        self._paths[key] = result
+        return result
+
+
+def _apex_tables(
+    engine, src_idxs: list[int | None], tgt_idxs: list[int | None]
+) -> tuple[
+    list[tuple[dict[int, float], dict[int, int]] | None],
+    list[tuple[dict[int, float], dict[int, int]] | None],
+    list[list[int]],
+]:
+    """Run the bucket algorithm: per-endpoint searches + apex per pair.
+
+    ``None`` endpoint indices (unknown node ids) get no search and keep
+    the no-path apex (-1) against every counterpart.
+
+    Search states are memoised on the engine (keyed by start node): the
+    same endpoints recur batch after batch, and a cached state is reused
+    verbatim — the states are immutable once computed, so reuse cannot
+    change any answer.  ``routing.ch_settled_nodes`` only counts freshly
+    computed searches.
+
+    """
+    registry = get_registry()
+    settled = 0
+    fwd_memo = engine._fwd_search_memo
+    bwd_memo = engine._bwd_search_memo
+
+    # One backward upward search per target fills the per-node buckets.
+    buckets: dict[int, list[tuple[int, float]]] = {}
+    bwd_states: list[tuple[dict[int, float], dict[int, int]] | None] = []
+    for j, t in enumerate(tgt_idxs):
+        if t is None:
+            bwd_states.append(None)
+            continue
+        state = bwd_memo.get(t)
+        if state is None:
+            state = _upward_search(engine._up_bwd, t)
+            bwd_memo[t] = state
+            settled += len(state[0])
+        bwd_states.append(state)
+        for node, d in state[0].items():
+            buckets.setdefault(node, []).append((j, d))
+
+    # One forward upward search per source scans them.
+    n_targets = len(tgt_idxs)
+    fwd_states: list[tuple[dict[int, float], dict[int, int]] | None] = []
+    apexes: list[list[int]] = []
+    for s in src_idxs:
+        if s is None:
+            fwd_states.append(None)
+            apexes.append([-1] * n_targets)
+            continue
+        state = fwd_memo.get(s)
+        if state is None:
+            state = _upward_search(engine._up_fwd, s)
+            fwd_memo[s] = state
+            settled += len(state[0])
+        fwd_states.append(state)
+        best_total = [float("inf")] * n_targets
+        best_apex = [-1] * n_targets
+        for node, ds in state[0].items():
+            for j, dt in buckets.get(node, ()):
+                total = ds + dt
+                if total < best_total[j] or (
+                    total == best_total[j] and node < best_apex[j]
+                ):
+                    best_total[j] = total
+                    best_apex[j] = node
+        apexes.append(best_apex)
+
+    registry.counter("routing.ch_settled_nodes").inc(settled)
+    return fwd_states, bwd_states, apexes
+
+
+def route_matrix(
+    engine, sources: Sequence[int], targets: Sequence[int]
+) -> RouteMatrix:
+    """Many-to-many shortest paths between original node ids.
+
+    One backward search per target, one forward search per source —
+    ``S + T`` searches instead of the ``2·S·T`` a query loop pays — then
+    every pair's cost is re-derived from its unpacked arc chain, so
+    costs *and* paths are bitwise-identical to calling
+    :meth:`CHEngine.shortest_path` per pair (unknown ids and
+    disconnected pairs included: their cost is ``inf``).
+    """
+    registry = get_registry()
+    registry.counter("routing.ch_query_calls").inc()
+    registry.counter("routing.ch_matrix_calls").inc()
+    registry.counter("routing.ch_matrix_pairs").inc(len(sources) * len(targets))
+    src_idxs = [engine._index.get(s) for s in sources]
+    tgt_idxs = [engine._index.get(t) for t in targets]
+    fwd_states, bwd_states, apexes = _apex_tables(engine, src_idxs, tgt_idxs)
+    costs = np.full((len(sources), len(targets)), np.inf, dtype=np.float64)
+    arc_weight = engine._arc_weight_list
+    for i, source in enumerate(sources):
+        row_apex = apexes[i]
+        for j, target in enumerate(targets):
+            if source == target:
+                # shortest_path treats source == target as trivially
+                # reachable (cost 0) even for ids outside the graph.
+                costs[i, j] = 0.0
+                continue
+            apex = row_apex[j]
+            if apex < 0:
+                continue
+            positions = _pair_positions(
+                engine, apex, fwd_states[i][1], bwd_states[j][1]
+            )
+            cost = 0.0
+            for pos in positions:
+                cost += arc_weight[pos]
+            costs[i, j] = cost
+    return RouteMatrix(
+        engine,
+        tuple(sources),
+        tuple(targets),
+        costs,
+        apexes,
+        fwd_states,
+        bwd_states,
+    )
+
+
+def route_pairs(
+    engine, pairs: Sequence[tuple[int, int]]
+) -> list[PathResult]:
+    """Batched pair queries sharing searches across common endpoints.
+
+    Answers ``pairs`` in order with full
+    :class:`~repro.roadnet.routing.PathResult` objects, each
+    bitwise-identical to ``engine.shortest_path(source, target)``.
+    Unique endpoints are searched once no matter how many pairs share
+    them; only the requested pairs are unpacked.
+    """
+    registry = get_registry()
+    registry.counter("routing.ch_query_calls").inc()
+    registry.counter("routing.ch_matrix_calls").inc()
+    registry.counter("routing.ch_matrix_pairs").inc(len(pairs))
+    sources: list[int] = []
+    targets: list[int] = []
+    source_index: dict[int, int] = {}
+    target_index: dict[int, int] = {}
+    for s, t in pairs:
+        if s not in source_index:
+            source_index[s] = len(sources)
+            sources.append(s)
+        if t not in target_index:
+            target_index[t] = len(targets)
+            targets.append(t)
+    src_idxs = [engine._index.get(s) for s in sources]
+    tgt_idxs = [engine._index.get(t) for t in targets]
+    fwd_states, bwd_states, apexes = _apex_tables(engine, src_idxs, tgt_idxs)
+    results: list[PathResult] = []
+    memo: dict[tuple[int, int], PathResult] = {}
+    for s, t in pairs:
+        key = (s, t)
+        cached = memo.get(key)
+        if cached is None:
+            i = source_index[s]
+            j = target_index[t]
+            if s == t:
+                # Mirrors shortest_path's unconditional trivial result.
+                cached = PathResult(nodes=(s,), edges=(), cost=0.0)
+            else:
+                apex = apexes[i][j]
+                if apex < 0:
+                    cached = _NO_PATH
+                else:
+                    positions = _pair_positions(
+                        engine, apex, fwd_states[i][1], bwd_states[j][1]
+                    )
+                    cached = _pair_result(engine, src_idxs[i], positions)
+            memo[key] = cached
+        results.append(cached)
+    return results

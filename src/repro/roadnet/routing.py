@@ -177,14 +177,27 @@ class RouteCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    @staticmethod
+    def _update_hit_rate(registry) -> None:
+        """Refresh the ``routing.route_cache_hit_rate`` gauge from the
+        ambient registry's hit/miss counters (0.0 before any lookup)."""
+        hits = registry.counter("routing.route_cache_hits").value
+        misses = registry.counter("routing.route_cache_misses").value
+        total = hits + misses
+        registry.gauge("routing.route_cache_hit_rate").set(
+            hits / total if total else 0.0
+        )
+
     def get(self, source: int, target: int, weight: Weight) -> PathResult | None:
         entry = self._entries.get((source, target, weight))
         registry = get_registry()
         if entry is None:
             registry.counter("routing.route_cache_misses").inc()
+            self._update_hit_rate(registry)
             return None
         self._entries.move_to_end((source, target, weight))
         registry.counter("routing.route_cache_hits").inc()
+        self._update_hit_rate(registry)
         return entry
 
     def put(self, source: int, target: int, weight: Weight, result: PathResult) -> None:
@@ -192,6 +205,59 @@ class RouteCache:
         self._entries[key] = result
         self._entries.move_to_end(key)
         registry = get_registry()
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            registry.counter("routing.route_cache_evictions").inc()
+        registry.gauge("routing.route_cache_entries").set(len(self._entries))
+
+    # -- batch access --------------------------------------------------------
+
+    def get_many(
+        self, pairs: list[tuple[int, int]], weight: Weight
+    ) -> tuple[dict[tuple[int, int], PathResult], list[tuple[int, int]]]:
+        """Split ``pairs`` into cached hits and uncached misses.
+
+        Hits are refreshed to the LRU tail exactly like :meth:`get`;
+        misses come back in input order (callers batch them through one
+        engine query).  Hit/miss counters move per pair and the hit-rate
+        gauge updates once per call, so worker gauges stay correct under
+        batched resolution.
+        """
+        registry = get_registry()
+        hits: dict[tuple[int, int], PathResult] = {}
+        misses: list[tuple[int, int]] = []
+        n_hits = 0
+        for pair in pairs:
+            key = (pair[0], pair[1], weight)
+            entry = self._entries.get(key)
+            if entry is None:
+                misses.append(pair)
+            else:
+                self._entries.move_to_end(key)
+                hits[pair] = entry
+                n_hits += 1
+        if n_hits:
+            registry.counter("routing.route_cache_hits").inc(n_hits)
+        if misses:
+            registry.counter("routing.route_cache_misses").inc(len(misses))
+        if pairs:
+            self._update_hit_rate(registry)
+        return hits, misses
+
+    def put_many(
+        self,
+        results: dict[tuple[int, int], PathResult],
+        weight: Weight,
+    ) -> None:
+        """Insert a batch of results; evicts and sets the entries gauge
+        once at the end instead of per item."""
+        if not results:
+            return
+        registry = get_registry()
+        for (source, target), result in results.items():
+            key = (source, target, weight)
+            self._entries[key] = result
+            self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             registry.counter("routing.route_cache_evictions").inc()
@@ -346,6 +412,88 @@ def cached_shortest_path(
     result = _engine_shortest_path(graph, source, target, weight, engine)
     cache.put(source, target, weight, result)
     return result
+
+
+class RouteBatch:
+    """Shared-candidate query planner for many shortest paths at once.
+
+    Callers collect every ``(source, target)`` pair a unit of work will
+    need — all the gaps of one trip, all the gate pairs of a flow table —
+    and hand them to :meth:`resolve` in one call.  The planner answers
+    from the :class:`RouteCache` first, then resolves the misses through
+    the engine's many-to-many kernel
+    (:meth:`~repro.roadnet.ch.CHEngine.route_pairs`) when the engine has
+    one, falling back to a per-pair loop for the flat engines
+    (``dijkstra``/``astar``/``bidirectional``).  Every answer is the
+    engine's own :class:`PathResult`, so resolving through a batch is
+    bitwise-identical to resolving pair by pair.
+
+    Fault injection deliberately does **not** live here: injected routing
+    timeouts must fire for exactly the pairs a sequential caller would
+    have queried, in the same order, so callers invoke
+    :func:`~repro.faults.maybe_inject` at their own lookup sites (see
+    ``matching.gapfill``) before consulting the resolved batch.
+    """
+
+    def __init__(
+        self,
+        graph: RoadGraph,
+        weight: Weight = "length",
+        cache: RouteCache | None = None,
+        engine=None,
+    ) -> None:
+        self.graph = graph
+        self.weight = weight
+        self.cache = cache
+        self.engine = engine
+        engine_weight = getattr(engine, "weight", weight)
+        if engine_weight != weight:
+            raise ValueError(
+                f"routing engine prepared for weight={engine_weight!r}, "
+                f"batch asked for weight={weight!r}"
+            )
+
+    @property
+    def supports_many(self) -> bool:
+        """Whether the engine answers batches natively (duck-typed so the
+        ``ch`` package never has to be imported for flat engines)."""
+        return callable(getattr(self.engine, "route_pairs", None))
+
+    def resolve(
+        self, pairs: list[tuple[int, int]]
+    ) -> dict[tuple[int, int], PathResult]:
+        """Answer every pair; returns ``{(source, target): PathResult}``.
+
+        Duplicates collapse to one query (first-occurrence order is
+        preserved for the miss batch, keeping engine traversal order
+        deterministic).  Unreachable pairs come back as not-found
+        results, never missing keys.
+        """
+        unique = list(dict.fromkeys(pairs))
+        registry = get_registry()
+        registry.counter("routing.batch_resolves").inc()
+        registry.counter("routing.batch_pairs").inc(len(unique))
+        if not unique:
+            return {}
+        if self.cache is not None:
+            resolved, misses = self.cache.get_many(unique, self.weight)
+        else:
+            resolved, misses = {}, unique
+        if not misses:
+            return resolved
+        if self.supports_many:
+            answers = dict(zip(misses, self.engine.route_pairs(misses)))
+        else:
+            answers = {
+                (s, t): _engine_shortest_path(
+                    self.graph, s, t, self.weight, self.engine
+                )
+                for s, t in misses
+            }
+        if self.cache is not None:
+            self.cache.put_many(answers, self.weight)
+        resolved.update(answers)
+        return resolved
 
 
 def astar(

@@ -1,0 +1,56 @@
+"""Tests for tools/lint_batch_routing.py — the per-pair routing lint."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+from lint_batch_routing import find_offenders, main  # noqa: E402
+
+
+class TestFindOffenders:
+    def test_flags_unmarked_call(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            "def f(graph, pairs, cache):\n"
+            "    return [cached_shortest_path(graph, s, t, cache=cache)\n"
+            "            for s, t in pairs]\n"
+        )
+        offenders = find_offenders(tmp_path)
+        assert len(offenders) == 1
+        assert offenders[0][1] == 2
+
+    def test_marker_suppresses(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            "r = cached_shortest_path(g, s, t)  # batch-ok: single query\n"
+        )
+        assert find_offenders(tmp_path) == []
+
+    def test_ignores_imports_and_references(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            "from repro.roadnet.routing import cached_shortest_path\n"
+            '"""See :func:`cached_shortest_path`."""\n'
+            "# the loop calls cached_shortest_path per pair\n"
+        )
+        assert find_offenders(tmp_path) == []
+
+    def test_recurses_and_collects_multiple_roots(self, tmp_path):
+        a = tmp_path / "a" / "sub"
+        b = tmp_path / "b"
+        a.mkdir(parents=True)
+        b.mkdir()
+        (a / "one.py").write_text("cached_shortest_path(g, 1, 2)\n")
+        (b / "two.py").write_text("x = cached_shortest_path(g, 3, 4)\n")
+        assert len(find_offenders(tmp_path / "a", b)) == 2
+
+
+class TestMain:
+    def test_repo_batched_packages_are_clean(self, capsys):
+        assert main([]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_offending_dir_exits_nonzero(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("cached_shortest_path(g, 1, 2)\n")
+        assert main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "bad.py:1" in out
+        assert "batch-ok" in out

@@ -59,6 +59,25 @@ RATIO_GATES = [
         "key": "warm_cold_ratio",
         "limit": 0.5,
     },
+    {
+        # The bucket-based many-to-many kernel must beat looped
+        # point-to-point CH queries by >= 4x on the 64x64 table
+        # (measured ~11x; the whole point of sharing upward searches).
+        "name": "route matrix speedup",
+        "bench": "test_route_matrix_vs_looped_ch",
+        "key": "matrix_loop_ratio",
+        "limit": 0.25,
+    },
+    {
+        # Trip-level gap batches are tiny and cache-collapsed, so
+        # batched gap-fill is a parity play: guard that the planner's
+        # collect/resolve machinery stays within noise of the per-gap
+        # loop (measured ~1.0-1.2 interleaved).
+        "name": "batched gap-fill parity",
+        "bench": "test_gapfill_batched_vs_pergap",
+        "key": "gapfill_batch_ratio",
+        "limit": 1.4,
+    },
 ]
 
 
