@@ -144,6 +144,12 @@ def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
              "batch on engines that support it (identical results; "
              "default: on)",
     )
+    parser.add_argument(
+        "--no-vectorize-viterbi", action="store_true",
+        help="decode HMM matches with the scalar per-candidate Dijkstra "
+             "forward pass instead of the NumPy Viterbi + batched "
+             "transition-distance kernel (identical results, slower)",
+    )
 
 
 def _add_robustness_flags(parser: argparse.ArgumentParser) -> None:
@@ -211,6 +217,7 @@ def _executor_config(args: argparse.Namespace) -> ExecutorConfig:
         ch_artifact_path=str(ch_artifact) if ch_artifact is not None else None,
         vectorized=not getattr(args, "no_vectorize", False),
         batch_routing=getattr(args, "batch_routing", True),
+        vectorized_viterbi=not getattr(args, "no_vectorize_viterbi", False),
     )
 
 

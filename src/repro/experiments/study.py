@@ -99,6 +99,7 @@ class StudyConfig:
             ch_artifact_path=self.executor.ch_artifact_path,
             vectorized=self.executor.vectorized,
             batch_routing=self.executor.batch_routing,
+            vectorized_viterbi=self.executor.vectorized_viterbi,
             robustness=self.robustness,
             fault_plan=self.faults,
         )
@@ -300,6 +301,7 @@ class OuluStudy:
                     city.graph, route_cache=route_cache, routing_engine=engine,
                     vectorized=config.executor.vectorized,
                     batch_routing=config.executor.batch_routing,
+                    vectorized_viterbi=config.executor.vectorized_viterbi,
                 )
             else:
                 matcher = IncrementalMatcher(

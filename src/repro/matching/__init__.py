@@ -29,7 +29,13 @@ from repro.matching.evaluate import (
 from repro.matching.gapfill import connect_matches
 from repro.matching.hmm import HmmConfig, HmmMatcher
 from repro.matching.incremental import IncrementalConfig, IncrementalMatcher
-from repro.matching.types import MatchedPoint, MatchedRoute
+from repro.matching.types import (
+    MatchedPoint,
+    MatchedRoute,
+    edge_entries,
+    edge_exits,
+    movement_directions,
+)
 
 __all__ = [
     "Candidate",
@@ -44,7 +50,10 @@ __all__ = [
     "candidates_for_point",
     "candidates_for_points",
     "connect_matches",
+    "edge_entries",
+    "edge_exits",
     "edge_jaccard",
     "evaluate_matcher",
+    "movement_directions",
     "truth_for_segment",
 ]

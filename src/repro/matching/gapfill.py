@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.faults import maybe_inject
-from repro.matching.types import MatchedRoute
+from repro.matching.types import MatchedRoute, edge_entries, edge_exits
 from repro.obs import get_registry
 from repro.roadnet.graph import RoadEdge, RoadGraph
 from repro.roadnet.routing import RouteBatch, RouteCache, cached_shortest_path
@@ -55,21 +55,11 @@ def _legal_exits(edge: RoadEdge, entry_node: int | None) -> list[int]:
     """
     if entry_node is not None:
         return [edge.other(entry_node)]
-    exits = []
-    if edge.forward_allowed:
-        exits.append(edge.v)
-    if edge.backward_allowed:
-        exits.append(edge.u)
-    return exits or [edge.v]
+    return edge_exits(edge)
 
 
 def _legal_entries(edge: RoadEdge) -> list[int]:
-    entries = []
-    if edge.forward_allowed:
-        entries.append(edge.u)
-    if edge.backward_allowed:
-        entries.append(edge.v)
-    return entries or [edge.u]
+    return edge_entries(edge)
 
 
 def _arc_to_endpoint(edge: RoadEdge, arc: float, endpoint: int) -> float:

@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from time import perf_counter
 
-from repro.geo.geometry import Point
 from repro.matching.candidates import (
     Candidate,
     CandidateConfig,
@@ -21,7 +20,7 @@ from repro.matching.candidates import (
     candidates_for_points,
 )
 from repro.matching.gapfill import connect_matches
-from repro.matching.types import MatchedPoint, MatchedRoute
+from repro.matching.types import MatchedPoint, MatchedRoute, movement_directions
 from repro.obs import get_logger, get_registry
 from repro.roadnet.graph import RoadGraph
 from repro.roadnet.routing import RouteCache
@@ -112,7 +111,7 @@ class IncrementalMatcher:
         """
         t0 = perf_counter()
         xys = [to_xy(p) for p in points]
-        movements = _movements(xys)
+        movements = movement_directions(xys)
         if self.vectorized:
             all_candidates = candidates_for_points(
                 self.graph, xys, movements, self.config.candidates
@@ -201,15 +200,3 @@ class IncrementalMatcher:
             score += 0.5 * best_next.score
             edge_id = best_next.edge.edge_id
         return score
-
-
-def _movements(xys: list[Point]) -> list[Point | None]:
-    """Local movement direction at each fix (central difference)."""
-    n = len(xys)
-    out: list[Point | None] = []
-    for i in range(n):
-        a = xys[max(0, i - 1)]
-        b = xys[min(n - 1, i + 1)]
-        mv = (b[0] - a[0], b[1] - a[1])
-        out.append(mv if mv != (0.0, 0.0) else None)
-    return out

@@ -1,12 +1,56 @@
-"""Matched points and routes."""
+"""Matched points and routes, plus the shared matcher geometry helpers."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
 from repro.geo.geometry import Point
-from repro.roadnet.graph import RoadGraph
+from repro.roadnet.graph import RoadEdge, RoadGraph
 from repro.traces.model import RoutePoint
+
+
+def edge_exits(edge: RoadEdge) -> list[int]:
+    """Nodes a vehicle can leave ``edge`` from, honouring one-way rules.
+
+    Forward traversal exits at ``v``, backward at ``u``; a degenerate
+    edge that allows neither direction falls back to ``v`` so callers
+    always have at least one endpoint to route from.
+    """
+    exits = []
+    if edge.forward_allowed:
+        exits.append(edge.v)
+    if edge.backward_allowed:
+        exits.append(edge.u)
+    return exits or [edge.v]
+
+
+def edge_entries(edge: RoadEdge) -> list[int]:
+    """Nodes a vehicle can enter ``edge`` at (mirror of :func:`edge_exits`)."""
+    entries = []
+    if edge.forward_allowed:
+        entries.append(edge.u)
+    if edge.backward_allowed:
+        entries.append(edge.v)
+    return entries or [edge.u]
+
+
+def movement_directions(
+    xys: list[tuple[float, float]],
+) -> list[tuple[float, float] | None]:
+    """Central-difference heading per fix (``None`` when stationary).
+
+    Both matchers weight candidate edges by how well the edge bearing
+    agrees with the local direction of travel; this is the one shared
+    definition of that direction.
+    """
+    n = len(xys)
+    out: list[tuple[float, float] | None] = []
+    for i in range(n):
+        a = xys[max(0, i - 1)]
+        b = xys[min(n - 1, i + 1)]
+        mv = (b[0] - a[0], b[1] - a[1])
+        out.append(mv if mv != (0.0, 0.0) else None)
+    return out
 
 
 @dataclass(frozen=True)

@@ -163,6 +163,16 @@ def render_report(
             )
         lines.append("")
 
+    hmm_layers = counters.get("matching.hmm_layers")
+    if hmm_layers:
+        pairs = int(counters.get("matching.hmm_transition_pairs", 0))
+        avoided = int(counters.get("matching.hmm_dijkstra_avoided", 0))
+        lines.append("HMM batching:")
+        lines.append(f"  layers decoded      {int(hmm_layers)}")
+        lines.append(f"  transition pairs    {pairs} (batched per trip)")
+        lines.append(f"  dijkstras avoided   {avoided} vs the scalar decoder")
+        lines.append("")
+
     quarantines = [e for e in events if e.get("kind") == "quarantine"]
     retries = sum(1 for e in events if e.get("kind") == "retry")
     injected = sum(1 for e in events if e.get("kind") == "fault_injected")

@@ -60,7 +60,9 @@ class ExecutorConfig:
     NumPy batch fast path (identical results; ``--no-vectorize``).
     ``batch_routing`` resolves each trip's gap-fill queries in one
     many-to-many batch on engines that support it (identical artefacts;
-    ``--no-batch-routing``).
+    ``--no-batch-routing``).  ``vectorized_viterbi`` decodes HMM matches
+    with the NumPy forward pass and the batched transition-distance
+    kernel (identical artefacts; ``--no-vectorize-viterbi``).
     """
 
     workers: int = 0
@@ -72,6 +74,7 @@ class ExecutorConfig:
     ch_artifact_path: str | None = None
     vectorized: bool = True
     batch_routing: bool = True
+    vectorized_viterbi: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 0:

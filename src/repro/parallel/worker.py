@@ -58,7 +58,10 @@ class WorkerPayload:
     (identical results; CLI ``--no-vectorize`` turns it off).
     ``batch_routing`` resolves each trip's gap-fill queries in one
     many-to-many batch on engines that support it (identical artefacts;
-    CLI ``--no-batch-routing`` turns it off).
+    CLI ``--no-batch-routing`` turns it off).  ``vectorized_viterbi``
+    decodes HMM matches with the NumPy forward pass and the batched
+    transition-distance kernel (identical artefacts; CLI
+    ``--no-vectorize-viterbi`` turns it off).
     """
 
     filter_config: FilterConfig | None = None
@@ -73,6 +76,7 @@ class WorkerPayload:
     ch_artifact_path: str | None = None
     vectorized: bool = True
     batch_routing: bool = True
+    vectorized_viterbi: bool = True
     #: Degraded-mode execution: per-unit guards + bounded retry inside
     #: every worker (None = historical fail-fast).  ``fault_plan`` ships
     #: the seeded chaos plan each worker activates at init, so injection
@@ -135,6 +139,7 @@ class WorkerContext:
                     routing_engine=self.routing_engine,
                     vectorized=payload.vectorized,
                     batch_routing=payload.batch_routing,
+                    vectorized_viterbi=payload.vectorized_viterbi,
                 )
             else:
                 from repro.matching import IncrementalMatcher

@@ -106,6 +106,54 @@ def dijkstra(
     return {n: v for n, v in dist.items() if n in settled or target is None}
 
 
+def multi_target_dijkstra(
+    graph: RoadGraph,
+    source: int,
+    targets: set[int],
+    weight: Weight = "length",
+    max_cost: float = math.inf,
+    respect_oneway: bool = True,
+) -> tuple[dict[int, tuple[float, int | None, int | None]], set[int]]:
+    """Dijkstra from ``source`` until every target settles or the budget
+    is spent.
+
+    Returns ``(labels, settled)``.  A target in ``settled`` carries its
+    exact optimal cost; a target absent from ``settled`` is provably
+    farther than ``max_cost`` (early exit cannot skip it: the search
+    only stops once all targets settled or the frontier passed the
+    budget).  Settled labels and predecessor pointers are identical to
+    what :func:`dijkstra` produces — relaxation order from a fixed
+    source does not depend on the stop condition.
+    """
+    dist: dict[int, tuple[float, int | None, int | None]] = {source: (0.0, None, None)}
+    settled: set[int] = set()
+    remaining = set(targets)
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        cost, node = heapq.heappop(heap)
+        if node in settled:
+            continue
+        settled.add(node)
+        remaining.discard(node)
+        if not remaining:
+            break
+        if cost > max_cost:
+            break
+        for edge in graph.out_edges(node, respect_oneway):
+            other = edge.other(node)
+            if other in settled:
+                continue
+            new_cost = cost + _edge_weight(edge, weight)
+            current = dist.get(other)
+            if current is None or new_cost < current[0]:
+                dist[other] = (new_cost, node, edge.edge_id)
+                heapq.heappush(heap, (new_cost, other))
+    registry = get_registry()
+    registry.counter("routing.dijkstra_calls").inc()
+    registry.counter("routing.settled_nodes").inc(len(settled))
+    return dist, settled
+
+
 def _reconstruct(
     dist: dict[int, tuple[float, int | None, int | None]], source: int, target: int
 ) -> PathResult:
@@ -494,6 +542,76 @@ class RouteBatch:
             self.cache.put_many(answers, self.weight)
         resolved.update(answers)
         return resolved
+
+    def resolve_costs(
+        self,
+        pairs: list[tuple[int, int]],
+        max_costs: dict[int, float] | None = None,
+    ) -> dict[tuple[int, int], float]:
+        """Optimal path *costs* for every pair, without materialising paths.
+
+        The cost-mode twin of :meth:`resolve` for workloads that only
+        need distances (HMM transition scores).  Cache hits answer
+        first.  Engines with a many-to-many kernel resolve the misses
+        through ``route_pairs``, and the full paths are cached so later
+        gap-fill queries over the same endpoints hit.  Flat engines
+        degrade to **one multi-target Dijkstra per unique miss source**
+        instead of one search per pair, bounded by ``max_costs[source]``
+        when given; pairs whose optimal cost exceeds the source's bound
+        come back as ``inf`` and are *not* cached (the bound makes them
+        unproven, not unreachable).  Bounded-search paths are cached only
+        for the default engine, where the reconstructed
+        :class:`PathResult` is identical to what
+        :func:`cached_shortest_path` would store — with ``astar`` /
+        ``bidirectional`` selected, caching Dijkstra paths could flip
+        equal-cost tie-breaks in later per-pair queries.
+        """
+        unique = list(dict.fromkeys(pairs))
+        registry = get_registry()
+        registry.counter("routing.batch_resolves").inc()
+        registry.counter("routing.batch_pairs").inc(len(unique))
+        costs: dict[tuple[int, int], float] = {}
+        if not unique:
+            return costs
+        if self.cache is not None:
+            hits, misses = self.cache.get_many(unique, self.weight)
+            for pair, result in hits.items():
+                costs[pair] = result.cost
+        else:
+            misses = unique
+        if not misses:
+            return costs
+        if self.supports_many:
+            answers = dict(zip(misses, self.engine.route_pairs(misses)))
+            if self.cache is not None:
+                self.cache.put_many(answers, self.weight)
+            for pair, result in answers.items():
+                costs[pair] = result.cost
+            return costs
+        by_source: dict[int, list[int]] = {}
+        for s, t in misses:
+            by_source.setdefault(s, []).append(t)
+        bounds = max_costs or {}
+        cacheable = self.engine is None or self.engine == "dijkstra"
+        found: dict[tuple[int, int], PathResult] = {}
+        for s, targets in by_source.items():
+            bound = bounds.get(s, math.inf)
+            labels, settled = multi_target_dijkstra(
+                self.graph, s, set(targets), weight=self.weight, max_cost=bound
+            )
+            for t in targets:
+                # Only settled-within-bound labels are exact; the search
+                # settles at most one node beyond the budget and anything
+                # unsettled is provably farther than the bound.
+                if t in settled and labels[t][0] <= bound:
+                    costs[(s, t)] = labels[t][0]
+                    if cacheable:
+                        found[(s, t)] = _reconstruct(labels, s, t)
+                else:
+                    costs[(s, t)] = math.inf
+        if self.cache is not None and found:
+            self.cache.put_many(found, self.weight)
+        return costs
 
 
 def astar(

@@ -56,7 +56,9 @@ STAGE_FIELDS: dict[str, tuple[str, ...]] = {
 EXCLUDED_FIELDS: dict[str, str] = {
     "fleet": "captured by the input shard bytes every key already hashes",
     "executor": "scheduling only; serial/parallel byte-identity is enforced "
-                "by tests, and vectorized kernels are bitwise-equivalent",
+                "by tests, and the vectorized kernels (cleaning/candidate "
+                "batch, batched gap-fill, vectorized Viterbi) are "
+                "bitwise-equivalent to their scalar references",
     "store": "where artefacts live, not what they contain",
     "grid": "consumed only by the orchestrator fold (grid replay, Table 5); "
             "no shard artefact depends on it",

@@ -27,6 +27,10 @@ class TestHmmConfig:
             HmmConfig(sigma_m=0.0)
         with pytest.raises(ValueError):
             HmmConfig(beta_m=-1.0)
+        with pytest.raises(ValueError):
+            HmmConfig(max_network_factor=0.0)
+        with pytest.raises(ValueError):
+            HmmConfig(max_network_factor=-2.0)
 
 
 class TestHmmMatching:

@@ -5,7 +5,12 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
 
-from lint_batch_routing import find_offenders, main  # noqa: E402
+from lint_batch_routing import (  # noqa: E402
+    DIJKSTRA_RE,
+    HMM_FILE,
+    find_offenders,
+    main,
+)
 
 
 class TestFindOffenders:
@@ -41,6 +46,37 @@ class TestFindOffenders:
         (a / "one.py").write_text("cached_shortest_path(g, 1, 2)\n")
         (b / "two.py").write_text("x = cached_shortest_path(g, 3, 4)\n")
         assert len(find_offenders(tmp_path / "a", b)) == 2
+
+    def test_accepts_single_file_root(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("cached_shortest_path(g, 1, 2)\n")
+        assert len(find_offenders(bad)) == 1
+
+
+class TestDijkstraRule:
+    def test_flags_unmarked_dijkstra_call(self, tmp_path):
+        mod = tmp_path / "hmm.py"
+        mod.write_text("dist = dijkstra(graph, source, max_cost=cap)\n")
+        assert len(find_offenders(mod, pattern=DIJKSTRA_RE)) == 1
+
+    def test_marker_suppresses(self, tmp_path):
+        mod = tmp_path / "hmm.py"
+        mod.write_text(
+            "dist = dijkstra(g, s)  # batch-ok: scalar reference path\n"
+        )
+        assert find_offenders(mod, pattern=DIJKSTRA_RE) == []
+
+    def test_multi_target_and_bidirectional_not_flagged(self, tmp_path):
+        mod = tmp_path / "hmm.py"
+        mod.write_text(
+            "labels, settled = multi_target_dijkstra(g, s, targets)\n"
+            "cost = bidirectional_dijkstra(g, s, t)\n"
+            "from repro.roadnet.routing import dijkstra\n"
+        )
+        assert find_offenders(mod, pattern=DIJKSTRA_RE) == []
+
+    def test_repo_hmm_module_is_clean(self):
+        assert find_offenders(HMM_FILE, pattern=DIJKSTRA_RE) == []
 
 
 class TestMain:

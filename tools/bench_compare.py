@@ -78,6 +78,17 @@ RATIO_GATES = [
         "key": "gapfill_batch_ratio",
         "limit": 1.4,
     },
+    {
+        # The vectorized Viterbi decode (NumPy forward pass + one
+        # many-to-many transition-distance batch per trip, CH engine)
+        # must stay >= 4x faster than the scalar reference decode with
+        # its per-candidate capped Dijkstras (measured ~0.2
+        # interleaved).
+        "name": "vectorized Viterbi speedup",
+        "bench": "test_perf_hmm_matcher",
+        "key": "hmm_viterbi_ratio",
+        "limit": 0.25,
+    },
 ]
 
 

@@ -37,14 +37,29 @@ BATCHED_DIRS = (
 CALL_RE = re.compile(r"\bcached_shortest_path\s*\(")
 MARKER = "# batch-ok"
 
+#: The HMM matcher additionally must not grow unmarked per-candidate
+#: capped Dijkstras: its transition distances go through
+#: ``RouteBatch.resolve_costs`` (one many-to-many batch per trip).  The
+#: word boundary keeps ``multi_target_dijkstra``/``bidirectional_dijkstra``
+#: out of scope — ``_`` is a word character, so only plain ``dijkstra(``
+#: (or an attribute access ending in it) matches.
+DIJKSTRA_RE = re.compile(r"\bdijkstra\s*\(")
+HMM_FILE = REPO / "src" / "repro" / "matching" / "hmm.py"
 
-def find_offenders(*roots: Path) -> list[tuple[Path, int, str]]:
-    """``(path, lineno, line)`` for every unmarked per-pair call."""
+
+def find_offenders(
+    *roots: Path, pattern: re.Pattern[str] = CALL_RE
+) -> list[tuple[Path, int, str]]:
+    """``(path, lineno, line)`` for every unmarked per-pair call.
+
+    A root may be a directory (scanned recursively) or a single file.
+    """
     offenders: list[tuple[Path, int, str]] = []
     for root in roots:
-        for path in sorted(root.rglob("*.py")):
+        paths = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for path in paths:
             for lineno, line in enumerate(path.read_text().splitlines(), start=1):
-                if CALL_RE.search(line) and MARKER not in line:
+                if pattern.search(line) and MARKER not in line:
                     offenders.append((path, lineno, line.strip()))
     return offenders
 
@@ -52,6 +67,8 @@ def find_offenders(*roots: Path) -> list[tuple[Path, int, str]]:
 def main(argv: list[str] | None = None) -> int:
     roots = tuple(Path(arg) for arg in argv) if argv else BATCHED_DIRS
     offenders = find_offenders(*roots)
+    if not argv:
+        offenders += find_offenders(HMM_FILE, pattern=DIJKSTRA_RE)
 
     def rel(path: Path) -> Path:
         return path.relative_to(REPO) if path.is_relative_to(REPO) else path
