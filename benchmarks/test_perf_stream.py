@@ -1,0 +1,67 @@
+"""Perf: streaming replay vs the batch study on the same CSV.
+
+The stream folds one trip at a time through the identical stage
+functions, so the price of micro-batching (per-row ingest, open-trip
+bookkeeping, watermark/window accounting) is a structural overhead on
+top of the batch fold.  ``extra_info['stream_overhead']`` carries the
+interleaved ratio; ``tools/bench_compare.py`` gates it at 1.5x.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import OuluStudy, StudyConfig
+from repro.faults import Quarantine
+from repro.stream import StreamConfig, StreamService
+from repro.traces import FleetSpec, TaxiFleetSimulator
+from repro.traces.io import read_points_csv, write_points_csv
+
+from test_perf_pipeline import _interleaved_overhead
+
+#: Same scale as the serial-study benches: per-trip work dominates.
+_STREAM_DAYS = 3
+
+
+@pytest.fixture(scope="module")
+def stream_csv(bench_city, tmp_path_factory):
+    config = StudyConfig(fleet=FleetSpec(n_days=_STREAM_DAYS, seed=31))
+    fleet, __ = TaxiFleetSimulator(bench_city, config.fleet).simulate()
+    path = tmp_path_factory.mktemp("perf-stream") / "points.csv"
+    write_points_csv(fleet, path)
+    return config, path
+
+
+def _batch_fold(config, path) -> int:
+    quarantine = Quarantine()
+    fleet = read_points_csv(path, quarantine=quarantine)
+    return len(OuluStudy(config).run(fleet=fleet).kept_transitions)
+
+
+def _stream_fold(config, path) -> int:
+    service = StreamService(
+        StreamConfig(study=config, input=str(path), batch_size=64)
+    )
+    return service.run().kept_count
+
+
+def test_perf_stream_replay(benchmark, stream_csv):
+    """Streaming fold of a replayed CSV (the `repro serve` hot path).
+
+    ``extra_info['stream_overhead']`` is the interleaved ratio of the
+    stream fold over the batch fold on the same file — both sides read
+    the CSV, so the ratio prices only the incremental machinery.
+    """
+    config, path = stream_csv
+    kept_batch = _batch_fold(config, path)
+    kept = benchmark(_stream_fold, config, path)
+    assert kept == kept_batch, "stream and batch disagree on kept count"
+    benchmark.extra_info["stream_overhead"] = round(
+        _interleaved_overhead(
+            lambda: _batch_fold(config, path),
+            lambda: _stream_fold(config, path),
+            pairs=8,
+            settled=1.3,
+        ),
+        3,
+    )

@@ -7,7 +7,12 @@
 * ``clean`` — run the cleaning pipeline over a route-point CSV and print
   the per-stage report (counts and wall time);
 * ``study`` — run the full end-to-end study and write every table and
-  figure artefact (text, optionally SVG) into an output directory;
+  figure artefact (text, optionally SVG) into an output directory; with
+  ``--input`` the fleet is read back from a route-point CSV instead of
+  simulated (the batch half of the stream differential harness);
+* ``serve`` — run the streaming micro-batch service over a replayed,
+  tailed or fifo route-point feed, folding the same artefacts online
+  with bounded memory and optional crash-safe checkpoints;
 * ``obs`` — inspect finished runs: ``report`` (funnel waterfall, stage
   tree, slowest units), ``tail``, ``trip`` (one unit's lineage) and
   ``diff`` (two runs' artefacts and comparable metrics);
@@ -59,6 +64,7 @@ from repro.experiments import (
 )
 from repro.roadnet import ROUTING_ENGINES, build_synthetic_oulu
 from repro.store.shards import ShardStore, StoreConfig, StoreError
+from repro.stream import StreamConfig, StreamService
 from repro.traces import FleetSpec, TaxiFleetSimulator
 from repro.traces.io import read_points_csv, write_points_csv, write_trips_jsonl
 
@@ -260,11 +266,59 @@ def _build_parser() -> argparse.ArgumentParser:
     study.add_argument("--matcher", choices=("incremental", "hmm"),
                        default="incremental",
                        help="map-matching algorithm (default: incremental)")
+    study.add_argument("--input", type=Path, default=None, metavar="CSV",
+                       help="read the fleet back from this route-point CSV "
+                            "instead of simulating (reader quarantine "
+                            "records are prepended to errors.jsonl)")
     _add_obs_flags(study)
     _add_journal_flags(study)
     _add_parallel_flags(study)
     _add_robustness_flags(study)
     _add_store_flags(study)
+
+    serve = sub.add_parser(
+        "serve", help="stream a route-point feed through the study fold")
+    serve.add_argument("--input", type=Path, required=True, metavar="PATH",
+                       help="route-point feed: a CSV (replay), a growing "
+                            "CSV (tail) or a named pipe (fifo)")
+    serve.add_argument("--mode", choices=("replay", "tail", "fifo"),
+                       default="replay",
+                       help="how to consume --input (default: replay)")
+    serve.add_argument("--days", type=int, default=30)
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument("--out", type=Path, default=Path("serve_out"))
+    serve.add_argument("--batch-size", type=int, default=64, metavar="N",
+                       help="rows per micro-batch (default: 64)")
+    serve.add_argument("--trip-timeout", type=float, default=1800.0,
+                       metavar="SECONDS",
+                       help="watermark lag that closes a stale open trip")
+    serve.add_argument("--window", type=float, default=86_400.0,
+                       metavar="SECONDS",
+                       help="width of the windowed aggregates (event time)")
+    serve.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                       help="checkpoint every N micro-batches (0: disabled)")
+    serve.add_argument("--checkpoint-dir", type=Path, default=None,
+                       metavar="DIR",
+                       help="content-addressed checkpoint directory "
+                            "(required with --checkpoint-every)")
+    serve.add_argument("--no-resume", action="store_true",
+                       help="ignore an existing checkpoint and start fresh")
+    serve.add_argument("--idle-timeout", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="tail mode: stop after this long without growth")
+    serve.add_argument("--live-match", action="store_true",
+                       help="feed open trips through a live matcher state "
+                            "on arrival (observational)")
+    serve.add_argument("--matcher", choices=("incremental", "hmm"),
+                       default="incremental",
+                       help="map-matching algorithm (default: incremental)")
+    serve.add_argument("--metrics-out", type=Path, default=None,
+                       help="also write the metrics JSON to this path "
+                            "(a metrics.json is always written to --out)")
+    _add_obs_flags(serve)
+    _add_journal_flags(serve)
+    _add_parallel_flags(serve)
+    _add_robustness_flags(serve)
 
     report = sub.add_parser("report", help="run a study and write REPORT.md")
     report.add_argument("--days", type=int, default=30)
@@ -487,6 +541,18 @@ def _cmd_study(args: argparse.Namespace) -> int:
     out: Path = args.out
     out.mkdir(parents=True, exist_ok=True)
     errors_path: Path = args.errors_out or (out / "errors.jsonl")
+    fleet = None
+    reader_errors: list = []
+    if args.input is not None:
+        reader_quarantine = Quarantine()
+        # Read under the fault plan so --fault-plan io chaos hits the
+        # reader exactly as it hits the streaming service's ingest.
+        with inject_faults(config.faults):
+            fleet = read_points_csv(args.input, quarantine=reader_quarantine)
+        reader_errors = list(reader_quarantine.errors)
+        if not len(fleet):
+            print(f"no trips in {args.input}", file=sys.stderr)
+            return 1
     run_ctx = obs.RunContext.create()
     journal, profiler = _start_instruments(
         args, run_ctx, "study", journal_default=out / "events.jsonl"
@@ -494,11 +560,11 @@ def _cmd_study(args: argparse.Namespace) -> int:
     status = "error"
     try:
         with obs.use_journal(journal or obs.Journal()):
-            result = OuluStudy(config).run(run_context=run_ctx)
+            result = OuluStudy(config).run(run_context=run_ctx, fleet=fleet)
         status = "ok"
     except ErrorRateExceeded as exc:
         quarantine = Quarantine()
-        quarantine.errors = list(exc.errors)
+        quarantine.errors = reader_errors + list(exc.errors)
         quarantine.write_jsonl(errors_path)
         print(f"repro study: {exc}", file=sys.stderr)
         print(f"quarantine records in {errors_path}", file=sys.stderr)
@@ -532,7 +598,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
     metrics_json = json.dumps(result.metrics, indent=2)
     save("metrics.json", metrics_json)
     quarantine = Quarantine()
-    quarantine.errors = list(result.errors)
+    quarantine.errors = reader_errors + list(result.errors)
     quarantine.write_jsonl(errors_path)
     if args.metrics_out is not None:
         _write_metrics(args.metrics_out, metrics_json)
@@ -563,6 +629,94 @@ def _cmd_study(args: argparse.Namespace) -> int:
     verdict = f"{len(result.errors)} quarantined" if result.errors else "no errors"
     _say(args, f"study complete: {len(result.kept_transitions)} transitions; "
          f"{verdict}; artefacts in {out}/")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    study = StudyConfig(
+        fleet=FleetSpec(n_days=args.days, seed=args.seed),
+        matcher=args.matcher,
+        executor=_executor_config(args),
+        robustness=_robustness(args),
+        faults=_fault_plan(args),
+    )
+    try:
+        config = StreamConfig(
+            study=study,
+            input=str(args.input),
+            mode=args.mode,
+            batch_size=args.batch_size,
+            trip_timeout_s=args.trip_timeout,
+            window_s=args.window,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=(
+                str(args.checkpoint_dir)
+                if args.checkpoint_dir is not None else None
+            ),
+            live_match=args.live_match,
+            idle_timeout_s=args.idle_timeout,
+        )
+    except ValueError as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
+    out: Path = args.out
+    out.mkdir(parents=True, exist_ok=True)
+    errors_path: Path = args.errors_out or (out / "errors.jsonl")
+    run_ctx = obs.RunContext.create()
+    journal, profiler = _start_instruments(
+        args, run_ctx, "serve", journal_default=out / "events.jsonl"
+    )
+    status = "error"
+    try:
+        with obs.use_journal(journal or obs.Journal()):
+            result = StreamService(config).run(
+                run_context=run_ctx, resume=not args.no_resume
+            )
+        status = "ok"
+    except ErrorRateExceeded as exc:
+        quarantine = Quarantine()
+        quarantine.errors = list(exc.errors)
+        quarantine.write_jsonl(errors_path)
+        print(f"repro serve: {exc}", file=sys.stderr)
+        print(f"quarantine records in {errors_path}", file=sys.stderr)
+        return 1
+    finally:
+        _stop_instruments(
+            args, journal, profiler, status, profile_default=out / "profile.txt"
+        )
+
+    def save(name: str, text: str) -> None:
+        (out / name).write_text(text + "\n")
+
+    # The same table artefacts as ``repro study`` (StreamResult is
+    # duck-typed to the renderers); the figure generators need retained
+    # matched routes, which bounded-memory streaming deliberately drops.
+    save("table2.txt", format_table(
+        ["Rule", "Description", "Firings"],
+        [[r["rule"], r["description"], r["hits"]]
+         for r in table2_rule_hits(result.clean)],
+    ))
+    save("table3.txt", render_funnel(result))
+    save("table4.txt", render_table4(table4_route_summaries(result)))
+    save("table5.txt", render_table5(table5_cell_speed_strata(result)))
+    (out / "windows.jsonl").write_text(
+        "".join(json.dumps(w, sort_keys=True) + "\n" for w in result.windows)
+    )
+    metrics_json = json.dumps(result.metrics, indent=2)
+    save("metrics.json", metrics_json)
+    quarantine = Quarantine()
+    quarantine.errors = list(result.errors)
+    quarantine.write_jsonl(errors_path)
+    if args.metrics_out is not None:
+        _write_metrics(args.metrics_out, metrics_json)
+    if args.prom_out is not None:
+        obs.write_textfile(args.prom_out, result.metrics)
+        _say(args, f"wrote OpenMetrics textfile to {args.prom_out}")
+    verdict = f"{len(result.errors)} quarantined" if result.errors else "no errors"
+    _say(args, f"stream drained: {result.rows_ingested} rows, "
+         f"{result.trips_seen} trips, {result.kept_count} kept transitions; "
+         f"{result.checkpoints_written} checkpoints; {verdict}; "
+         f"artefacts in {out}/")
     return 0
 
 
@@ -669,6 +823,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "clean": _cmd_clean,
         "study": _cmd_study,
+        "serve": _cmd_serve,
         "report": _cmd_report,
         "obs": _cmd_obs,
         "store": _cmd_store,

@@ -152,7 +152,11 @@ class OuluStudy:
     def __init__(self, config: StudyConfig | None = None) -> None:
         self.config = config or StudyConfig()
 
-    def run(self, run_context: RunContext | None = None) -> StudyResult:
+    def run(
+        self,
+        run_context: RunContext | None = None,
+        fleet: FleetData | None = None,
+    ) -> StudyResult:
         """Execute all stages and return the artefact bundle.
 
         Each run records into a fresh :class:`~repro.obs.MetricsRegistry`;
@@ -171,6 +175,12 @@ class OuluStudy:
         into ``result.errors`` and the run completes on the survivors,
         unless the quarantined fraction exceeds ``max_error_rate``
         (:class:`~repro.faults.ErrorRateExceeded`).
+
+        ``fleet`` replaces the simulation stage with externally supplied
+        trips (e.g. a CSV read back via
+        :func:`~repro.traces.io.read_points_csv`); ``result.runs`` is
+        then empty.  This is the batch baseline the streaming service is
+        differential-tested against.
         """
         config = self.config
         run_ctx = run_context or current_run() or RunContext.create()
@@ -185,7 +195,7 @@ class OuluStudy:
             with TripExecutor(
                 config.worker_payload(), config.executor
             ) as executor:
-                result = self._run_stages(executor, quarantine)
+                result = self._run_stages(executor, quarantine, fleet=fleet)
         ended = time.time()
         result.metrics = registry.snapshot()
         result.metrics["meta"] = {
@@ -198,7 +208,10 @@ class OuluStudy:
         return result
 
     def _run_stages(
-        self, executor: TripExecutor, quarantine: Quarantine
+        self,
+        executor: TripExecutor,
+        quarantine: Quarantine,
+        fleet: FleetData | None = None,
     ) -> StudyResult:
         config = self.config
         with span("build_city"):
@@ -218,9 +231,11 @@ class OuluStudy:
                 prepare_ch(city.graph, weight="length"),
                 config.executor.ch_artifact_path,
             )
-        with span("simulate"):
-            simulator = TaxiFleetSimulator(city, config.fleet)
-            fleet, runs = simulator.simulate()
+        runs: list[CustomerRun] = []
+        if fleet is None:
+            with span("simulate"):
+                simulator = TaxiFleetSimulator(city, config.fleet)
+                fleet, runs = simulator.simulate()
         _log.info(
             "fleet simulated",
             extra={"trips": len(fleet), "points": fleet.point_count,

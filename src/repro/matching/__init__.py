@@ -28,7 +28,12 @@ from repro.matching.evaluate import (
 )
 from repro.matching.gapfill import connect_matches
 from repro.matching.hmm import HmmConfig, HmmMatcher
-from repro.matching.incremental import IncrementalConfig, IncrementalMatcher
+from repro.matching.incremental import (
+    STATE_SCHEMA_VERSION,
+    IncrementalConfig,
+    IncrementalMatcher,
+    MatcherState,
+)
 from repro.matching.types import (
     MatchedPoint,
     MatchedRoute,
@@ -47,6 +52,8 @@ __all__ = [
     "MatchEvaluation",
     "MatchedPoint",
     "MatchedRoute",
+    "MatcherState",
+    "STATE_SCHEMA_VERSION",
     "candidates_for_point",
     "candidates_for_points",
     "connect_matches",

@@ -71,6 +71,15 @@ EVENT_KINDS = frozenset({
     "cache",
     "store",
     "note",
+    # Streaming service (repro.stream): micro-batch progress, trip
+    # lifecycle, checkpoint/resume and dead-letter provenance.
+    "stream.batch",
+    "stream.trip_open",
+    "stream.trip_close",
+    "stream.window_close",
+    "stream.checkpoint",
+    "stream.resume",
+    "stream.dead_letter",
 })
 
 

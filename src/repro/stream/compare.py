@@ -1,0 +1,141 @@
+"""Artefact fingerprints for the stream==batch differential harness.
+
+A fingerprint is a dict of named strings covering every artefact the
+paper derives — cleaning report, Table 3 funnel, Table 4 route stats,
+the Welford grid (down to the raw ``_m2`` partials, rendered as
+``float.hex`` so "close" never passes for "equal"), cell features, the
+mixed model and the error ledger.  Two runs are equivalent iff their
+fingerprints are equal string-for-string; the pytest diff on a failing
+component then names exactly which artefact diverged.
+
+The batch and stream sides expose the same underlying objects, so both
+:func:`study_fingerprint` and :func:`stream_fingerprint` are thin
+adapters over one canonicaliser.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+
+from repro.cleaning.pipeline import CleaningReport
+from repro.faults import TripError
+
+
+def _hex(value: float) -> str:
+    return float(value).hex()
+
+
+def _dumps(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def artefact_fingerprint(
+    *,
+    clean_report: CleaningReport,
+    funnel: list,
+    route_stats: list,
+    grid,
+    cell_features: dict,
+    mixed,
+    errors: list[TripError],
+) -> dict[str, str]:
+    """Canonical strings for every comparable artefact of one run.
+
+    Wall-clock fields (``stage_seconds``) are excluded — everything else,
+    including float partials, must match bit for bit.
+    """
+    report_doc = {
+        "trips_in": clean_report.trips_in,
+        "points_in": clean_report.points_in,
+        "reordered_trips": clean_report.reordered_trips,
+        "reordering_saved_m": _hex(clean_report.reordering_saved_m),
+        "duplicates_removed": clean_report.duplicates_removed,
+        "outliers_removed": clean_report.outliers_removed,
+        "out_of_bounds_removed": clean_report.out_of_bounds_removed,
+        "rule_hits": {
+            str(rule): hits
+            for rule, hits in sorted(clean_report.segmentation.rule_hits.items())
+        },
+        "segments_created": clean_report.segmentation.segments_created,
+        "trips_processed": clean_report.segmentation.trips_processed,
+        "segments_dropped_short": clean_report.segments_dropped_short,
+        "segments_dropped_long": clean_report.segments_dropped_long,
+        "segments_out": clean_report.segments_out,
+        "points_out": clean_report.points_out,
+        "errors": [e.to_dict() for e in clean_report.errors],
+    }
+    grid_doc = [
+        {
+            "key": list(key),
+            "n": stats.n,
+            "mean": _hex(stats.mean),
+            "m2": _hex(stats._m2),
+            "speeds": [_hex(s) for s in grid.speeds(key)],
+        }
+        for key, stats in grid.cells().items()  # insertion order matters
+    ]
+    stats_doc = []
+    for s in route_stats:
+        doc = asdict(s)
+        for name, value in doc.items():
+            if isinstance(value, float):
+                doc[name] = _hex(value)
+        stats_doc.append(doc)
+    mixed_doc = None
+    if mixed is not None:
+        mixed_doc = {
+            "fixed_names": list(mixed.fixed_names),
+            "fixed_effects": [_hex(v) for v in mixed.fixed_effects],
+            "sigma2": _hex(mixed.sigma2),
+            "sigma2_u": _hex(mixed.sigma2_u),
+            "reml_criterion": _hex(mixed.reml_criterion),
+            "reml_criterion_null": _hex(mixed.reml_criterion_null),
+            "groups": [list(g) for g in mixed.groups],
+            "blup": {str(g): _hex(v) for g, v in mixed.blup.items()},
+            "blup_se": {str(g): _hex(v) for g, v in mixed.blup_se.items()},
+            "group_sizes": {str(g): n for g, n in mixed.group_sizes.items()},
+            "n": mixed.n,
+        }
+    return {
+        "clean_report": _dumps(report_doc),
+        "funnel": _dumps([asdict(row) for row in funnel]),
+        "route_stats": _dumps(stats_doc),
+        "grid": _dumps(grid_doc),
+        "cell_features": _dumps(
+            [[list(key), counts] for key, counts in sorted(cell_features.items())]
+        ),
+        "mixed": _dumps(mixed_doc),
+        "errors": _dumps([e.to_dict() for e in errors]),
+    }
+
+
+def study_fingerprint(result, reader_errors: list[TripError] = ()) -> dict[str, str]:
+    """Fingerprint of a batch :class:`~repro.experiments.study.StudyResult`.
+
+    ``reader_errors`` are the CSV-ingest quarantine records (the study
+    itself never reads CSVs) — prepended exactly where the stream ledger
+    puts its io category.
+    """
+    return artefact_fingerprint(
+        clean_report=result.clean.report,
+        funnel=result.funnel,
+        route_stats=result.route_stats,
+        grid=result.grid,
+        cell_features=result.cell_features,
+        mixed=result.mixed,
+        errors=list(reader_errors) + list(result.errors),
+    )
+
+
+def stream_fingerprint(result) -> dict[str, str]:
+    """Fingerprint of a :class:`~repro.stream.service.StreamResult`."""
+    return artefact_fingerprint(
+        clean_report=result.clean.report,
+        funnel=result.funnel,
+        route_stats=result.route_stats,
+        grid=result.grid,
+        cell_features=result.cell_features,
+        mixed=result.mixed,
+        errors=result.errors,
+    )

@@ -1,0 +1,121 @@
+"""Row sources for the streaming service.
+
+A source is an iterator of ``(row_index, row_dict)`` pairs over the
+route-point CSV schema (``car_id`` + the seven point fields).  Three
+modes cover the ``repro serve --input`` contract:
+
+* ``replay`` — read an existing CSV front to back (the differential-test
+  and benchmark mode: the stream sees exactly what ``repro study`` sees);
+* ``tail`` — follow a growing CSV, polling for complete appended lines
+  and stopping after ``idle_timeout_s`` without new data;
+* ``fifo`` — read a named pipe until the writer closes it.
+
+Row indices are the 0-based data-row positions (header excluded), which
+is what checkpoints record as ``rows_ingested`` — a resumed service
+skips every index below the checkpoint, giving exactly-once folding.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import time
+from pathlib import Path
+from typing import Iterator
+
+RowStream = Iterator[tuple[int, dict]]
+
+#: Poll interval while tailing a quiet file.
+_TAIL_POLL_S = 0.05
+
+
+def replay_rows(path: str | Path, start_index: int = 0) -> RowStream:
+    """Replay an existing CSV; yields data rows from ``start_index`` on."""
+    with Path(path).open(newline="", encoding="utf-8", errors="replace") as f:
+        reader = csv.DictReader(f)
+        for index, row in enumerate(reader):
+            if index < start_index:
+                continue
+            yield index, row
+
+
+def _parse_line(header: list[str], line: str) -> dict:
+    """One CSV line -> row dict against ``header`` (tail/fifo modes)."""
+    values = next(csv.reader(io.StringIO(line)))
+    row = dict.fromkeys(header)
+    row.update(zip(header, values))
+    return row
+
+
+def tail_rows(
+    path: str | Path,
+    start_index: int = 0,
+    idle_timeout_s: float = 5.0,
+    poll_s: float = _TAIL_POLL_S,
+) -> RowStream:
+    """Follow a growing CSV, yielding complete appended data rows.
+
+    Only newline-terminated lines are consumed — a half-written tail is
+    left in place and retried on the next poll, so a row is never parsed
+    torn.  Stops after ``idle_timeout_s`` with no growth (the feed went
+    quiet), which bounds the service's lifetime in tests.
+    """
+    path = Path(path)
+    header: list[str] | None = None
+    index = 0
+    offset = 0
+    idle_since = time.monotonic()
+    buffer = ""
+    while True:
+        try:
+            with path.open("r", encoding="utf-8", errors="replace") as f:
+                f.seek(offset)
+                chunk = f.read()
+        except FileNotFoundError:
+            chunk = ""
+        if chunk:
+            offset += len(chunk.encode("utf-8", errors="replace"))
+            buffer += chunk
+            idle_since = time.monotonic()
+            while "\n" in buffer:
+                line, buffer = buffer.split("\n", 1)
+                line = line.rstrip("\r")
+                if not line:
+                    continue
+                if header is None:
+                    header = next(csv.reader(io.StringIO(line)))
+                    continue
+                row = _parse_line(header, line)
+                if index >= start_index:
+                    yield index, row
+                index += 1
+        elif time.monotonic() - idle_since >= idle_timeout_s:
+            return
+        else:
+            time.sleep(poll_s)
+
+
+def fifo_rows(path: str | Path, start_index: int = 0) -> RowStream:
+    """Read a named pipe (blocks until a writer connects, ends on EOF)."""
+    with Path(path).open(newline="", encoding="utf-8", errors="replace") as f:
+        reader = csv.DictReader(f)
+        for index, row in enumerate(reader):
+            if index < start_index:
+                continue
+            yield index, row
+
+
+def open_source(
+    mode: str,
+    path: str | Path,
+    start_index: int = 0,
+    idle_timeout_s: float = 5.0,
+) -> RowStream:
+    """Dispatch on the ``repro serve --mode`` value."""
+    if mode == "replay":
+        return replay_rows(path, start_index)
+    if mode == "tail":
+        return tail_rows(path, start_index, idle_timeout_s=idle_timeout_s)
+    if mode == "fifo":
+        return fifo_rows(path, start_index)
+    raise ValueError(f"unknown stream source mode {mode!r}")

@@ -49,8 +49,13 @@ def write_points_csv(fleet: FleetData, path: str | Path) -> int:
     return count
 
 
-def _parse_point(row: dict) -> RoutePoint:
-    """Parse one CSV row strictly; raises ValueError on any damage."""
+def parse_point_row(row: dict) -> RoutePoint:
+    """Parse one CSV row strictly; raises ValueError on any damage.
+
+    Shared by the batch reader below and the streaming ingest
+    (:mod:`repro.stream.service`), so a row is judged malformed by
+    exactly one definition on both paths.
+    """
     missing = [name for name in ("car_id", *_POINT_FIELDS)
                if row.get(name) in (None, "")]
     if missing:
@@ -73,7 +78,11 @@ def _parse_point(row: dict) -> RoutePoint:
     return point
 
 
-def _row_trip_id(row: dict) -> int | None:
+#: Backwards-compatible alias (pre-streaming name).
+_parse_point = parse_point_row
+
+
+def row_trip_id(row: dict) -> int | None:
     """Best-effort trip id of a damaged row (for the error record)."""
     try:
         return int(row.get("trip_id") or "")
@@ -114,10 +123,10 @@ def read_points_csv(
                 row = corrupted
                 fault_tag = "injected:io"
             try:
-                point = _parse_point(row)
+                point = parse_point_row(row)
             except ValueError as exc:
                 registry.counter("io.rows_quarantined").inc()
-                trip_id = _row_trip_id(row)
+                trip_id = row_trip_id(row)
                 if trip_id is not None:
                     damaged_trip_ids.add(trip_id)
                 quarantine.add(TripError(

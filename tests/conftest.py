@@ -82,3 +82,28 @@ def to_xy(city):
         return projector.to_xy(p.lat, p.lon)
 
     return convert
+
+
+@pytest.fixture(scope="session")
+def stream_case(tmp_path_factory):
+    """Replay CSV + batch-study baseline for the streaming suites.
+
+    The batch side is the stream's ground truth: the same CSV is read
+    back through ``read_points_csv`` and injected into ``OuluStudy.run``,
+    and the resulting fingerprint (reader quarantine prepended, matching
+    the stream ledger's category order) is what every replay must equal.
+    """
+    from repro.faults import Quarantine
+    from repro.stream import study_fingerprint
+    from repro.traces.io import read_points_csv, write_points_csv
+
+    config = StudyConfig(fleet=FleetSpec(n_days=4, seed=11))
+    stream_city = build_synthetic_oulu(config.city)
+    stream_fleet, __ = TaxiFleetSimulator(stream_city, config.fleet).simulate()
+    path = tmp_path_factory.mktemp("stream") / "points.csv"
+    write_points_csv(stream_fleet, path)
+    quarantine = Quarantine()
+    batch = OuluStudy(config).run(
+        fleet=read_points_csv(path, quarantine=quarantine)
+    )
+    return config, path, study_fingerprint(batch, quarantine.errors)

@@ -1,0 +1,142 @@
+"""MatcherState: the incremental matcher's serialisable per-trip state.
+
+Three guarantees back the streaming service's checkpoints:
+
+* **feed == match** — pushing points one at a time through
+  ``begin``/``feed``/``finish`` yields the same :class:`MatchedRoute`
+  as the one-shot ``match`` call (the decision frontier defers every
+  choice whose look-ahead window is not final yet);
+* **serialisation is total and exact** — ``to_bytes``/``from_bytes``
+  round-trips any state at any cut point, and a resumed state finishes
+  to the identical route (the candidate cache is deliberately not
+  serialised; it is rebuilt lazily);
+* **the schema is versioned** — ``STATE_SCHEMA_VERSION`` is pinned and
+  ``from_payload`` rejects anything else, so an old checkpoint can
+  never be misread silently.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cleaning import CleaningPipeline
+from repro.matching import (
+    STATE_SCHEMA_VERSION,
+    IncrementalMatcher,
+    MatcherState,
+)
+from repro.traces import FleetSpec, TaxiFleetSimulator
+from repro.traces.noise import NoiseSpec
+
+
+@pytest.fixture(scope="module")
+def segments(city):
+    """A small, lightly noisy batch of cleaned segments."""
+    spec = FleetSpec(
+        n_days=2, seed=21,
+        noise=NoiseSpec(reorder_prob=0.0, glitch_prob=0.0),
+    )
+    fleet, __ = TaxiFleetSimulator(city, spec).simulate()
+    return CleaningPipeline().run(fleet).segments
+
+
+@pytest.fixture(scope="module")
+def matcher(city):
+    return IncrementalMatcher(city.graph)
+
+
+@pytest.fixture(scope="module")
+def xy(city):
+    projector = city.projector
+    return lambda p: projector.to_xy(p.lat, p.lon)
+
+
+def feed_all(matcher, seg, xy, state=None):
+    state = state or matcher.begin(seg.segment_id, seg.car_id)
+    for p in seg.points:
+        matcher.feed(state, p, xy)
+    return state
+
+
+class TestFeedEqualsMatch:
+    def test_incremental_feed_reproduces_one_shot_match(
+        self, matcher, segments, xy
+    ):
+        for seg in segments[:20]:
+            want = matcher.match(seg.points, xy, seg.segment_id, seg.car_id)
+            state = feed_all(matcher, seg, xy)
+            got = matcher.finish(state)
+            assert got == want
+
+    def test_frontier_defers_undecidable_points(self, matcher, segments, xy):
+        seg = segments[0]
+        state = matcher.begin(seg.segment_id, seg.car_id)
+        look_ahead = matcher.config.look_ahead
+        for i, p in enumerate(seg.points):
+            matcher.feed(state, p, xy)
+            # Nothing past the frontier may be decided before finish():
+            # the movement direction and look-ahead window of a point
+            # are only final once its successors have arrived.
+            assert state.decided_upto <= max(0, (i + 1) - 1 - look_ahead)
+        route = matcher.finish(state)
+        assert route is not None
+        assert len(route.matched) == len(seg.points)
+
+
+class TestSerialisation:
+    def test_round_trip_between_every_fed_point(self, matcher, segments, xy):
+        seg = segments[0]
+        want = matcher.match(seg.points, xy, seg.segment_id, seg.car_id)
+        state = matcher.begin(seg.segment_id, seg.car_id)
+        for p in seg.points:
+            matcher.feed(state, p, xy)
+            state = MatcherState.from_bytes(state.to_bytes())
+        assert matcher.finish(state) == want
+
+    def test_payload_round_trip_is_identity(self, matcher, segments, xy):
+        seg = segments[1]
+        state = feed_all(matcher, seg, xy)
+        clone = MatcherState.from_payload(state.to_payload())
+        assert clone == state
+        # The candidate cache is derived data: never serialised.
+        assert clone.cache == {}
+
+    def test_fresh_state_round_trips(self, matcher):
+        state = matcher.begin(segment_id=3, car_id=9)
+        clone = MatcherState.from_bytes(state.to_bytes())
+        assert clone == state
+        assert (clone.segment_id, clone.car_id) == (3, 9)
+
+    @settings(max_examples=12, deadline=None, derandomize=True)
+    @given(cut=st.integers(min_value=0, max_value=10_000))
+    def test_resume_at_any_cut_point_finishes_identically(
+        self, matcher, segments, xy, cut
+    ):
+        seg = segments[2]
+        want = matcher.match(seg.points, xy, seg.segment_id, seg.car_id)
+        cut = cut % (len(seg.points) + 1)
+        state = matcher.begin(seg.segment_id, seg.car_id)
+        for p in seg.points[:cut]:
+            matcher.feed(state, p, xy)
+        resumed = MatcherState.from_bytes(state.to_bytes())
+        for p in seg.points[cut:]:
+            matcher.feed(resumed, p, xy)
+        assert matcher.finish(resumed) == want
+
+
+class TestSchemaVersion:
+    def test_version_is_pinned(self):
+        # Bumping this is a contract change: stream checkpoints embed
+        # matcher states, so a bump must come with a migration note.
+        assert STATE_SCHEMA_VERSION == 1
+
+    def test_payload_carries_version(self, matcher):
+        assert matcher.begin().to_payload()["schema"] == STATE_SCHEMA_VERSION
+
+    def test_wrong_version_is_rejected(self, matcher):
+        payload = matcher.begin().to_payload()
+        payload["schema"] = STATE_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema"):
+            MatcherState.from_payload(payload)

@@ -1,0 +1,215 @@
+"""Crash safety: kill the service at every checkpoint boundary, resume,
+and require byte-identical artefacts to an uninterrupted run.
+
+Two kill mechanisms are exercised:
+
+* **in-process** — ``StreamService.run(stop_after_checkpoints=k)`` ends
+  the run right after the k-th checkpoint lands (returns ``None``), for
+  *every* k the full run produces;
+* **hard kill** — a fault plan with ``kill_chunk={"stream": N}`` makes
+  the service ``os._exit(1)`` right after checkpoint N, exactly like an
+  OOM kill; a rerun of ``repro serve`` must resume and finish.
+
+Resumption is exactly-once: already-ingested rows are skipped by index,
+Welford partials continue bit-identically (checkpoints serialise the
+raw per-cell speeds), and the fingerprints — floats rendered as
+``float.hex`` — must equal the no-checkpoint baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro.stream.checkpoint as checkpoint_module
+from repro.stream import (
+    CheckpointStore,
+    StreamConfig,
+    StreamService,
+    load_checkpoint,
+    stream_fingerprint,
+)
+from repro.stream.checkpoint import CHECKPOINT_SCHEMA_VERSION, POINTER_NAME
+
+REPO = Path(__file__).resolve().parent.parent
+
+BATCH_SIZE = 64
+CHECKPOINT_EVERY = 6
+
+
+def make_config(config, path, checkpoint_dir, **overrides):
+    kwargs = dict(
+        study=config, input=str(path), mode="replay",
+        batch_size=BATCH_SIZE, checkpoint_every=CHECKPOINT_EVERY,
+        checkpoint_dir=str(checkpoint_dir),
+    )
+    kwargs.update(overrides)
+    return StreamConfig(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def full_run(stream_case, tmp_path_factory):
+    """One uninterrupted checkpointed run: the resume tests' reference."""
+    config, path, baseline = stream_case
+    ckdir = tmp_path_factory.mktemp("ck-full")
+    result = StreamService(make_config(config, path, ckdir)).run()
+    return result, baseline
+
+
+class TestCheckpointing:
+    def test_checkpoints_do_not_perturb_artefacts(self, full_run):
+        result, baseline = full_run
+        assert result.checkpoints_written >= 3
+        got = stream_fingerprint(result)
+        for name in baseline:
+            assert got[name] == baseline[name], f"artefact {name!r} diverged"
+
+    def test_pointer_names_the_last_checkpoint(
+        self, stream_case, tmp_path
+    ):
+        config, path, __ = stream_case
+        result = StreamService(make_config(config, path, tmp_path)).run()
+        pointer = json.loads((tmp_path / POINTER_NAME).read_text())
+        assert pointer["checkpoint_seq"] == result.checkpoints_written
+        payload = load_checkpoint(tmp_path)
+        assert payload["checkpoint_seq"] == result.checkpoints_written
+        assert payload["checkpoint_schema"] == CHECKPOINT_SCHEMA_VERSION
+
+    def test_identical_state_dedupes_by_content(self, stream_case, tmp_path):
+        config, path, __ = stream_case
+        store = CheckpointStore(tmp_path)
+        payload = {"checkpoint_seq": 1, "rows_ingested": 10, "state": [1, 2]}
+        assert store.write(dict(payload)) == store.write(dict(payload))
+
+
+class TestKillAndResume:
+    def test_every_checkpoint_boundary_resumes_identically(
+        self, stream_case, full_run, tmp_path
+    ):
+        config, path, baseline = stream_case
+        reference, __ = full_run
+        total = reference.checkpoints_written
+        failures = []
+        for k in range(1, total + 1):
+            ckdir = tmp_path / f"boundary-{k}"
+            sc = make_config(config, path, ckdir)
+            killed = StreamService(sc).run(stop_after_checkpoints=k)
+            assert killed is None, "a stopped run must not return a result"
+            resumed = StreamService(sc).run()
+            assert resumed.metrics["counters"]["stream.resumes"] == 1
+            got = stream_fingerprint(resumed)
+            failures += [
+                (k, name) for name in baseline if got[name] != baseline[name]
+            ]
+        assert failures == []
+
+    def test_resume_skips_ingested_rows_exactly_once(
+        self, stream_case, full_run, tmp_path
+    ):
+        config, path, __ = stream_case
+        reference, __ = full_run
+        sc = make_config(config, path, tmp_path)
+        assert StreamService(sc).run(stop_after_checkpoints=2) is None
+        pointer = json.loads((tmp_path / POINTER_NAME).read_text())
+        resumed = StreamService(sc).run()
+        skipped = pointer["rows_ingested"]
+        assert skipped == 2 * CHECKPOINT_EVERY * BATCH_SIZE
+        assert resumed.rows_ingested == reference.rows_ingested
+        assert resumed.metrics["counters"]["stream.rows_in"] == \
+            reference.rows_ingested - skipped
+
+    def test_no_resume_flag_starts_from_scratch(
+        self, stream_case, full_run, tmp_path
+    ):
+        config, path, baseline = stream_case
+        sc = make_config(config, path, tmp_path)
+        assert StreamService(sc).run(stop_after_checkpoints=1) is None
+        result = StreamService(sc).run(resume=False)
+        assert "stream.resumes" not in result.metrics["counters"]
+        got = stream_fingerprint(result)
+        assert got == baseline
+
+
+class TestHardKill:
+    def test_fault_plan_kill_then_serve_rerun_resumes(
+        self, stream_case, tmp_path, chaos_seed
+    ):
+        """The chaos path: ``kill_chunk={"stream": 2}`` hard-exits the
+        process right after checkpoint 2; rerunning the *same* command
+        (plan included — the resume guard fingerprints the full config,
+        and the kill cannot refire: the sequence continues past 2)
+        resumes and must write the artefacts of an uninterrupted serve.
+        """
+        config, path, __ = stream_case
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps(
+            {"seed": chaos_seed, "kill_chunk": {"stream": 2}}
+        ))
+        env = {**os.environ, "PYTHONPATH": str(REPO / "src")}
+        ckdir = tmp_path / "ck"
+        out = tmp_path / "out"
+        argv = [
+            sys.executable, "-m", "repro", "serve",
+            "--input", str(path), "--out", str(out),
+            "--batch-size", str(BATCH_SIZE),
+            "--checkpoint-every", str(CHECKPOINT_EVERY),
+            "--checkpoint-dir", str(ckdir), "--quiet",
+            "--fault-plan", str(plan_path),
+        ]
+        killed = subprocess.run(
+            argv, cwd=REPO, env=env, capture_output=True, text=True,
+        )
+        assert killed.returncode == 1, killed.stderr
+        pointer = json.loads((ckdir / POINTER_NAME).read_text())
+        assert pointer["checkpoint_seq"] == 2
+        assert not (out / "table3.txt").exists(), \
+            "a killed service must not have written artefacts"
+        rerun = subprocess.run(
+            argv, cwd=REPO, env=env, capture_output=True, text=True
+        )
+        assert rerun.returncode == 0, rerun.stderr
+        clean_out = tmp_path / "clean-out"
+        uninterrupted = subprocess.run(
+            [sys.executable, "-m", "repro", "serve",
+             "--input", str(path), "--out", str(clean_out),
+             "--batch-size", str(BATCH_SIZE), "--quiet"],
+            cwd=REPO, env=env, capture_output=True, text=True,
+        )
+        assert uninterrupted.returncode == 0, uninterrupted.stderr
+        for name in ("table2.txt", "table3.txt", "table4.txt", "table5.txt",
+                      "windows.jsonl", "errors.jsonl"):
+            assert (out / name).read_bytes() == \
+                (clean_out / name).read_bytes(), f"{name} diverged"
+
+
+class TestResumeSafety:
+    def test_mismatched_config_is_refused(self, stream_case, tmp_path):
+        config, path, __ = stream_case
+        sc = make_config(config, path, tmp_path)
+        assert StreamService(sc).run(stop_after_checkpoints=1) is None
+        other = make_config(config, path, tmp_path, window_s=3600.0)
+        with pytest.raises(ValueError, match="refusing to resume"):
+            StreamService(other).run()
+
+    def test_wrong_schema_version_is_refused(
+        self, stream_case, tmp_path, monkeypatch
+    ):
+        config, path, __ = stream_case
+        sc = make_config(config, path, tmp_path)
+        assert StreamService(sc).run(stop_after_checkpoints=1) is None
+        monkeypatch.setattr(
+            checkpoint_module, "CHECKPOINT_SCHEMA_VERSION",
+            CHECKPOINT_SCHEMA_VERSION + 1,
+        )
+        with pytest.raises(ValueError, match="schema"):
+            load_checkpoint(tmp_path)
+
+    def test_corrupt_or_missing_pointer_reads_as_fresh(self, tmp_path):
+        assert load_checkpoint(tmp_path) is None
+        (tmp_path / POINTER_NAME).write_text("not json {")
+        assert load_checkpoint(tmp_path) is None

@@ -63,6 +63,7 @@ def validate_journal(path: Path) -> list[str]:
     last_seq = None
     open_spans: dict[str, int] = {}
     run_id = None
+    last_checkpoint_seq = 0
     for position, (index, event) in enumerate(events):
         kind = event.get("kind")
         if kind not in EVENT_KINDS:
@@ -116,6 +117,50 @@ def validate_journal(path: Path) -> list[str]:
                 problems.append(
                     f"{path}:{index}: span_close for never-opened "
                     f"span {span_id!r}"
+                )
+        elif kind == "stream.checkpoint":
+            # Checkpoints carry their content key and a strictly
+            # increasing sequence — resume provenance depends on both.
+            if not event.get("key"):
+                problems.append(
+                    f"{path}:{index}: stream.checkpoint without key"
+                )
+            seq = event.get("checkpoint_seq")
+            if not isinstance(seq, int) or seq <= last_checkpoint_seq:
+                problems.append(
+                    f"{path}:{index}: checkpoint_seq {seq!r} not above "
+                    f"{last_checkpoint_seq}"
+                )
+            else:
+                last_checkpoint_seq = seq
+        elif kind == "stream.resume":
+            if not isinstance(event.get("checkpoint_seq"), int) or \
+                    not isinstance(event.get("rows_ingested"), int):
+                problems.append(
+                    f"{path}:{index}: stream.resume missing "
+                    f"checkpoint_seq/rows_ingested"
+                )
+            else:
+                # A resumed service continues the restored sequence.
+                last_checkpoint_seq = event["checkpoint_seq"]
+        elif kind == "stream.trip_close":
+            if not isinstance(event.get("trip_id"), int) or \
+                    not event.get("reason"):
+                problems.append(
+                    f"{path}:{index}: stream.trip_close missing "
+                    f"trip_id/reason"
+                )
+        elif kind == "stream.dead_letter":
+            if not event.get("reason_kind"):
+                problems.append(
+                    f"{path}:{index}: stream.dead_letter without reason_kind"
+                )
+        elif kind == "stream.batch":
+            if not isinstance(event.get("batch_seq"), int) or \
+                    not isinstance(event.get("rows_ingested"), int):
+                problems.append(
+                    f"{path}:{index}: stream.batch missing "
+                    f"batch_seq/rows_ingested"
                 )
     if events and events[-1][1].get("kind") != "run_end":
         problems.append(f"{path}: does not end with run_end (incomplete run)")
